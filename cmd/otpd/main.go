@@ -1,0 +1,94 @@
+// Command otpd runs the OTP validation platform (the LinOTP substitute):
+// a RADIUS front end for login nodes plus the digest-authenticated admin
+// REST API the portal drives.
+//
+// Example:
+//
+//	otpd -data /var/lib/otpd -radius 127.0.0.1:1812 -http 127.0.0.1:8443 \
+//	     -key-hex $(openssl rand -hex 32) -admin-user portal -admin-pass secret
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"openmfa/internal/httpdigest"
+	"openmfa/internal/otpd"
+	"openmfa/internal/radius"
+	"openmfa/internal/store"
+)
+
+func main() {
+	var (
+		dataDir    = flag.String("data", "", "data directory (empty = in-memory)")
+		radiusAddr = flag.String("radius", "127.0.0.1:1812", "RADIUS listen address")
+		httpAddr   = flag.String("http", "127.0.0.1:8443", "admin API listen address")
+		secret     = flag.String("radius-secret", "testing123", "RADIUS shared secret")
+		keyHex     = flag.String("key-hex", "", "hex AES key for secret storage (32/48/64 hex chars)")
+		adminUser  = flag.String("admin-user", "portal", "admin API digest username")
+		adminPass  = flag.String("admin-pass", "", "admin API digest password (required)")
+		issuer     = flag.String("issuer", "HPC", "otpauth issuer label")
+	)
+	flag.Parse()
+	if *adminPass == "" {
+		log.Fatal("otpd: -admin-pass required")
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || (len(key) != 16 && len(key) != 24 && len(key) != 32) {
+		log.Fatal("otpd: -key-hex must decode to 16, 24, or 32 bytes")
+	}
+
+	var db *store.Store
+	if *dataDir == "" {
+		db = store.OpenMemory()
+	} else {
+		db, err = store.Open(*dataDir, store.Options{Sync: true})
+		if err != nil {
+			log.Fatalf("otpd: %v", err)
+		}
+	}
+	defer db.Close()
+
+	srv, err := otpd.New(otpd.Config{
+		DB: db, EncryptionKey: key, Issuer: *issuer,
+	})
+	if err != nil {
+		log.Fatalf("otpd: %v", err)
+	}
+
+	rsrv := &radius.Server{
+		Secret:  []byte(*secret),
+		Handler: &otpd.RadiusHandler{OTP: srv},
+		Logf:    log.Printf,
+	}
+	if err := rsrv.ListenAndServe(*radiusAddr); err != nil {
+		log.Fatalf("otpd: radius: %v", err)
+	}
+	defer rsrv.Close()
+	log.Printf("otpd: RADIUS on %s", rsrv.Addr())
+
+	api := &otpd.AdminAPI{
+		OTP:   srv,
+		Realm: "otpd-admin",
+		Creds: httpdigest.StaticCredentials{
+			*adminUser: httpdigest.HA1(*adminUser, "otpd-admin", *adminPass),
+		},
+	}
+	go func() {
+		log.Printf("otpd: admin API on %s", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, api.Handler()); err != nil {
+			log.Fatalf("otpd: http: %v", err)
+		}
+	}()
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	fmt.Fprintln(os.Stderr, "otpd: shutting down")
+}

@@ -1,0 +1,80 @@
+// Command portald serves the user portal against an existing otpd admin
+// API, with its own IDM store — the §3.5 front end as a standalone
+// process.
+//
+// Example:
+//
+//	portald -http 127.0.0.1:8080 -otpd http://127.0.0.1:8443 \
+//	        -otpd-user portal -otpd-pass secret -data /var/lib/portal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/directory"
+	"openmfa/internal/idm"
+	"openmfa/internal/otpd"
+	"openmfa/internal/portal"
+	"openmfa/internal/store"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:8080", "portal listen address")
+		otpdURL  = flag.String("otpd", "", "otpd admin API base URL (required)")
+		otpdUser = flag.String("otpd-user", "portal", "digest username for the admin API")
+		otpdPass = flag.String("otpd-pass", "", "digest password for the admin API (required)")
+		dataDir  = flag.String("data", "", "IDM data directory (empty = in-memory)")
+		baseURL  = flag.String("base-url", "", "public base URL for signed links (default http://<http>)")
+		demo     = flag.Bool("demo", false, "create a demo account (demo/demo-pass)")
+	)
+	flag.Parse()
+	if *otpdURL == "" || *otpdPass == "" {
+		log.Fatal("portald: -otpd and -otpd-pass are required")
+	}
+
+	var db *store.Store
+	var err error
+	if *dataDir == "" {
+		db = store.OpenMemory()
+	} else if db, err = store.Open(*dataDir, store.Options{Sync: true}); err != nil {
+		log.Fatalf("portald: %v", err)
+	}
+	defer db.Close()
+
+	dir := directory.New()
+	users := idm.New(db, dir, nil)
+	if *demo {
+		if _, err := users.Create("demo", "demo@hpc.example", "demo-pass", idm.ClassUser); err != nil {
+			log.Printf("portald: demo account: %v", err)
+		}
+	}
+
+	base := *baseURL
+	if base == "" {
+		base = "http://" + *httpAddr
+	}
+	p, err := portal.New(portal.Config{
+		IDM: users,
+		Admin: &otpd.AdminClient{
+			BaseURL: *otpdURL, Username: *otpdUser, Password: *otpdPass,
+		},
+		Email: portal.EmailFunc(func(to, subject, body string) error {
+			log.Printf("portald: EMAIL to %s: %s\n%s", to, subject, body)
+			return nil
+		}),
+		SessionKey: cryptoutil.RandomBytes(32),
+		BaseURL:    base,
+	})
+	if err != nil {
+		log.Fatalf("portald: %v", err)
+	}
+	fmt.Printf("portald: serving on %s (otpd at %s)\n", *httpAddr, *otpdURL)
+	if err := http.ListenAndServe(*httpAddr, p.Handler()); err != nil {
+		log.Fatalf("portald: %v", err)
+	}
+}

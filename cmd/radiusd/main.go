@@ -1,0 +1,51 @@
+// Command radiusd runs a standalone RADIUS proxy, the middle tier of the
+// paper's §3.2 architecture: login nodes talk to a handful of proxies
+// which chain to the server in front of the OTP database.
+//
+// Example:
+//
+//	radiusd -listen 127.0.0.1:1812 -secret nas-secret \
+//	        -upstream 127.0.0.1:1813 -upstream-secret otpd-secret
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"openmfa/internal/radius"
+)
+
+func main() {
+	var (
+		listen         = flag.String("listen", "127.0.0.1:1812", "listen address")
+		secret         = flag.String("secret", "", "shared secret with downstream NAS (required)")
+		upstream       = flag.String("upstream", "", "upstream RADIUS server address (required)")
+		upstreamSecret = flag.String("upstream-secret", "", "shared secret with upstream (required)")
+		timeout        = flag.Duration("timeout", 2*time.Second, "upstream per-attempt timeout")
+	)
+	flag.Parse()
+	if *secret == "" || *upstream == "" || *upstreamSecret == "" {
+		log.Fatal("radiusd: -secret, -upstream and -upstream-secret are required")
+	}
+
+	srv := &radius.Server{
+		Secret: []byte(*secret),
+		Handler: &radius.Proxy{Upstream: &radius.Client{
+			Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
+		}},
+		Logf: log.Printf,
+	}
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatalf("radiusd: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("radiusd: proxying %s -> %s", srv.Addr(), *upstream)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,97 @@
+// Command rollout regenerates the paper's evaluation: it simulates the
+// phased MFA deployment over the Aug 2016 – Mar 2017 calendar, driving the
+// real PAM → RADIUS → otpd stack for every login, and prints each figure
+// and table alongside the paper's claims.
+//
+// Usage:
+//
+//	rollout -all                 # every experiment (default)
+//	rollout -fig 3               # one figure (3, 4, 5, or 6)
+//	rollout -table 1             # Table 1
+//	rollout -costs               # the §3.3 SMS cost model
+//	rollout -analysis            # the §4.1 log analysis
+//	rollout -experiments         # EXPERIMENTS.md body (markdown)
+//	rollout -users 1200 -seed 1  # population knobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"openmfa/internal/rollout"
+)
+
+func main() {
+	var (
+		users       = flag.Int("users", 1200, "population size")
+		seed        = flag.Int64("seed", 1, "random seed")
+		fig         = flag.Int("fig", 0, "print one figure (3..6)")
+		table       = flag.Int("table", 0, "print one table (1)")
+		costs       = flag.Bool("costs", false, "print the SMS cost model")
+		analysis    = flag.Bool("analysis", false, "print the §4.1 log analysis")
+		experiments = flag.Bool("experiments", false, "print the EXPERIMENTS.md body")
+		all         = flag.Bool("all", false, "print everything")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *fig == 0 && *table == 0 && !*costs && !*analysis && !*experiments {
+		*all = true
+	}
+
+	cfg := rollout.Config{Users: *users, Seed: *seed}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	res, err := rollout.Run(cfg)
+	if err != nil {
+		log.Fatalf("rollout: %v", err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "rollout: simulation finished in %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all {
+		fmt.Println(res.Summary())
+		fmt.Println(res.Figure3())
+		fmt.Println(res.Figure4())
+		fmt.Println(res.Figure5())
+		fmt.Println(res.Figure6())
+		fmt.Println(res.Table1Report())
+		fmt.Println(res.CostReport())
+		fmt.Println(res.Analysis.Summary(15))
+		return
+	}
+	switch *fig {
+	case 3:
+		fmt.Println(res.Figure3())
+	case 4:
+		fmt.Println(res.Figure4())
+	case 5:
+		fmt.Println(res.Figure5())
+	case 6:
+		fmt.Println(res.Figure6())
+	case 0:
+	default:
+		log.Fatalf("rollout: unknown figure %d", *fig)
+	}
+	if *table == 1 {
+		fmt.Println(res.Table1Report())
+	} else if *table != 0 {
+		log.Fatalf("rollout: unknown table %d", *table)
+	}
+	if *costs {
+		fmt.Println(res.CostReport())
+	}
+	if *analysis {
+		fmt.Println(res.Analysis.Summary(15))
+	}
+	if *experiments {
+		fmt.Println(res.ExperimentsMarkdown())
+	}
+}

@@ -1,0 +1,76 @@
+// Command smsd runs the standalone Twilio-substitute SMS gateway with its
+// REST API, a virtual phone network, and cost accounting.
+//
+// Example:
+//
+//	smsd -http 127.0.0.1:8089 -phones 5125551234,5125555678
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/sms"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:8089", "REST API listen address")
+		phones   = flag.String("phones", "", "comma-separated virtual phone numbers to register")
+		seed     = flag.Int64("seed", 1, "carrier randomness seed")
+	)
+	flag.Parse()
+
+	g := sms.NewGateway(clock.Real{}, sms.DefaultCarrier(), *seed)
+	var registered []*sms.Phone
+	for _, n := range strings.Split(*phones, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		p, err := g.Register(n)
+		if err != nil {
+			log.Fatalf("smsd: %v", err)
+		}
+		registered = append(registered, p)
+		go watch(p)
+	}
+
+	fmt.Printf("smsd: account SID %s, auth token %s\n", g.AccountSID, g.AuthToken)
+	fmt.Printf("smsd: POST http://%s/2010-04-01/Accounts/%s/Messages.json (Basic auth)\n",
+		*httpAddr, g.AccountSID)
+	go func() {
+		if err := http.ListenAndServe(*httpAddr, &sms.API{Gateway: g}); err != nil {
+			log.Fatalf("smsd: %v", err)
+		}
+	}()
+
+	// Bill monthly like Twilio's flat fee.
+	go func() {
+		for range time.Tick(30 * 24 * time.Hour) {
+			g.BillMonth()
+		}
+	}()
+	g.BillMonth() // first month starts now
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	fmt.Println("\nsmsd:", g.Cost())
+}
+
+func watch(p *sms.Phone) {
+	for {
+		m := <-p.Wait()
+		fmt.Printf("smsd: [%s] %s (attempts=%d, latency=%s)\n",
+			p.Number, m.Body, m.Attempts, m.DeliveredAt.Sub(m.QueuedAt).Round(time.Millisecond))
+	}
+}

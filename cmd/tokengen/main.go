@@ -1,0 +1,147 @@
+// Command tokengen is a command-line software token: the functional
+// equivalent of the paper's smartphone application for environments
+// without one. It generates fresh TOTP keys (printing the otpauth:// QR
+// payload), shows current codes, and validates codes for debugging.
+//
+// Usage:
+//
+//	tokengen new -issuer TACC -account alice        # generate a key
+//	tokengen code -secret JBSWY3DPEHPK3PXP          # current code
+//	tokengen code -uri 'otpauth://totp/...'         # current code from URI
+//	tokengen watch -secret JBSWY3DPEHPK3PXP         # stream codes
+//	tokengen verify -secret ... -code 123456        # check a code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/otp"
+	"openmfa/internal/qr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "new":
+		cmdNew(os.Args[2:])
+	case "code":
+		cmdCode(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tokengen {new|code|watch|verify} [flags]")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tokengen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cmdNew(args []string) {
+	fs := flag.NewFlagSet("new", flag.ExitOnError)
+	issuer := fs.String("issuer", "HPC", "issuer label")
+	account := fs.String("account", "", "account name (required)")
+	showQR := fs.Bool("qr", false, "render a scannable QR code")
+	invert := fs.Bool("invert", false, "invert the QR for dark terminals")
+	fs.Parse(args)
+	if *account == "" {
+		fatalf("-account required")
+	}
+	key := otp.NewKey(*issuer, *account, cryptoutil.RandomBytes)
+	fmt.Printf("secret: %s\nuri:    %s\n", otp.EncodeSecret(key.Secret), key.URI())
+	if *showQR {
+		code, err := qr.Encode(key.URI(), qr.L)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *invert {
+			fmt.Println(code.RenderInverted())
+		} else {
+			fmt.Println(code.Render())
+		}
+	}
+}
+
+func loadKey(secret, uri string) otp.Key {
+	switch {
+	case uri != "":
+		k, err := otp.ParseURI(uri)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return k
+	case secret != "":
+		b, err := otp.DecodeSecret(secret)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return otp.Key{Secret: b, Options: otp.DefaultTOTPOptions()}
+	default:
+		fatalf("one of -secret or -uri required")
+		panic("unreachable")
+	}
+}
+
+func cmdCode(args []string) {
+	fs := flag.NewFlagSet("code", flag.ExitOnError)
+	secret := fs.String("secret", "", "base32 secret")
+	uri := fs.String("uri", "", "otpauth:// URI")
+	fs.Parse(args)
+	k := loadKey(*secret, *uri)
+	code, err := otp.TOTP(k.Secret, time.Now(), k.Options)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	remaining := int(k.Options.Period/time.Second) - int(time.Now().Unix())%int(k.Options.Period/time.Second)
+	fmt.Printf("%s (valid %ds)\n", code, remaining)
+}
+
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	secret := fs.String("secret", "", "base32 secret")
+	uri := fs.String("uri", "", "otpauth:// URI")
+	n := fs.Int("n", 5, "number of codes to emit")
+	fs.Parse(args)
+	k := loadKey(*secret, *uri)
+	for i := 0; i < *n; i++ {
+		code, err := otp.TOTP(k.Secret, time.Now(), k.Options)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(code)
+		if i < *n-1 {
+			step := int64(k.Options.Period / time.Second)
+			next := (time.Now().Unix()/step + 1) * step
+			time.Sleep(time.Until(time.Unix(next, 0)))
+		}
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	secret := fs.String("secret", "", "base32 secret")
+	uri := fs.String("uri", "", "otpauth:// URI")
+	code := fs.String("code", "", "code to verify")
+	fs.Parse(args)
+	k := loadKey(*secret, *uri)
+	if _, ok := otp.ValidateTOTP(k.Secret, *code, time.Now(), k.Options); ok {
+		fmt.Println("valid")
+		return
+	}
+	fmt.Println("INVALID")
+	os.Exit(1)
+}

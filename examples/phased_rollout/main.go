@@ -1,0 +1,125 @@
+// Phased rollout: walk a small user base through the paper's four-tier
+// opt-in policy live — "off" → "paired" → "countdown" → "full" — flipping
+// the enforcement mode during production exactly as §3.4 describes, and
+// watching how paired and unpaired users experience each tier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"openmfa/internal/core"
+	"openmfa/internal/idm"
+	"openmfa/internal/otp"
+	"openmfa/internal/pam"
+	"openmfa/internal/sshd"
+)
+
+func main() {
+	inf, err := core.New(core.Options{Mode: pam.ModeOff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inf.Close()
+
+	// Two users: early-adopter eve pairs immediately; laggard lou waits.
+	for _, u := range []string{"eve", "lou"} {
+		if _, err := inf.CreateUser(u, u+"@hpc.example", u+"-pass", idm.ClassUser); err != nil {
+			log.Fatal(err)
+		}
+	}
+	enr, err := inf.PairSoft("eve")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	try := func(user string) (prompts []string, err error) {
+		r := &sshd.FuncResponder{}
+		r.Fn = func(echo bool, prompt string) (string, error) {
+			prompts = append(prompts, strings.TrimSpace(prompt))
+			switch {
+			case strings.Contains(prompt, "Password"):
+				return user + "-pass", nil
+			case strings.Contains(prompt, "Token"):
+				code, _ := otp.TOTP(enr.Secret, time.Now(), inf.OTP.OTPOptions())
+				return code, nil
+			default:
+				return "", nil // countdown acknowledgement
+			}
+		}
+		c, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: user, TTY: true, Responder: r})
+		if err == nil {
+			c.Close()
+		}
+		return prompts, err
+	}
+
+	show := func(tier string) {
+		fmt.Printf("\n=== mode: %s ===\n", tier)
+		for _, u := range []string{"eve", "lou"} {
+			prompts, err := try(u)
+			status := "admitted"
+			if err != nil {
+				status = "DENIED"
+			}
+			fmt.Printf("%-4s %-8s prompts:\n", u, status)
+			for _, p := range prompts {
+				fmt.Printf("       - %s\n", firstLine(p))
+			}
+		}
+	}
+
+	// Tier 1: off — single factor for everyone.
+	show("off")
+
+	// Tier 2: paired — opt-in: eve (paired) is challenged, lou is not.
+	inf.Mode.SetMode(pam.ModePaired)
+	show("paired")
+
+	// Tier 3: countdown — lou now gets the deadline notice and must
+	// acknowledge it; eve's flow is unchanged.
+	inf.Mode.Set(pam.TokenConfig{
+		Mode:     pam.ModeCountdown,
+		Deadline: time.Now().UTC().AddDate(0, 0, 14),
+		InfoURL:  inf.PortalURL() + "/pair",
+	})
+	show("countdown")
+
+	// Tier 4: full — MFA mandatory; lou is locked out until pairing.
+	inf.Mode.SetMode(pam.ModeFull)
+	show("full")
+
+	// lou finally pairs (via SMS) and regains access.
+	_, phone, err := inf.PairSMS("lou", "5125550100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := &sshd.FuncResponder{}
+	r.Fn = func(echo bool, prompt string) (string, error) {
+		if strings.Contains(prompt, "Password") {
+			return "lou-pass", nil
+		}
+		// Read the code off the virtual phone (instant carrier here).
+		for i := 0; i < 100; i++ {
+			if m, ok := phone.Latest(); ok {
+				f := strings.Fields(m.Body)
+				return f[len(f)-1], nil
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return "", fmt.Errorf("sms never arrived")
+	}
+	if _, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: "lou", TTY: true, Responder: r}); err != nil {
+		log.Fatalf("lou still denied after pairing: %v", err)
+	}
+	fmt.Println("\nlou paired an SMS token and is admitted under full enforcement")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+// Risk assessment: the paper's §6 growth path ("geolocation services,
+// dynamic risk assessment"), built out on top of the same stack. A user
+// with a stable Austin login history is admitted normally; a login from a
+// brand-new country forces the second factor even for exempt accounts;
+// impossible travel is refused outright.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"openmfa/internal/core"
+	"openmfa/internal/geoip"
+	"openmfa/internal/idm"
+	"openmfa/internal/otp"
+	"openmfa/internal/pam"
+	"openmfa/internal/risk"
+	"openmfa/internal/sshd"
+)
+
+func main() {
+	inf, err := core.New(core.Options{
+		// alice is whitelisted — normally she would never see a token
+		// prompt.
+		ExemptionRules: "permit : alice : ALL : ALL",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inf.Close()
+
+	// Swap the standard Figure 1 stack for the risk-gated variant and
+	// wire outcome feedback.
+	engine := risk.NewEngine(geoip.Synthetic(), risk.DefaultWeights())
+	*inf.Stack = *pam.NewSSHDStackWithRisk(pam.SSHDStackConfig{
+		AuthLog:    inf.AuthLog,
+		IDM:        inf.IDM,
+		Exemptions: inf.ACL,
+		TokenCfg:   inf.Mode,
+		Pairing:    pam.LocalPairing{Dir: inf.Dir},
+		Radius:     inf.Pool,
+	}, engine, func(user string, a risk.Assessment) {
+		fmt.Printf("  [risk alert] %s: %s (score %.2f) %v\n", user, a.Level, a.Score, a.Reasons)
+	})
+	inf.SSHD.Risk = engine
+
+	if _, err := inf.CreateUser("alice", "a@hpc.example", "pw", idm.ClassUser); err != nil {
+		log.Fatal(err)
+	}
+	enr, err := inf.PairSoft("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a month of boring history: Austin, business hours.
+	now := time.Now().UTC()
+	austin := net.ParseIP("129.114.3.7")
+	for i := 0; i < 30; i++ {
+		engine.RecordSuccess("alice", austin, now.AddDate(0, 0, -30+i))
+	}
+
+	login := func(label string, drift int) error {
+		r := &sshd.FuncResponder{}
+		prompted := []string{}
+		r.Fn = func(echo bool, prompt string) (string, error) {
+			prompted = append(prompted, strings.TrimSpace(prompt))
+			if strings.Contains(prompt, "Password") {
+				return "pw", nil
+			}
+			code, _ := otp.TOTP(enr.Secret, time.Now().Add(time.Duration(drift)*30*time.Second), inf.OTP.OTPOptions())
+			return code, nil
+		}
+		c, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: "alice", TTY: true, Responder: r})
+		if err != nil {
+			fmt.Printf("%s: DENIED (%v)\n", label, err)
+			return err
+		}
+		c.Close()
+		fmt.Printf("%s: admitted, prompts=%v\n", label, prompted)
+		return nil
+	}
+
+	// 1. Familiar pattern: exemption applies, password only.
+	fmt.Println("— login from the usual Austin network —")
+	login("usual place", 1)
+
+	// Simulate the engine having just seen that Austin success (the sshd
+	// feedback did it), then an attacker with the password shows up from
+	// the other side of the planet within the hour: impossible travel.
+	fmt.Println("— same credentials from China 30 minutes later —")
+	// Reach the login node from a different (Chinese) address is not
+	// possible over loopback, so consult the engine directly, the way a
+	// border IDS would:
+	a := engine.Assess("alice", net.ParseIP("159.226.40.1"), time.Now().UTC().Add(30*time.Minute))
+	fmt.Printf("  assessment: %s (score %.2f) %v\n", a.Level, a.Score, a.Reasons)
+	if a.Level != risk.Critical {
+		log.Fatalf("expected critical, got %v", a.Level)
+	}
+	fmt.Println("  → the risk-gated PAM stack denies this attempt before the second factor")
+
+	// 3. A legitimate trip: Germany, a week later. Elevated, not
+	//    critical — the stack suppresses alice's exemption and demands
+	//    the token code she can provide.
+	fmt.Println("— legitimate travel to Germany a week later —")
+	b := engine.Assess("alice", net.ParseIP("141.20.1.2"), time.Now().UTC().AddDate(0, 0, 7))
+	fmt.Printf("  assessment: %s (score %.2f) %v\n", b.Level, b.Score, b.Reasons)
+	fmt.Println("  → exemption suppressed; the token prompt stands between the password and entry")
+}

@@ -1,0 +1,83 @@
+// Training workshop: the paper's fourth, non-public token type (§3.3).
+// Before a tutorial, staff assign random static six-digit codes to the
+// training accounts so participants experience the MFA login flow without
+// owning a device; afterwards the codes are regenerated, invalidating
+// anything written on whiteboards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"openmfa/internal/core"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/idm"
+	"openmfa/internal/sshd"
+)
+
+func main() {
+	inf, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inf.Close()
+
+	// Provision a block of training accounts with one static code each.
+	type account struct{ user, code string }
+	var roster []account
+	for i := 1; i <= 5; i++ {
+		user := fmt.Sprintf("train%02d", i)
+		if _, err := inf.CreateUser(user, user+"@hpc.example", "train-pass", idm.ClassTraining); err != nil {
+			log.Fatal(err)
+		}
+		code := fmt.Sprintf("%06d", int(cryptoutil.RandomBytes(4)[0])*3937%1000000)
+		if err := inf.PairTraining(user, code); err != nil {
+			log.Fatal(err)
+		}
+		roster = append(roster, account{user, code})
+	}
+	fmt.Println("workshop roster (handed out on paper):")
+	for _, a := range roster {
+		fmt.Printf("  %s / train-pass / token %s\n", a.user, a.code)
+	}
+
+	login := func(user, code string) error {
+		r := &sshd.FuncResponder{}
+		r.Fn = func(echo bool, prompt string) (string, error) {
+			if strings.Contains(prompt, "Password") {
+				return "train-pass", nil
+			}
+			return code, nil
+		}
+		c, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: user, TTY: true, Responder: r})
+		if err != nil {
+			return err
+		}
+		return c.Close()
+	}
+
+	// Every participant walks through the full MFA flow — static codes
+	// are reusable within the session, unlike TOTP.
+	for _, a := range roster {
+		for attempt := 0; attempt < 2; attempt++ {
+			if err := login(a.user, a.code); err != nil {
+				log.Fatalf("%s attempt %d: %v", a.user, attempt, err)
+			}
+		}
+		fmt.Printf("%s: logged in twice with the same static code\n", a.user)
+	}
+
+	// Session over: regenerate. Old codes die instantly.
+	old := roster[0]
+	if err := inf.OTP.SetStaticToken(old.user, "999000"); err != nil {
+		log.Fatal(err)
+	}
+	if err := login(old.user, old.code); err != nil {
+		fmt.Printf("after regeneration, old code for %s is dead: %v\n", old.user, err)
+	}
+	if err := login(old.user, "999000"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new code for %s works\n", old.user)
+}

@@ -1,0 +1,3 @@
+module openmfa
+
+go 1.22

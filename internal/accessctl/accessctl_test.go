@@ -1,0 +1,376 @@
+package accessctl
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	now      = time.Date(2016, 9, 1, 12, 0, 0, 0, time.UTC)
+	internal = net.ParseIP("129.114.3.7")
+	external = net.ParseIP("73.32.100.4")
+)
+
+func mustParse(t *testing.T, cfg string) *List {
+	t.Helper()
+	rules, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewList(rules)
+}
+
+func TestDefaultDeny(t *testing.T) {
+	l := mustParse(t, "")
+	d := l.Check("anyone", external, now)
+	if d.Exempt {
+		t.Fatal("default must be deny (no exemption)")
+	}
+	if d.Matched != nil {
+		t.Fatal("no rule should have matched")
+	}
+}
+
+func TestPermitSpecificUserAnywhere(t *testing.T) {
+	l := mustParse(t, "permit : gateway1 : ALL : ALL")
+	if !l.Check("gateway1", external, now).Exempt {
+		t.Fatal("gateway1 should be exempt from anywhere")
+	}
+	if l.Check("other", external, now).Exempt {
+		t.Fatal("other user must not be exempt")
+	}
+}
+
+func TestPermitAllUsersFromInternalCIDR(t *testing.T) {
+	// The paper: "an MFA exemption is configured to allow any SSH
+	// traffic to move freely from IP addresses that are a part of that
+	// particular system".
+	l := mustParse(t, "permit : ALL : 129.114.0.0/16 : ALL")
+	if !l.Check("anyone", internal, now).Exempt {
+		t.Fatal("internal traffic should be exempt")
+	}
+	if l.Check("anyone", external, now).Exempt {
+		t.Fatal("external traffic must not be exempt")
+	}
+}
+
+func TestIPRange(t *testing.T) {
+	l := mustParse(t, "permit : visitor : 192.168.7.10-192.168.7.20 : ALL")
+	for ip, want := range map[string]bool{
+		"192.168.7.9":  false,
+		"192.168.7.10": true,
+		"192.168.7.15": true,
+		"192.168.7.20": true,
+		"192.168.7.21": false,
+	} {
+		got := l.Check("visitor", net.ParseIP(ip), now).Exempt
+		if got != want {
+			t.Errorf("range check %s = %v, want %v", ip, got, want)
+		}
+	}
+}
+
+func TestExactIP(t *testing.T) {
+	l := mustParse(t, "permit : svc : 10.0.0.5 : ALL")
+	if !l.Check("svc", net.ParseIP("10.0.0.5"), now).Exempt {
+		t.Fatal("exact IP should match")
+	}
+	if l.Check("svc", net.ParseIP("10.0.0.6"), now).Exempt {
+		t.Fatal("neighbouring IP must not match")
+	}
+}
+
+func TestTemporaryVarianceExpires(t *testing.T) {
+	l := mustParse(t, "permit : slowpoke : ALL : 2016-09-27")
+	if !l.Check("slowpoke", external, now).Exempt {
+		t.Fatal("variance should be active before deadline")
+	}
+	// Still valid on the deadline day itself...
+	onDay := time.Date(2016, 9, 27, 18, 0, 0, 0, time.UTC)
+	if !l.Check("slowpoke", external, onDay).Exempt {
+		t.Fatal("variance should cover the expiry day")
+	}
+	// ...but gone the next morning ("automatically expire").
+	after := time.Date(2016, 9, 28, 0, 0, 1, 0, time.UTC)
+	if l.Check("slowpoke", external, after).Exempt {
+		t.Fatal("variance survived past its expiry date")
+	}
+}
+
+func TestFirstMatchWinsDenyCarveOut(t *testing.T) {
+	cfg := `
+# deny one bad actor, then open the subnet
+deny   : mallory : ALL : ALL
+permit : ALL : 129.114.0.0/16 : ALL
+`
+	l := mustParse(t, cfg)
+	if l.Check("mallory", internal, now).Exempt {
+		t.Fatal("explicit deny must beat later permit")
+	}
+	if !l.Check("alice", internal, now).Exempt {
+		t.Fatal("others should still be exempt")
+	}
+	d := l.Check("mallory", internal, now)
+	if d.Matched == nil || d.Matched.Action != Deny {
+		t.Fatal("decision should carry the matching deny rule")
+	}
+}
+
+func TestMultipleUsersAndOriginsPerRule(t *testing.T) {
+	l := mustParse(t, "permit : gw1 gw2 gw3 : 10.0.0.1 10.0.0.2 : ALL")
+	if !l.Check("gw2", net.ParseIP("10.0.0.2"), now).Exempt {
+		t.Fatal("gw2@10.0.0.2 should match")
+	}
+	if l.Check("gw2", net.ParseIP("10.0.0.3"), now).Exempt {
+		t.Fatal("unlisted origin matched")
+	}
+	if l.Check("gw4", net.ParseIP("10.0.0.1"), now).Exempt {
+		t.Fatal("unlisted user matched")
+	}
+}
+
+func TestBlanketAllAllAll(t *testing.T) {
+	l := mustParse(t, "permit : ALL : ALL : ALL")
+	if !l.Check("anyone", external, now).Exempt {
+		t.Fatal("blanket rule should exempt everyone")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"permit : u : ALL",                     // 3 fields
+		"frobnicate : u : ALL : ALL",           // bad action
+		"permit :  : ALL : ALL",                // empty users
+		"permit : u :  : ALL",                  // empty origins
+		"permit : u : 999.1.2.3 : ALL",         // bad IP
+		"permit : u : 10.0.0.0/99 : ALL",       // bad CIDR
+		"permit : u : 10.0.0.9-10.0.0.1 : ALL", // inverted range
+		"permit : u : 10.0.0.1-banana : ALL",   // bad range end
+		"permit : u : ALL : someday",           // bad date
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	rules, err := Parse("# header\n\n  \npermit : u : ALL : ALL\n# trailer\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(rules))
+	}
+	if rules[0].Line != 4 {
+		t.Fatalf("rule line = %d, want 4", rules[0].Line)
+	}
+}
+
+func TestPlusMinusAliases(t *testing.T) {
+	l := mustParse(t, "- : mallory : ALL : ALL\n+ : ALL : ALL : ALL")
+	if l.Check("mallory", external, now).Exempt {
+		t.Fatal("- alias broken")
+	}
+	if !l.Check("alice", external, now).Exempt {
+		t.Fatal("+ alias broken")
+	}
+}
+
+func TestHotReloadOnMtimeChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mfa_exempt.conf")
+	if err := os.WriteFile(path, []byte("deny : ALL : ALL : ALL\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := FromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Check("u", external, now).Exempt {
+		t.Fatal("initial config should deny")
+	}
+	// Rewrite with a future mtime so the change is detected even on
+	// coarse-grained filesystems.
+	if err := os.WriteFile(path, []byte("permit : u : ALL : ALL\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Check("u", external, now).Exempt {
+		t.Fatal("rewritten config not picked up (hot reload failed)")
+	}
+}
+
+func TestReloadFailureKeepsOldRules(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mfa_exempt.conf")
+	os.WriteFile(path, []byte("permit : u : ALL : ALL\n"), 0o644)
+	l, err := FromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file (admin mid-edit).
+	os.WriteFile(path, []byte("permit : broken"), 0o644)
+	future := time.Now().Add(2 * time.Second)
+	os.Chtimes(path, future, future)
+	if !l.Check("u", external, now).Exempt {
+		t.Fatal("reload failure should keep previous rules active")
+	}
+}
+
+func TestFromFileMissing(t *testing.T) {
+	if _, err := FromFile("/nonexistent/mfa.conf"); err == nil {
+		t.Fatal("FromFile on missing path should fail")
+	}
+}
+
+func TestRulesReturnsCopy(t *testing.T) {
+	l := mustParse(t, "permit : u : ALL : ALL")
+	r := l.Rules()
+	r[0].Action = Deny
+	if l.Check("u", external, now).Exempt == false {
+		t.Fatal("mutating Rules() result changed the live list")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Permit.String() != "permit" || Deny.String() != "deny" {
+		t.Fatal("Action.String wrong")
+	}
+}
+
+// Property: for a permit rule over a random CIDR, every address inside the
+// block is exempt and the adjacent addresses outside are not.
+func TestCIDRBoundaryProperty(t *testing.T) {
+	f := func(a, b, c, d uint8, bits uint8) bool {
+		ones := int(bits%25) + 8 // /8../32
+		ip := net.IPv4(a, b, c, d)
+		mask := net.CIDRMask(ones, 32)
+		network := ip.Mask(mask)
+		cidr := fmt.Sprintf("%s/%d", network, ones)
+		rules, err := Parse("permit : u : " + cidr + " : ALL")
+		if err != nil {
+			return false
+		}
+		l := NewList(rules)
+		if !l.Check("u", ip, now).Exempt {
+			return false
+		}
+		_, ipnet, _ := net.ParseCIDR(cidr)
+		// First address past the top of the block must not match
+		// (unless the block wraps the whole space).
+		if ones > 0 {
+			top := lastAddr(ipnet)
+			next := addOne(top)
+			if next != nil && ipnet.Contains(next) {
+				return false
+			}
+			if next != nil && l.Check("u", next, now).Exempt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lastAddr(n *net.IPNet) net.IP {
+	ip := n.IP.To4()
+	mask := n.Mask
+	out := make(net.IP, 4)
+	for i := 0; i < 4; i++ {
+		out[i] = ip[i] | ^mask[i]
+	}
+	return out
+}
+
+func addOne(ip net.IP) net.IP {
+	v4 := ip.To4()
+	if v4 == nil {
+		return nil
+	}
+	out := make(net.IP, 4)
+	copy(out, v4)
+	for i := 3; i >= 0; i-- {
+		out[i]++
+		if out[i] != 0 {
+			return out
+		}
+	}
+	return nil // wrapped
+}
+
+// Property: rule parsing round-trips user lists.
+func TestUserListProperty(t *testing.T) {
+	f := func(names []string) bool {
+		var clean []string
+		for _, n := range names {
+			n = strings.Map(func(r rune) rune {
+				if r > ' ' && r != ':' && r != '#' && r < 127 {
+					return r
+				}
+				return -1
+			}, n)
+			if n != "" && n != "ALL" {
+				clean = append(clean, n)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		line := "permit : " + strings.Join(clean, " ") + " : ALL : ALL"
+		rules, err := Parse(line)
+		if err != nil || len(rules) != 1 {
+			return false
+		}
+		l := NewList(rules)
+		for _, n := range clean {
+			if !l.Check(n, external, now).Exempt {
+				return false
+			}
+		}
+		return !l.Check("zz-not-listed-zz", external, now).Exempt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCheckSmallList(b *testing.B) {
+	rules, _ := Parse("permit : ALL : 129.114.0.0/16 : ALL")
+	l := NewList(rules)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Check("user", external, now)
+	}
+}
+
+// BenchmarkCheckLargeList measures exemption-list size scaling, one of the
+// DESIGN.md ablations: the paper's center maintained many per-user
+// variances simultaneously.
+func BenchmarkCheckLargeList(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "permit : user%04d : 10.%d.%d.0/24 : 2016-12-31\n", i, i/256, i%256)
+	}
+	rules, err := Parse(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := NewList(rules)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Check("user0999", net.ParseIP("10.3.231.5"), now) // worst case: last rule
+	}
+}

@@ -1,0 +1,206 @@
+package authlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 10, 4, 8, 0, 0, 0, time.UTC)
+
+func ev(typ EventType, user string, at time.Time) Event {
+	return Event{Time: at, Type: typ, User: user, Addr: "129.114.0.5", Port: 50022,
+		TTY: true, Shell: "/bin/bash", Detail: "SHA256:abcd"}
+}
+
+func TestEventStringParseRoundTrip(t *testing.T) {
+	e := ev(AcceptedPublickey, "cproctor", t0)
+	got, err := ParseLine(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(e.Time) || got.Type != e.Type || got.User != e.User ||
+		got.Addr != e.Addr || got.Port != e.Port || got.TTY != e.TTY ||
+		got.Shell != e.Shell || got.Detail != e.Detail {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", e, got)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"2016-10-04T08:00:00Z no-for-here",
+		"not-a-time Accepted publickey for u from 1.2.3.4 port 1 tty=no shell=s detail=\"\"",
+		"2016-10-04T08:00:00Z Accepted publickey for u missing-from",
+		"2016-10-04T08:00:00Z Accepted publickey for u from 1.2.3.4 port banana tty=no shell=s detail=\"\"",
+	}
+	for _, l := range bad {
+		if _, err := ParseLine(l); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", l)
+		}
+	}
+}
+
+func TestFindPubkeySuccess(t *testing.T) {
+	l, err := New("", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(ev(AcceptedPublickey, "storm", t0))
+	l.Append(ev(AcceptedPassword, "hanlon", t0.Add(time.Second)))
+
+	now := t0.Add(5 * time.Second)
+	if !l.FindPubkeySuccess("storm", "129.114.0.5", now, time.Minute) {
+		t.Fatal("pubkey success not found")
+	}
+	if l.FindPubkeySuccess("hanlon", "129.114.0.5", now, time.Minute) {
+		t.Fatal("password login reported as pubkey success")
+	}
+	if l.FindPubkeySuccess("storm", "10.0.0.1", now, time.Minute) {
+		t.Fatal("wrong address matched")
+	}
+	// Empty addr matches any origin.
+	if !l.FindPubkeySuccess("storm", "", now, time.Minute) {
+		t.Fatal("empty addr should match")
+	}
+	// Outside the window the event must be ignored.
+	if l.FindPubkeySuccess("storm", "129.114.0.5", t0.Add(2*time.Hour), time.Minute) {
+		t.Fatal("stale event matched")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l, _ := New("", 4)
+	for i := 0; i < 10; i++ {
+		l.Append(ev(AcceptedPublickey, fmt.Sprintf("u%d", i), t0.Add(time.Duration(i)*time.Second)))
+	}
+	var seen []string
+	l.ScanRecent(func(e Event) bool {
+		seen = append(seen, e.User)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(seen))
+	}
+	// Newest first.
+	want := []string{"u9", "u8", "u7", "u6"}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("seen = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestScanRecentEarlyStop(t *testing.T) {
+	l, _ := New("", 16)
+	for i := 0; i < 8; i++ {
+		l.Append(ev(SessionOpen, fmt.Sprintf("u%d", i), t0))
+	}
+	n := 0
+	l.ScanRecent(func(Event) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("scan visited %d events, want 3", n)
+	}
+}
+
+func TestFileSinkAndReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "secure.log")
+	l, err := New(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(ev(AcceptedPublickey, "storm", t0))
+	l.Append(ev(SessionOpen, "storm", t0.Add(time.Second)))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, bad, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 || len(events) != 2 {
+		t.Fatalf("ReadFile = %d events, %d bad", len(events), bad)
+	}
+	if events[0].User != "storm" || events[0].Type != AcceptedPublickey {
+		t.Fatalf("event[0] = %+v", events[0])
+	}
+}
+
+func TestReadFileSkipsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "secure.log")
+	l, _ := New(path, 4)
+	l.Append(ev(AcceptedPassword, "u", t0))
+	l.Close()
+	// Append garbage by hand.
+	f, _ := New(path, 4)
+	f.Close()
+	if err := appendRaw(path, "not a log line\n"); err != nil {
+		t.Fatal(err)
+	}
+	events, bad, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || bad != 1 {
+		t.Fatalf("events=%d bad=%d", len(events), bad)
+	}
+}
+
+func appendRaw(path, s string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(s)
+	return err
+}
+
+func TestEventStringDetailQuoting(t *testing.T) {
+	e := ev(AcceptedPublickey, "u", t0)
+	e.Detail = `tricky "quoted" detail with spaces`
+	got, err := ParseLine(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Detail != e.Detail {
+		t.Fatalf("detail = %q, want %q", got.Detail, e.Detail)
+	}
+}
+
+// Property: String/ParseLine round-trips events with arbitrary printable
+// user names and details.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(userRaw, detail string, port uint16, tty bool) bool {
+		user := sanitizeToken(userRaw)
+		if user == "" {
+			user = "u"
+		}
+		e := Event{Time: t0, Type: AcceptedToken, User: user, Addr: "10.1.2.3",
+			Port: int(port), TTY: tty, Shell: "/bin/sh", Detail: detail}
+		got, err := ParseLine(e.String())
+		return err == nil && got.User == user && got.Detail == detail && got.Port == int(port) && got.TTY == tty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitizeToken strips characters that are structurally meaningful in the
+// log format; real usernames never contain them.
+func sanitizeToken(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r > ' ' && r != '"' && r < 127 {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,131 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2016, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSimNowAndSet(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", got, epoch)
+	}
+	later := epoch.Add(48 * time.Hour)
+	s.Set(later)
+	if got := s.Now(); !got.Equal(later) {
+		t.Fatalf("after Set, Now = %v, want %v", got, later)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(30 * time.Second)
+	if got := s.Now(); !got.Equal(epoch.Add(30 * time.Second)) {
+		t.Fatalf("Now = %v, want epoch+30s", got)
+	}
+	s.Advance(-10 * time.Second) // drift backwards is allowed
+	if got := s.Now(); !got.Equal(epoch.Add(20 * time.Second)) {
+		t.Fatalf("Now = %v, want epoch+20s", got)
+	}
+}
+
+func TestSimSleepReleasedByAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(time.Hour)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for i := 0; s.Sleepers() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Sleepers() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	s.Advance(30 * time.Minute)
+	select {
+	case <-done:
+		t.Fatal("sleeper released too early")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Advance(31 * time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper not released after deadline passed")
+	}
+}
+
+func TestSimSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestSimManySleepersReleasedInAnyOrder(t *testing.T) {
+	s := NewSim(epoch)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Minute
+		go func() {
+			defer wg.Done()
+			s.Sleep(d)
+		}()
+	}
+	for i := 0; s.Sleepers() < n && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Sleepers(); got != n {
+		t.Fatalf("Sleepers = %d, want %d", got, n)
+	}
+	s.Advance(time.Duration(n+1) * time.Minute)
+	ok := make(chan struct{})
+	go func() { wg.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("not all sleepers released; %d still waiting", s.Sleepers())
+	}
+}
+
+func TestSimSetReleasesSleepers(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(24 * time.Hour)
+		close(done)
+	}()
+	for i := 0; s.Sleepers() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	s.Set(epoch.Add(25 * time.Hour))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Set did not release sleeper")
+	}
+}

@@ -1,0 +1,408 @@
+// Package core assembles the complete MFA infrastructure the paper
+// describes: identity management and directory, the OTP platform with its
+// digest-protected admin REST API, a farm of RADIUS servers behind a
+// round-robin pool, the exemption list, the Figure 1 PAM stack, the
+// SSH-substitute login node, the SMS gateway, and the user portal — wired
+// exactly as in §3's architecture (PAM → RADIUS → otpd; portal → admin
+// REST → otpd; otpd → SMS gateway → phones).
+//
+// It is the library's top-level entry point: examples, the cmd/ binaries,
+// and the rollout simulator all build on an Infrastructure.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"openmfa/internal/accessctl"
+	"openmfa/internal/authlog"
+	"openmfa/internal/clock"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/directory"
+	"openmfa/internal/httpdigest"
+	"openmfa/internal/idm"
+	"openmfa/internal/otpd"
+	"openmfa/internal/pam"
+	"openmfa/internal/portal"
+	"openmfa/internal/radius"
+	"openmfa/internal/sms"
+	"openmfa/internal/sshd"
+	"openmfa/internal/store"
+)
+
+// Options configures New. The zero value is a working in-memory deployment
+// with two RADIUS servers and full enforcement.
+type Options struct {
+	// Clock drives every component; nil means real time.
+	Clock clock.Sleeper
+	// DataDir persists the stores on disk; empty means in-memory.
+	DataDir string
+	// EncryptionKey seals OTP secrets; nil generates a random key.
+	EncryptionKey []byte
+	// RadiusServers is the size of the RADIUS farm ("a handful of
+	// servers", §3.2); zero means 2.
+	RadiusServers int
+	// ExemptionRules is the initial accessctl configuration.
+	ExemptionRules string
+	// Mode is the initial token-module enforcement mode; empty means
+	// full.
+	Mode pam.Mode
+	// Deadline/InfoURL configure countdown mode.
+	Deadline time.Time
+	InfoURL  string
+	// Banner is the sshd pre-auth banner.
+	Banner string
+	// Carrier overrides the SMS delivery model.
+	Carrier *sms.CarrierModel
+	// Seed makes SMS delivery deterministic.
+	Seed int64
+	// Email captures portal out-of-band mail; nil discards it.
+	Email portal.EmailSender
+}
+
+// ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
+// tiers during production ("any of these modes may be set during
+// production operation").
+type ModeSwitch struct {
+	mu  sync.Mutex
+	cfg pam.TokenConfig
+}
+
+// TokenConfig implements pam.ConfigProvider.
+func (m *ModeSwitch) TokenConfig() pam.TokenConfig {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
+
+// Set replaces the configuration.
+func (m *ModeSwitch) Set(cfg pam.TokenConfig) {
+	m.mu.Lock()
+	m.cfg = cfg
+	m.mu.Unlock()
+}
+
+// SetMode changes only the enforcement mode.
+func (m *ModeSwitch) SetMode(mode pam.Mode) {
+	m.mu.Lock()
+	m.cfg.Mode = mode
+	m.mu.Unlock()
+}
+
+// Infrastructure is the running deployment.
+type Infrastructure struct {
+	Clock   clock.Sleeper
+	IDM     *idm.IDM
+	Dir     *directory.Dir
+	OTP     *otpd.Server
+	AuthLog *authlog.Log
+	ACL     *accessctl.List
+	Pool    *radius.Pool
+	Stack   *pam.Stack
+	SSHD    *sshd.Server
+	SMS     *sms.Gateway
+	Portal  *portal.Portal
+	Mode    *ModeSwitch
+	Admin   *otpd.AdminClient
+
+	radiusServers []*radius.Server
+	dirServer     *directory.Server
+	adminHTTP     *http.Server
+	portalHTTP    *http.Server
+	adminAddr     string
+	portalAddr    string
+	stores        []*store.Store
+}
+
+// New builds and starts an Infrastructure.
+func New(opts Options) (*Infrastructure, error) {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	key := opts.EncryptionKey
+	if key == nil {
+		key = cryptoutil.RandomBytes(32)
+	}
+	inf := &Infrastructure{Clock: clk}
+
+	newStore := func(name string) (*store.Store, error) {
+		if opts.DataDir == "" {
+			s := store.OpenMemory()
+			inf.stores = append(inf.stores, s)
+			return s, nil
+		}
+		s, err := store.Open(opts.DataDir+"/"+name, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		inf.stores = append(inf.stores, s)
+		return s, nil
+	}
+
+	idmStore, err := newStore("idm")
+	if err != nil {
+		return nil, err
+	}
+	otpStore, err := newStore("otpd")
+	if err != nil {
+		return nil, err
+	}
+
+	inf.Dir = directory.New()
+	inf.IDM = idm.New(idmStore, inf.Dir, clk)
+
+	// SMS gateway with the default (or supplied) carrier model.
+	carrier := sms.DefaultCarrier()
+	if opts.Carrier != nil {
+		carrier = *opts.Carrier
+	}
+	inf.SMS = sms.NewGateway(clk, carrier, opts.Seed)
+
+	inf.OTP, err = otpd.New(otpd.Config{
+		DB:            otpStore,
+		EncryptionKey: key,
+		Clock:         clk,
+		Issuer:        "HPC",
+		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
+			_, err := inf.SMS.Send(phone, "512000", body)
+			return err
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	inf.AuthLog, err = authlog.New("", 65536)
+	if err != nil {
+		return nil, err
+	}
+
+	rules, err := accessctl.Parse(opts.ExemptionRules)
+	if err != nil {
+		return nil, err
+	}
+	inf.ACL = accessctl.NewList(rules)
+
+	// RADIUS farm.
+	n := opts.RadiusServers
+	if n == 0 {
+		n = 2
+	}
+	secret := cryptoutil.RandomBytes(16)
+	var addrs []string
+	for i := 0; i < n; i++ {
+		rs := &radius.Server{Secret: secret, Handler: &otpd.RadiusHandler{OTP: inf.OTP}}
+		if err := rs.ListenAndServe("127.0.0.1:0"); err != nil {
+			inf.Close()
+			return nil, err
+		}
+		inf.radiusServers = append(inf.radiusServers, rs)
+		addrs = append(addrs, rs.Addr().String())
+	}
+	inf.Pool = radius.NewPool(addrs, secret, 2*time.Second, 1)
+
+	// Directory service (network form, for components that want it).
+	inf.dirServer = directory.NewServer(inf.Dir)
+	if err := inf.dirServer.ListenAndServe("127.0.0.1:0"); err != nil {
+		inf.Close()
+		return nil, err
+	}
+
+	// Enforcement mode + PAM stack.
+	mode := opts.Mode
+	if mode == "" {
+		mode = pam.ModeFull
+	}
+	inf.Mode = &ModeSwitch{}
+	inf.Mode.Set(pam.TokenConfig{Mode: mode, Deadline: opts.Deadline, InfoURL: opts.InfoURL})
+	inf.Stack = pam.NewSSHDStack(pam.SSHDStackConfig{
+		AuthLog:    inf.AuthLog,
+		IDM:        inf.IDM,
+		Exemptions: inf.ACL,
+		TokenCfg:   inf.Mode,
+		Pairing:    pam.LocalPairing{Dir: inf.Dir},
+		Radius:     inf.Pool,
+	})
+
+	// Login node.
+	inf.SSHD = &sshd.Server{
+		IDM: inf.IDM, AuthLog: inf.AuthLog, Stack: inf.Stack,
+		Clock: clk, Banner: opts.Banner,
+	}
+	if err := inf.SSHD.ListenAndServe("127.0.0.1:0"); err != nil {
+		inf.Close()
+		return nil, err
+	}
+
+	// otpd admin REST API with digest credentials for the portal.
+	adminPass := cryptoutil.RandomHex(16)
+	api := &otpd.AdminAPI{
+		OTP:   inf.OTP,
+		Realm: "otpd-admin",
+		Creds: httpdigest.StaticCredentials{
+			"portal": httpdigest.HA1("portal", "otpd-admin", adminPass),
+		},
+	}
+	adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		inf.Close()
+		return nil, err
+	}
+	inf.adminAddr = adminLn.Addr().String()
+	inf.adminHTTP = &http.Server{Handler: api.Handler()}
+	go inf.adminHTTP.Serve(adminLn)
+
+	inf.Admin = &otpd.AdminClient{
+		BaseURL:  "http://" + inf.adminAddr,
+		Username: "portal",
+		Password: adminPass,
+	}
+
+	// Portal.
+	email := opts.Email
+	if email == nil {
+		email = portal.EmailFunc(func(string, string, string) error { return nil })
+	}
+	p, err := portal.New(portal.Config{
+		IDM:        inf.IDM,
+		Admin:      inf.Admin,
+		Email:      email,
+		Clock:      clk,
+		SessionKey: cryptoutil.RandomBytes(32),
+		BaseURL:    "", // filled after listen
+	})
+	if err != nil {
+		inf.Close()
+		return nil, err
+	}
+	inf.Portal = p
+	portalLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		inf.Close()
+		return nil, err
+	}
+	inf.portalAddr = portalLn.Addr().String()
+	inf.portalHTTP = &http.Server{Handler: p.Handler()}
+	go inf.portalHTTP.Serve(portalLn)
+
+	return inf, nil
+}
+
+// SSHAddr is the login node's address.
+func (inf *Infrastructure) SSHAddr() string { return inf.SSHD.Addr().String() }
+
+// PortalURL is the portal's base URL.
+func (inf *Infrastructure) PortalURL() string { return "http://" + inf.portalAddr }
+
+// AdminURL is the otpd admin API base URL.
+func (inf *Infrastructure) AdminURL() string { return "http://" + inf.adminAddr }
+
+// DirAddr is the directory service address.
+func (inf *Infrastructure) DirAddr() string { return inf.dirServer.Addr().String() }
+
+// RadiusAddrs lists the RADIUS farm addresses.
+func (inf *Infrastructure) RadiusAddrs() []string { return inf.Pool.Servers() }
+
+// RadiusFarm exposes the individual RADIUS servers, e.g. for failure
+// injection in examples and chaos tests.
+func (inf *Infrastructure) RadiusFarm() []*radius.Server { return inf.radiusServers }
+
+// CreateUser registers an account.
+func (inf *Infrastructure) CreateUser(username, email, password string, class idm.AccountClass) (*idm.Account, error) {
+	return inf.IDM.Create(username, email, password, class)
+}
+
+// PairSoft provisions a soft token for user and records the pairing, the
+// non-HTTP equivalent of the portal flow (used by simulations and CLIs).
+func (inf *Infrastructure) PairSoft(user string) (*otpd.Enrollment, error) {
+	enr, err := inf.OTP.InitSoftToken(user)
+	if err != nil {
+		return nil, err
+	}
+	if err := inf.IDM.SetPairing(user, idm.PairingSoft); err != nil {
+		return nil, err
+	}
+	return enr, nil
+}
+
+// PairSMS provisions an SMS token, registering the phone on the virtual
+// network.
+func (inf *Infrastructure) PairSMS(user, phone string) (*otpd.Enrollment, *sms.Phone, error) {
+	ph, err := inf.SMS.Register(phone)
+	if err != nil {
+		return nil, nil, err
+	}
+	enr, err := inf.OTP.InitSMSToken(user, phone)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := inf.IDM.SetPairing(user, idm.PairingSMS); err != nil {
+		return nil, nil, err
+	}
+	return enr, ph, nil
+}
+
+// PairHard assigns an imported fob by serial.
+func (inf *Infrastructure) PairHard(user, serial string) (*otpd.Enrollment, error) {
+	enr, err := inf.OTP.AssignHardToken(user, serial)
+	if err != nil {
+		return nil, err
+	}
+	if err := inf.IDM.SetPairing(user, idm.PairingHard); err != nil {
+		return nil, err
+	}
+	return enr, nil
+}
+
+// PairTraining provisions a static training token.
+func (inf *Infrastructure) PairTraining(user, code string) error {
+	if err := inf.OTP.SetStaticToken(user, code); err != nil {
+		return err
+	}
+	return inf.IDM.SetPairing(user, idm.PairingTraining)
+}
+
+// Unpair removes a pairing (admin-side; the portal's flows add possession
+// proof on top of this).
+func (inf *Infrastructure) Unpair(user string) error {
+	if err := inf.OTP.RemoveToken(user); err != nil {
+		return err
+	}
+	return inf.IDM.SetPairing(user, idm.PairingNone)
+}
+
+// Close shuts everything down.
+func (inf *Infrastructure) Close() error {
+	if inf.SSHD != nil {
+		inf.SSHD.Close()
+	}
+	for _, rs := range inf.radiusServers {
+		rs.Close()
+	}
+	if inf.dirServer != nil {
+		inf.dirServer.Close()
+	}
+	if inf.adminHTTP != nil {
+		inf.adminHTTP.Close()
+	}
+	if inf.portalHTTP != nil {
+		inf.portalHTTP.Close()
+	}
+	var firstErr error
+	for _, s := range inf.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// String summarises the deployment.
+func (inf *Infrastructure) String() string {
+	return fmt.Sprintf("openmfa infrastructure: sshd=%s portal=%s otpd-admin=%s radius=%v",
+		inf.SSHAddr(), inf.PortalURL(), inf.AdminURL(), inf.RadiusAddrs())
+}

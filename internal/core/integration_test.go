@@ -1,0 +1,109 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/idm"
+	"openmfa/internal/otp"
+	"openmfa/internal/sshd"
+)
+
+// TestPortalPairThenSSHLogin drives the complete §3.5 user journey over
+// real HTTP and the SSH-substitute wire: register → log in to the portal →
+// get redirected to the splash → pair a soft token by "scanning" the QR →
+// confirm with a code → log in to the login node with MFA.
+func TestPortalPairThenSSHLogin(t *testing.T) {
+	inf := newInfra(t, Options{})
+	sim := inf.Clock.(*clock.Sim)
+	if _, err := inf.CreateUser("grace", "grace@hpc.example", "pw", idm.ClassUser); err != nil {
+		t.Fatal(err)
+	}
+
+	jar, _ := cookiejar.New(nil)
+	browser := &http.Client{Jar: jar, CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	post := func(path string, form url.Values) (int, string) {
+		resp, err := browser.PostForm(inf.PortalURL()+path, form)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Portal login: unpaired → splash redirect.
+	status, _ := post("/login", url.Values{"username": {"grace"}, "password": {"pw"}})
+	if status != http.StatusSeeOther {
+		t.Fatalf("login status = %d", status)
+	}
+
+	// Start a soft pairing; the page carries the QR payload.
+	status, body := post("/pair/start", url.Values{"type": {"soft"}})
+	if status != 200 {
+		t.Fatalf("pair start = %d %q", status, body)
+	}
+	state := regexp.MustCompile(`state: (\S+)`).FindStringSubmatch(body)
+	uri := regexp.MustCompile(`QR payload: (\S+)`).FindStringSubmatch(body)
+	if state == nil || uri == nil {
+		t.Fatalf("pair page missing state/uri: %q", body)
+	}
+	// The rendered QR symbol itself must be on the page.
+	if !strings.Contains(body, "██") {
+		t.Fatal("no QR symbol rendered on the pairing page")
+	}
+
+	// "Scan" the QR and confirm with the app's current code.
+	key, err := otp.ParseURI(uri[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := otp.TOTP(key.Secret, sim.Now(), key.Options)
+	status, body = post("/pair/confirm", url.Values{"state": {state[1]}, "code": {code}})
+	if status != 200 || !strings.Contains(body, "paired: soft") {
+		t.Fatalf("confirm = %d %q", status, body)
+	}
+
+	// The pairing is now visible to the PAM LDAP lookup: SSH login
+	// demands the token and admits with it.
+	sim.Advance(31 * time.Second)
+	r := &sshd.FuncResponder{}
+	sawToken := false
+	r.Fn = func(echo bool, prompt string) (string, error) {
+		if strings.Contains(prompt, "Password") {
+			return "pw", nil
+		}
+		sawToken = true
+		c, _ := otp.TOTP(key.Secret, sim.Now(), key.Options)
+		return c, nil
+	}
+	c, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: "grace", TTY: true, Responder: r})
+	if err != nil {
+		t.Fatalf("ssh login after portal pairing failed: %v", err)
+	}
+	c.Close()
+	if !sawToken {
+		t.Fatal("token never prompted after pairing")
+	}
+
+	// Unpair through the portal (possession proof) and verify full-mode
+	// SSH now denies.
+	sim.Advance(31 * time.Second)
+	code2, _ := otp.TOTP(key.Secret, sim.Now(), key.Options)
+	status, body = post("/unpair/confirm", url.Values{"code": {code2}})
+	if status != 200 {
+		t.Fatalf("unpair = %d %q", status, body)
+	}
+	if _, err := sshd.Dial(inf.SSHAddr(), sshd.DialOptions{User: "grace", Responder: r}); err == nil {
+		t.Fatal("unpaired user admitted in full mode")
+	}
+}

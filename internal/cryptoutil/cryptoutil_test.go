@@ -1,0 +1,250 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// RFC 6070-style vectors adapted for HMAC-SHA256 (published test vectors
+// widely cross-checked, e.g. in the Go x/crypto test suite).
+func TestPBKDF2KnownVectors(t *testing.T) {
+	cases := []struct {
+		password, salt string
+		iter, keyLen   int
+		wantHex        string
+	}{
+		{"password", "salt", 1, 32,
+			"120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"},
+		{"password", "salt", 2, 32,
+			"ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43"},
+		{"password", "salt", 4096, 32,
+			"c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"},
+		{"passwordPASSWORDpassword", "saltSALTsaltSALTsaltSALTsaltSALTsalt", 4096, 40,
+			"348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1c635518c7dac47e9"},
+	}
+	for _, c := range cases {
+		got := PBKDF2([]byte(c.password), []byte(c.salt), c.iter, c.keyLen)
+		want, err := hex.DecodeString(c.wantHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("PBKDF2(%q,%q,%d,%d) = %x, want %s",
+				c.password, c.salt, c.iter, c.keyLen, got, c.wantHex)
+		}
+	}
+}
+
+func TestPBKDF2PanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for iter=0")
+		}
+	}()
+	PBKDF2([]byte("p"), []byte("s"), 0, 32)
+}
+
+func TestHashAndVerifyPassword(t *testing.T) {
+	h := HashPassword("hunter2")
+	if !strings.HasPrefix(h, "pbkdf2$") {
+		t.Fatalf("unexpected hash format: %q", h)
+	}
+	if !VerifyPassword(h, "hunter2") {
+		t.Fatal("correct password rejected")
+	}
+	if VerifyPassword(h, "hunter3") {
+		t.Fatal("wrong password accepted")
+	}
+	if VerifyPassword(h, "") {
+		t.Fatal("empty password accepted")
+	}
+}
+
+func TestVerifyPasswordRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "pbkdf2", "pbkdf2$x$y$z", "md5$1$aa$bb",
+		"pbkdf2$4096$!!!$AAAA", "pbkdf2$4096$AAAA$!!!",
+		"pbkdf2$99999999999$AAAA$AAAA",
+	} {
+		if VerifyPassword(s, "pw") {
+			t.Errorf("VerifyPassword accepted malformed hash %q", s)
+		}
+	}
+}
+
+func TestHashPasswordSalted(t *testing.T) {
+	a := HashPassword("same")
+	b := HashPassword("same")
+	if a == b {
+		t.Fatal("two hashes of the same password are identical; salt missing")
+	}
+}
+
+func TestBoxRoundTrip(t *testing.T) {
+	box, err := NewBox(bytes.Repeat([]byte{7}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("JBSWY3DPEHPK3PXP secret seed")
+	ad := []byte("user:cproctor")
+	sealed := box.Seal(pt, ad)
+	got, err := box.Open(sealed, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %q, want %q", got, pt)
+	}
+}
+
+func TestBoxWrongADFails(t *testing.T) {
+	box, _ := NewBox(bytes.Repeat([]byte{7}, 32))
+	sealed := box.Seal([]byte("x"), []byte("user:a"))
+	if _, err := box.Open(sealed, []byte("user:b")); err != ErrDecrypt {
+		t.Fatalf("Open with wrong AD: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestBoxTamperFails(t *testing.T) {
+	box, _ := NewBox(bytes.Repeat([]byte{7}, 32))
+	sealed := box.Seal([]byte("payload"), nil)
+	sealed[len(sealed)-1] ^= 1
+	if _, err := box.Open(sealed, nil); err != ErrDecrypt {
+		t.Fatalf("Open of tampered payload: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestBoxShortCiphertext(t *testing.T) {
+	box, _ := NewBox(bytes.Repeat([]byte{7}, 32))
+	if _, err := box.Open([]byte{1, 2, 3}, nil); err != ErrDecrypt {
+		t.Fatalf("Open of truncated payload: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestBoxBadKeySize(t *testing.T) {
+	if _, err := NewBox(make([]byte, 10)); err == nil {
+		t.Fatal("NewBox accepted 10-byte key")
+	}
+}
+
+func TestBoxNoncesUnique(t *testing.T) {
+	box, _ := NewBox(bytes.Repeat([]byte{9}, 32))
+	a := box.Seal([]byte("same"), nil)
+	b := box.Seal([]byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of identical plaintext produced identical output")
+	}
+}
+
+func TestSignerRoundTrip(t *testing.T) {
+	s := NewSigner([]byte("portal-secret"))
+	now := time.Date(2016, 9, 1, 12, 0, 0, 0, time.UTC)
+	tok := s.Sign("unpair:storm", now.Add(time.Hour))
+	got, err := s.Verify(tok, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "unpair:storm" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestSignerExpiry(t *testing.T) {
+	s := NewSigner([]byte("k"))
+	now := time.Date(2016, 9, 1, 12, 0, 0, 0, time.UTC)
+	tok := s.Sign("p", now.Add(time.Minute))
+	if _, err := s.Verify(tok, now.Add(2*time.Minute)); err != ErrTokenExpired {
+		t.Fatalf("err = %v, want ErrTokenExpired", err)
+	}
+}
+
+func TestSignerForgery(t *testing.T) {
+	a := NewSigner([]byte("key-a"))
+	b := NewSigner([]byte("key-b"))
+	now := time.Unix(1472730000, 0)
+	tok := a.Sign("payload", now.Add(time.Hour))
+	if _, err := b.Verify(tok, now); err != ErrTokenForged {
+		t.Fatalf("cross-key verify err = %v, want ErrTokenForged", err)
+	}
+	// Bit-flip in the payload part must also fail.
+	mut := "A" + tok[1:]
+	if _, err := a.Verify(mut, now); err == nil {
+		t.Fatal("tampered token verified")
+	}
+}
+
+func TestSignerMalformed(t *testing.T) {
+	s := NewSigner([]byte("k"))
+	now := time.Unix(0, 0)
+	for _, tok := range []string{"", "a.b", "a.b.c.d", "!!!.AAA.AAA"} {
+		if _, err := s.Verify(tok, now); err == nil {
+			t.Errorf("Verify(%q) succeeded, want error", tok)
+		}
+	}
+}
+
+func TestSignerPayloadWithDots(t *testing.T) {
+	// Payloads are base64-encoded so embedded dots must survive.
+	s := NewSigner([]byte("k"))
+	now := time.Unix(1472730000, 0)
+	tok := s.Sign("a.b.c|d", now.Add(time.Hour))
+	got, err := s.Verify(tok, now)
+	if err != nil || got != "a.b.c|d" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestRandomBytesLengthAndVariety(t *testing.T) {
+	a := RandomBytes(32)
+	b := RandomBytes(32)
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatal("wrong length")
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two random draws equal")
+	}
+	if len(RandomHex(8)) != 16 {
+		t.Fatal("RandomHex length")
+	}
+}
+
+// Property: Box round-trips arbitrary payloads and ADs.
+func TestBoxRoundTripProperty(t *testing.T) {
+	box, _ := NewBox(bytes.Repeat([]byte{3}, 32))
+	f := func(pt, ad []byte) bool {
+		got, err := box.Open(box.Seal(pt, ad), ad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: signer round-trips arbitrary payloads.
+func TestSignerRoundTripProperty(t *testing.T) {
+	s := NewSigner([]byte("prop-key"))
+	now := time.Unix(1472730000, 0)
+	f := func(payload string) bool {
+		tok := s.Sign(payload, now.Add(time.Hour))
+		got, err := s.Verify(tok, now)
+		return err == nil && got == payload
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PBKDF2 output length always equals keyLen.
+func TestPBKDF2LengthProperty(t *testing.T) {
+	f := func(pw, salt []byte, kl uint8) bool {
+		keyLen := int(kl%100) + 1
+		return len(PBKDF2(pw, salt, 2, keyLen)) == keyLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

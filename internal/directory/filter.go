@@ -1,0 +1,239 @@
+// Package directory implements the LDAP-substitute identity directory
+// (§3.1: LinOTP "extends an existing identity management database reserved
+// for Lightweight Directory Access Protocol (LDAP) queries"; §3.4: "The
+// token module queries for existing LDAP entries on the authenticating user
+// to distinguish between possible authentication routes").
+//
+// Entries are attribute maps addressed by distinguished names. Searches use
+// RFC 4515-style string filters — equality, presence, substring, AND, OR,
+// NOT — over a DN subtree. The server speaks a JSON-lines protocol over
+// TCP; full BER encoding is out of scope per DESIGN.md's substitution
+// table, but query semantics are faithful.
+package directory
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter matches directory entries.
+type Filter interface {
+	Matches(e *Entry) bool
+	String() string
+}
+
+type andFilter struct{ subs []Filter }
+type orFilter struct{ subs []Filter }
+type notFilter struct{ sub Filter }
+type eqFilter struct{ attr, value string }
+type presentFilter struct{ attr string }
+type substrFilter struct {
+	attr    string
+	initial string
+	anys    []string
+	final   string
+}
+
+func (f andFilter) Matches(e *Entry) bool {
+	for _, s := range f.subs {
+		if !s.Matches(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f orFilter) Matches(e *Entry) bool {
+	for _, s := range f.subs {
+		if s.Matches(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f notFilter) Matches(e *Entry) bool { return !f.sub.Matches(e) }
+
+func (f eqFilter) Matches(e *Entry) bool {
+	for _, v := range e.Attrs[f.attr] {
+		if strings.EqualFold(v, f.value) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f presentFilter) Matches(e *Entry) bool {
+	return len(e.Attrs[f.attr]) > 0
+}
+
+func (f substrFilter) Matches(e *Entry) bool {
+	for _, v := range e.Attrs[f.attr] {
+		if f.matchValue(strings.ToLower(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f substrFilter) matchValue(v string) bool {
+	if f.initial != "" {
+		if !strings.HasPrefix(v, strings.ToLower(f.initial)) {
+			return false
+		}
+		v = v[len(f.initial):]
+	}
+	for _, a := range f.anys {
+		i := strings.Index(v, strings.ToLower(a))
+		if i < 0 {
+			return false
+		}
+		v = v[i+len(a):]
+	}
+	if f.final != "" {
+		return strings.HasSuffix(v, strings.ToLower(f.final))
+	}
+	return true
+}
+
+func (f andFilter) String() string { return compound("&", f.subs) }
+func (f orFilter) String() string  { return compound("|", f.subs) }
+func (f notFilter) String() string { return "(!" + f.sub.String() + ")" }
+func (f eqFilter) String() string  { return "(" + f.attr + "=" + f.value + ")" }
+func (f presentFilter) String() string {
+	return "(" + f.attr + "=*)"
+}
+func (f substrFilter) String() string {
+	parts := []string{f.initial}
+	parts = append(parts, f.anys...)
+	parts = append(parts, f.final)
+	return "(" + f.attr + "=" + strings.Join(parts, "*") + ")"
+}
+
+func compound(op string, subs []Filter) string {
+	var sb strings.Builder
+	sb.WriteString("(" + op)
+	for _, s := range subs {
+		sb.WriteString(s.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// ParseFilter parses an RFC 4515-style filter string.
+func ParseFilter(s string) (Filter, error) {
+	p := &filterParser{src: s}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("directory: trailing input at %d in %q", p.pos, s)
+	}
+	return f, nil
+}
+
+type filterParser struct {
+	src string
+	pos int
+}
+
+func (p *filterParser) skipSpace() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *filterParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("directory: expected %q at %d in %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *filterParser) parse() (Filter, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("directory: unexpected end of filter %q", p.src)
+	}
+	switch p.src[p.pos] {
+	case '&', '|':
+		op := p.src[p.pos]
+		p.pos++
+		var subs []Filter
+		for {
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ')' {
+				break
+			}
+			f, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, f)
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("directory: empty %q filter in %q", string(op), p.src)
+		}
+		if op == '&' {
+			return andFilter{subs}, nil
+		}
+		return orFilter{subs}, nil
+	case '!':
+		p.pos++
+		sub, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return notFilter{sub}, nil
+	default:
+		return p.parseSimple()
+	}
+}
+
+func (p *filterParser) parseSimple() (Filter, error) {
+	eq := strings.IndexByte(p.src[p.pos:], '=')
+	if eq < 0 {
+		return nil, fmt.Errorf("directory: missing '=' in %q", p.src)
+	}
+	attr := strings.TrimSpace(p.src[p.pos : p.pos+eq])
+	if attr == "" {
+		return nil, fmt.Errorf("directory: empty attribute in %q", p.src)
+	}
+	p.pos += eq + 1
+	end := strings.IndexByte(p.src[p.pos:], ')')
+	if end < 0 {
+		return nil, fmt.Errorf("directory: unterminated filter %q", p.src)
+	}
+	value := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+
+	attr = strings.ToLower(attr)
+	switch {
+	case value == "*":
+		return presentFilter{attr}, nil
+	case strings.Contains(value, "*"):
+		parts := strings.Split(value, "*")
+		f := substrFilter{attr: attr, initial: parts[0], final: parts[len(parts)-1]}
+		for _, mid := range parts[1 : len(parts)-1] {
+			if mid != "" {
+				f.anys = append(f.anys, mid)
+			}
+		}
+		return f, nil
+	default:
+		return eqFilter{attr, value}, nil
+	}
+}

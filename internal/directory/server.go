@@ -1,0 +1,227 @@
+package directory
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// wire protocol: one JSON object per line in each direction.
+
+type request struct {
+	Op      string              `json:"op"` // search | add | modify | delete | lookup
+	DN      string              `json:"dn,omitempty"`
+	Base    string              `json:"base,omitempty"`
+	Scope   int                 `json:"scope,omitempty"`
+	Filter  string              `json:"filter,omitempty"`
+	Attrs   []string            `json:"attrs,omitempty"`
+	Changes map[string][]string `json:"changes,omitempty"`
+	Entry   map[string][]string `json:"entry,omitempty"`
+}
+
+type reply struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Entries []*Entry `json:"entries,omitempty"`
+}
+
+// Server exposes a Dir over TCP (JSON lines).
+type Server struct {
+	dir *Dir
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer wraps dir.
+func NewServer(dir *Dir) *Server { return &Server{dir: dir} }
+
+// ListenAndServe binds addr and serves until Close. Returns after binding.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and waits for connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			enc.Encode(reply{Error: "malformed request: " + err.Error()})
+			return
+		}
+		enc.Encode(s.handle(&req))
+	}
+}
+
+func (s *Server) handle(req *request) reply {
+	switch req.Op {
+	case "search":
+		var f Filter
+		if req.Filter != "" {
+			var err error
+			f, err = ParseFilter(req.Filter)
+			if err != nil {
+				return reply{Error: err.Error()}
+			}
+		}
+		entries := s.dir.Search(req.Base, Scope(req.Scope), f, req.Attrs)
+		return reply{OK: true, Entries: entries}
+	case "lookup":
+		e, err := s.dir.Lookup(req.DN)
+		if err != nil {
+			return reply{Error: err.Error()}
+		}
+		return reply{OK: true, Entries: []*Entry{e}}
+	case "add":
+		if err := s.dir.Add(req.DN, req.Entry); err != nil {
+			return reply{Error: err.Error()}
+		}
+		return reply{OK: true}
+	case "modify":
+		if err := s.dir.Modify(req.DN, req.Changes); err != nil {
+			return reply{Error: err.Error()}
+		}
+		return reply{OK: true}
+	case "delete":
+		if err := s.dir.Delete(req.DN); err != nil {
+			return reply{Error: err.Error()}
+		}
+		return reply{OK: true}
+	default:
+		return reply{Error: fmt.Sprintf("directory: unknown op %q", req.Op)}
+	}
+}
+
+// Client talks to a directory Server. The zero value is unusable; set Addr.
+// Each call opens a short-lived connection, which keeps failure handling
+// trivial at the call rates this infrastructure sees.
+type Client struct {
+	Addr    string
+	Timeout time.Duration // per-call; zero means 2s
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
+}
+
+// ErrServer wraps server-reported failures.
+var ErrServer = errors.New("directory: server error")
+
+func (c *Client) roundTrip(req *request) (*reply, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("directory: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.timeout()))
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(append(b, '\n')); err != nil {
+		return nil, fmt.Errorf("directory: %w", err)
+	}
+	var rep reply
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("directory: %w", err)
+	}
+	if !rep.OK {
+		return nil, fmt.Errorf("%w: %s", ErrServer, rep.Error)
+	}
+	return &rep, nil
+}
+
+// Search queries entries under base matching the filter string.
+func (c *Client) Search(base string, scope Scope, filter string, attrs []string) ([]*Entry, error) {
+	rep, err := c.roundTrip(&request{Op: "search", Base: base, Scope: int(scope), Filter: filter, Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Entries, nil
+}
+
+// Lookup fetches a single entry by DN.
+func (c *Client) Lookup(dn string) (*Entry, error) {
+	rep, err := c.roundTrip(&request{Op: "lookup", DN: dn})
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Entries) == 0 {
+		return nil, ErrNoEntry
+	}
+	return rep.Entries[0], nil
+}
+
+// Add inserts an entry.
+func (c *Client) Add(dn string, attrs map[string][]string) error {
+	_, err := c.roundTrip(&request{Op: "add", DN: dn, Entry: attrs})
+	return err
+}
+
+// Modify replaces attributes on an entry.
+func (c *Client) Modify(dn string, changes map[string][]string) error {
+	_, err := c.roundTrip(&request{Op: "modify", DN: dn, Changes: changes})
+	return err
+}
+
+// Delete removes an entry.
+func (c *Client) Delete(dn string) error {
+	_, err := c.roundTrip(&request{Op: "delete", DN: dn})
+	return err
+}

@@ -1,0 +1,130 @@
+// Package geoip is a small in-memory IP-geolocation service: the
+// substrate for the paper's named future-work direction ("ready to be
+// grown to incorporate new features including geolocation services,
+// dynamic risk assessment", §6).
+//
+// Real deployments load a MaxMind-style database export; the reproduction
+// ships a synthetic table with the same query surface (longest-prefix
+// match over CIDR ranges) plus coordinates so the risk engine can compute
+// travel velocity. Loading custom tables is supported through AddRange.
+package geoip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Location describes where an address appears to be.
+type Location struct {
+	Country string  // ISO 3166-1 alpha-2
+	Region  string  // free-form region/city label
+	Lat     float64 // degrees
+	Lon     float64 // degrees
+}
+
+// rangeEntry is one CIDR → location mapping (IPv4 only; the paper's
+// deployment predates meaningful IPv6 SSH traffic at the center).
+type rangeEntry struct {
+	lo, hi uint32
+	bits   int
+	loc    Location
+}
+
+// DB is a longest-prefix-match geolocation table, safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	ranges []rangeEntry
+	sorted bool
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// ErrNotFound is returned for unmapped addresses.
+var ErrNotFound = errors.New("geoip: address not in any known range")
+
+// AddRange maps a CIDR block to a location.
+func (d *DB) AddRange(cidr string, loc Location) error {
+	_, n, err := net.ParseCIDR(cidr)
+	if err != nil {
+		return fmt.Errorf("geoip: %w", err)
+	}
+	v4 := n.IP.To4()
+	if v4 == nil {
+		return errors.New("geoip: IPv4 ranges only")
+	}
+	ones, _ := n.Mask.Size()
+	lo := binary.BigEndian.Uint32(v4)
+	hi := lo | (math.MaxUint32 >> ones)
+	if ones == 0 {
+		hi = math.MaxUint32
+	}
+	d.mu.Lock()
+	d.ranges = append(d.ranges, rangeEntry{lo: lo, hi: hi, bits: ones, loc: loc})
+	d.sorted = false
+	d.mu.Unlock()
+	return nil
+}
+
+// Lookup resolves an address to its most specific known range.
+func (d *DB) Lookup(ip net.IP) (Location, error) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return Location{}, ErrNotFound
+	}
+	u := binary.BigEndian.Uint32(v4)
+	d.mu.Lock()
+	if !d.sorted {
+		// Most specific (longest prefix) first so the first hit wins.
+		sort.Slice(d.ranges, func(i, j int) bool { return d.ranges[i].bits > d.ranges[j].bits })
+		d.sorted = true
+	}
+	ranges := d.ranges
+	d.mu.Unlock()
+	for _, r := range ranges {
+		if u >= r.lo && u <= r.hi {
+			return r.loc, nil
+		}
+	}
+	return Location{}, ErrNotFound
+}
+
+// KilometersBetween is the great-circle distance between two locations.
+func KilometersBetween(a, b Location) float64 {
+	const earthRadiusKm = 6371
+	rad := func(deg float64) float64 { return deg * math.Pi / 180 }
+	dLat := rad(b.Lat - a.Lat)
+	dLon := rad(b.Lon - a.Lon)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(rad(a.Lat))*math.Cos(rad(b.Lat))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Synthetic builds the demo table used by examples, tests, and the risk
+// engine's defaults: the center's own ranges plus a handful of distinct
+// geographies including the countries the paper shipped hard tokens to.
+func Synthetic() *DB {
+	d := New()
+	must := func(cidr string, loc Location) {
+		if err := d.AddRange(cidr, loc); err != nil {
+			panic(err)
+		}
+	}
+	must("10.128.0.0/16", Location{Country: "US", Region: "center-internal", Lat: 30.39, Lon: -97.73})
+	must("129.114.0.0/16", Location{Country: "US", Region: "Austin TX", Lat: 30.27, Lon: -97.74})
+	must("73.0.0.0/8", Location{Country: "US", Region: "residential US", Lat: 39.5, Lon: -98.35})
+	must("128.83.0.0/16", Location{Country: "US", Region: "UT Austin", Lat: 30.28, Lon: -97.73})
+	must("141.0.0.0/8", Location{Country: "DE", Region: "Germany", Lat: 51.16, Lon: 10.45})
+	must("159.226.0.0/16", Location{Country: "CN", Region: "China", Lat: 39.9, Lon: 116.4})
+	must("130.88.0.0/16", Location{Country: "GB", Region: "United Kingdom", Lat: 53.48, Lon: -2.24})
+	must("192.33.96.0/19", Location{Country: "CH", Region: "Switzerland", Lat: 47.38, Lon: 8.54})
+	must("134.157.0.0/16", Location{Country: "FR", Region: "France", Lat: 48.85, Lon: 2.35})
+	must("150.214.0.0/16", Location{Country: "ES", Region: "Spain", Lat: 40.42, Lon: -3.70})
+	must("203.0.113.0/24", Location{Country: "AU", Region: "Australia", Lat: -33.87, Lon: 151.21})
+	return d
+}

@@ -1,0 +1,87 @@
+package geoip
+
+import (
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupBasic(t *testing.T) {
+	d := Synthetic()
+	loc, err := d.Lookup(net.ParseIP("129.114.3.7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Country != "US" || loc.Region != "Austin TX" {
+		t.Fatalf("loc = %+v", loc)
+	}
+	loc, err = d.Lookup(net.ParseIP("141.20.1.2"))
+	if err != nil || loc.Country != "DE" {
+		t.Fatalf("DE lookup = %+v, %v", loc, err)
+	}
+	if _, err := d.Lookup(net.ParseIP("8.8.8.8")); err != ErrNotFound {
+		t.Fatalf("unmapped: %v", err)
+	}
+	if _, err := d.Lookup(net.ParseIP("2001:db8::1")); err != ErrNotFound {
+		t.Fatalf("ipv6: %v", err)
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	d := New()
+	d.AddRange("10.0.0.0/8", Location{Country: "US", Region: "broad"})
+	d.AddRange("10.5.0.0/16", Location{Country: "US", Region: "narrow"})
+	loc, err := d.Lookup(net.ParseIP("10.5.1.1"))
+	if err != nil || loc.Region != "narrow" {
+		t.Fatalf("got %+v, %v", loc, err)
+	}
+	loc, _ = d.Lookup(net.ParseIP("10.6.1.1"))
+	if loc.Region != "broad" {
+		t.Fatalf("got %+v", loc)
+	}
+}
+
+func TestAddRangeErrors(t *testing.T) {
+	d := New()
+	if err := d.AddRange("banana", Location{}); err == nil {
+		t.Fatal("bad CIDR accepted")
+	}
+	if err := d.AddRange("2001:db8::/32", Location{}); err == nil {
+		t.Fatal("IPv6 range accepted")
+	}
+}
+
+func TestKilometersBetween(t *testing.T) {
+	austin := Location{Lat: 30.27, Lon: -97.74}
+	london := Location{Lat: 51.51, Lon: -0.13}
+	km := KilometersBetween(austin, london)
+	// Great-circle Austin–London ≈ 7,900 km.
+	if km < 7500 || km > 8300 {
+		t.Fatalf("Austin-London = %.0f km", km)
+	}
+	if d := KilometersBetween(austin, austin); d > 0.001 {
+		t.Fatalf("self distance = %f", d)
+	}
+	// Symmetry.
+	if a, b := KilometersBetween(austin, london), KilometersBetween(london, austin); math.Abs(a-b) > 1e-6 {
+		t.Fatalf("asymmetric: %f vs %f", a, b)
+	}
+}
+
+// Property: any IP inside an added /16 resolves to it (absent a more
+// specific range).
+func TestRangeMembershipProperty(t *testing.T) {
+	d := New()
+	if err := d.AddRange("172.16.0.0/12", Location{Country: "ZZ"}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(c, x uint8) bool {
+		ip := net.IPv4(172, 16+c%16, x, 1)
+		loc, err := d.Lookup(ip)
+		return err == nil && loc.Country == "ZZ"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

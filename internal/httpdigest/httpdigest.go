@@ -1,0 +1,310 @@
+// Package httpdigest implements HTTP Digest Access Authentication
+// (RFC 2617/7616, MD5 with qop=auth) as both server middleware and a client
+// RoundTripper.
+//
+// The paper (§3.5): "The portal back end authenticates to the admin API
+// using HTTP Digest Authentication over a TLS-secured connection." The otpd
+// admin API wraps its mux in Server, and the portal uses Client as its
+// http.Client transport.
+package httpdigest
+
+import (
+	"crypto/md5"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+func h(parts ...string) string {
+	sum := md5.Sum([]byte(strings.Join(parts, ":")))
+	return hex.EncodeToString(sum[:])
+}
+
+// response computes the RFC 2617 request digest for qop=auth.
+func response(ha1, nonce, nc, cnonce, qop, method, uri string) string {
+	ha2 := h(method, uri)
+	if qop == "" {
+		return h(ha1, nonce, ha2)
+	}
+	return h(ha1, nonce, nc, cnonce, qop, ha2)
+}
+
+// HA1 derives the username:realm:password hash that both sides need.
+// Servers may store only HA1, never the password.
+func HA1(username, realm, password string) string {
+	return h(username, realm, password)
+}
+
+// parseParams parses the comma-separated key=value list of Authorization /
+// WWW-Authenticate headers (values optionally quoted).
+func parseParams(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, " ,")
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		var val string
+		if strings.HasPrefix(s, `"`) {
+			s = s[1:]
+			end := strings.IndexByte(s, '"')
+			if end < 0 {
+				val, s = s, ""
+			} else {
+				val, s = s[:end], s[end+1:]
+			}
+		} else {
+			end := strings.IndexByte(s, ',')
+			if end < 0 {
+				val, s = strings.TrimSpace(s), ""
+			} else {
+				val, s = strings.TrimSpace(s[:end]), s[end:]
+			}
+		}
+		if key != "" {
+			out[key] = val
+		}
+	}
+	return out
+}
+
+// CredentialStore resolves a username to its HA1 hash. Returning false
+// denies the user.
+type CredentialStore interface {
+	HA1(username string) (ha1 string, ok bool)
+}
+
+// StaticCredentials is a CredentialStore backed by a map of username→HA1.
+type StaticCredentials map[string]string
+
+// HA1 implements CredentialStore.
+func (s StaticCredentials) HA1(username string) (string, bool) {
+	v, ok := s[username]
+	return v, ok
+}
+
+// Server is digest-authenticating middleware.
+type Server struct {
+	Realm string
+	Creds CredentialStore
+	// NonceTTL bounds nonce lifetime; expired nonces trigger a fresh
+	// challenge with stale=true. Zero means 5 minutes.
+	NonceTTL time.Duration
+
+	mu     sync.Mutex
+	nonces map[string]nonceState
+}
+
+type nonceState struct {
+	issued time.Time
+	lastNC uint64
+}
+
+// NewServer builds digest middleware for realm over creds.
+func NewServer(realm string, creds CredentialStore) *Server {
+	return &Server{Realm: realm, Creds: creds, nonces: make(map[string]nonceState)}
+}
+
+func (s *Server) ttl() time.Duration {
+	if s.NonceTTL > 0 {
+		return s.NonceTTL
+	}
+	return 5 * time.Minute
+}
+
+func newNonce() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic("httpdigest: rand: " + err.Error())
+	}
+	return hex.EncodeToString(b)
+}
+
+func (s *Server) challenge(w http.ResponseWriter, stale bool) {
+	nonce := newNonce()
+	s.mu.Lock()
+	s.nonces[nonce] = nonceState{issued: time.Now()}
+	// Opportunistic GC of expired nonces.
+	for n, st := range s.nonces {
+		if time.Since(st.issued) > 2*s.ttl() {
+			delete(s.nonces, n)
+		}
+	}
+	s.mu.Unlock()
+	hdr := fmt.Sprintf(`Digest realm=%q, qop="auth", nonce=%q, algorithm=MD5`, s.Realm, nonce)
+	if stale {
+		hdr += `, stale=true`
+	}
+	w.Header().Set("WWW-Authenticate", hdr)
+	http.Error(w, "unauthorized", http.StatusUnauthorized)
+}
+
+// Username extracts the authenticated username stashed by Wrap.
+func Username(r *http.Request) string {
+	return r.Header.Get("X-Httpdigest-User")
+}
+
+// Wrap returns a handler that authenticates every request before passing
+// it to next. The authenticated username is exposed via Username.
+func (s *Server) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		if !strings.HasPrefix(auth, "Digest ") {
+			s.challenge(w, false)
+			return
+		}
+		p := parseParams(auth[len("Digest "):])
+		user, nonce, uri, resp := p["username"], p["nonce"], p["uri"], p["response"]
+		if user == "" || nonce == "" || uri == "" || resp == "" {
+			s.challenge(w, false)
+			return
+		}
+		if p["realm"] != s.Realm {
+			s.challenge(w, false)
+			return
+		}
+		s.mu.Lock()
+		st, known := s.nonces[nonce]
+		expired := known && time.Since(st.issued) > s.ttl()
+		var replay bool
+		if known && !expired && p["qop"] != "" {
+			var nc uint64
+			fmt.Sscanf(p["nc"], "%x", &nc)
+			if nc <= st.lastNC {
+				replay = true
+			} else {
+				st.lastNC = nc
+				s.nonces[nonce] = st
+			}
+		}
+		if expired {
+			delete(s.nonces, nonce)
+		}
+		s.mu.Unlock()
+		if !known || expired {
+			s.challenge(w, true)
+			return
+		}
+		if replay {
+			s.challenge(w, false)
+			return
+		}
+		ha1, ok := s.Creds.HA1(user)
+		if !ok {
+			s.challenge(w, false)
+			return
+		}
+		want := response(ha1, nonce, p["nc"], p["cnonce"], p["qop"], r.Method, uri)
+		if subtle.ConstantTimeCompare([]byte(want), []byte(resp)) != 1 {
+			s.challenge(w, false)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.Header.Set("X-Httpdigest-User", user)
+		next.ServeHTTP(w, r2)
+	})
+}
+
+// Client is an http.RoundTripper that answers digest challenges. It caches
+// the last challenge per host so steady-state traffic needs one round trip.
+type Client struct {
+	Username string
+	Password string
+	// Transport is the underlying RoundTripper; nil means
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+
+	mu    sync.Mutex
+	chals map[string]*challengeState // keyed by host
+}
+
+type challengeState struct {
+	realm, nonce, qop string
+	nc                uint64
+}
+
+func (c *Client) transport() http.RoundTripper {
+	if c.Transport != nil {
+		return c.Transport
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper. Requests with bodies must have
+// GetBody set (true for all bytes.Buffer/strings.Reader bodies built by
+// http.NewRequest) so the request can be replayed after a 401.
+func (c *Client) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	if c.chals == nil {
+		c.chals = make(map[string]*challengeState)
+	}
+	chal := c.chals[req.URL.Host]
+	c.mu.Unlock()
+
+	attempt := req
+	if chal != nil {
+		attempt = c.authorized(req, chal)
+	}
+	resp, err := c.transport().RoundTrip(attempt)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusUnauthorized {
+		return resp, nil
+	}
+	hdr := resp.Header.Get("WWW-Authenticate")
+	if !strings.HasPrefix(hdr, "Digest ") {
+		return resp, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	p := parseParams(hdr[len("Digest "):])
+	chal = &challengeState{realm: p["realm"], nonce: p["nonce"], qop: p["qop"]}
+	c.mu.Lock()
+	c.chals[req.URL.Host] = chal
+	c.mu.Unlock()
+
+	retry := c.authorized(req, chal)
+	return c.transport().RoundTrip(retry)
+}
+
+func (c *Client) authorized(req *http.Request, chal *challengeState) *http.Request {
+	c.mu.Lock()
+	chal.nc++
+	nc := fmt.Sprintf("%08x", chal.nc)
+	c.mu.Unlock()
+
+	cnonce := newNonce()
+	uri := req.URL.RequestURI()
+	qop := ""
+	if strings.Contains(chal.qop, "auth") {
+		qop = "auth"
+	}
+	ha1 := HA1(c.Username, chal.realm, c.Password)
+	resp := response(ha1, chal.nonce, nc, cnonce, qop, req.Method, uri)
+
+	out := req.Clone(req.Context())
+	if req.Body != nil && req.GetBody != nil {
+		body, err := req.GetBody()
+		if err == nil {
+			out.Body = body
+		}
+	}
+	val := fmt.Sprintf(`Digest username=%q, realm=%q, nonce=%q, uri=%q, response=%q, algorithm=MD5`,
+		c.Username, chal.realm, chal.nonce, uri, resp)
+	if qop != "" {
+		val += fmt.Sprintf(`, qop=%s, nc=%s, cnonce=%q`, qop, nc, cnonce)
+	}
+	out.Header.Set("Authorization", val)
+	return out
+}

@@ -1,0 +1,261 @@
+package httpdigest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// RFC 2617 §3.5 worked example.
+func TestRFC2617Example(t *testing.T) {
+	ha1 := HA1("Mufasa", "testrealm@host.com", "Circle Of Life")
+	got := response(ha1,
+		"dcd98b7102dd2f0e8b11d0f600bfb0c093", "00000001",
+		"0a4f113b", "auth", "GET", "/dir/index.html")
+	want := "6629fae49393a05397450978507c4ef1"
+	if got != want {
+		t.Fatalf("digest = %s, want %s", got, want)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p := parseParams(`username="bob", realm="r", nonce="abc", uri="/x?y=1", response="zz", qop=auth, nc=00000001, cnonce="q"`)
+	want := map[string]string{
+		"username": "bob", "realm": "r", "nonce": "abc", "uri": "/x?y=1",
+		"response": "zz", "qop": "auth", "nc": "00000001", "cnonce": "q",
+	}
+	for k, v := range want {
+		if p[k] != v {
+			t.Errorf("param %s = %q, want %q", k, p[k], v)
+		}
+	}
+}
+
+func TestParseParamsMalformed(t *testing.T) {
+	// Must not panic or loop on garbage.
+	for _, s := range []string{"", "=", `a="unterminated`, ",,,,", "novalue"} {
+		parseParams(s)
+	}
+}
+
+func newPair(t *testing.T) (*httptest.Server, *http.Client, *Server) {
+	t.Helper()
+	creds := StaticCredentials{"portal": HA1("portal", "otpd-admin", "s3cret")}
+	ds := NewServer("otpd-admin", creds)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/whoami", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "user=%s", Username(r))
+	})
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		w.Write(b)
+	})
+	srv := httptest.NewServer(ds.Wrap(mux))
+	t.Cleanup(srv.Close)
+	client := &http.Client{Transport: &Client{Username: "portal", Password: "s3cret"}}
+	return srv, client, ds
+}
+
+func TestEndToEndAuth(t *testing.T) {
+	srv, client, _ := newPair(t)
+	resp, err := client.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "user=portal" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestPostBodyReplayedAfterChallenge(t *testing.T) {
+	srv, client, _ := newPair(t)
+	resp, err := client.Post(srv.URL+"/echo", "text/plain", strings.NewReader("payload-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "payload-1" {
+		t.Fatalf("body after challenge replay = %q", b)
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	srv, _, _ := newPair(t)
+	bad := &http.Client{Transport: &Client{Username: "portal", Password: "wrong"}}
+	resp, err := bad.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestUnknownUserRejected(t *testing.T) {
+	srv, _, _ := newPair(t)
+	bad := &http.Client{Transport: &Client{Username: "intruder", Password: "s3cret"}}
+	resp, err := bad.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestNoCredentialsChallenged(t *testing.T) {
+	srv, _, _ := newPair(t)
+	resp, err := http.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+	wa := resp.Header.Get("WWW-Authenticate")
+	if !strings.HasPrefix(wa, "Digest ") || !strings.Contains(wa, `qop="auth"`) {
+		t.Fatalf("WWW-Authenticate = %q", wa)
+	}
+}
+
+func TestNonceReuseAcrossRequests(t *testing.T) {
+	srv, client, _ := newPair(t)
+	// Several requests: after the first challenge, the cached nonce with
+	// increasing nc should keep working with no further 401s.
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(srv.URL + "/whoami")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestReplayedNonceCountRejected(t *testing.T) {
+	srv, client, _ := newPair(t)
+	// Prime the client's challenge cache.
+	resp, err := client.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Capture a legitimate authorized request, then replay it verbatim:
+	// same nonce, same nc → the server must reject it.
+	var captured string
+	tr := &capturingTransport{inner: http.DefaultTransport, header: &captured}
+	cl := &http.Client{Transport: &Client{Username: "portal", Password: "s3cret", Transport: tr}}
+	resp2, err := cl.Get(srv.URL + "/whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if captured == "" {
+		t.Fatal("no Authorization captured")
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/whoami", nil)
+	req.Header.Set("Authorization", captured)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("replayed request status = %d, want 401", resp3.StatusCode)
+	}
+}
+
+type capturingTransport struct {
+	inner  http.RoundTripper
+	header *string
+}
+
+func (c *capturingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if a := r.Header.Get("Authorization"); a != "" {
+		*c.header = a
+	}
+	return c.inner.RoundTrip(r)
+}
+
+func TestStaleNonceRechallenged(t *testing.T) {
+	creds := StaticCredentials{"portal": HA1("portal", "r", "pw")}
+	ds := NewServer("r", creds)
+	ds.NonceTTL = 10 * time.Millisecond
+	srv := httptest.NewServer(ds.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	})))
+	defer srv.Close()
+	client := &http.Client{Transport: &Client{Username: "portal", Password: "pw"}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	time.Sleep(30 * time.Millisecond)
+	// Nonce is now stale server-side; client retries transparently on
+	// the stale challenge and must still succeed.
+	resp2, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("status after stale nonce = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestWrongRealmRejected(t *testing.T) {
+	srv, _, _ := newPair(t)
+	req, _ := http.NewRequest("GET", srv.URL+"/whoami", nil)
+	req.Header.Set("Authorization",
+		`Digest username="portal", realm="other", nonce="x", uri="/whoami", response="y"`)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestForgedNonceRejected(t *testing.T) {
+	srv, _, _ := newPair(t)
+	// A response computed over a nonce the server never issued.
+	ha1 := HA1("portal", "otpd-admin", "s3cret")
+	nonce := "deadbeefdeadbeefdeadbeefdeadbeef"
+	resp := response(ha1, nonce, "00000001", "abc", "auth", "GET", "/whoami")
+	req, _ := http.NewRequest("GET", srv.URL+"/whoami", nil)
+	req.Header.Set("Authorization", fmt.Sprintf(
+		`Digest username="portal", realm="otpd-admin", nonce=%q, uri="/whoami", response=%q, qop=auth, nc=00000001, cnonce="abc"`,
+		nonce, resp))
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", r.StatusCode)
+	}
+}

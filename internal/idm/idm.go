@@ -1,0 +1,310 @@
+// Package idm is the identity-management back end: the account database
+// that predates MFA in the paper's deployment and that the portal keeps in
+// sync with pairing state (§3.5: "the portal notifies the identity
+// management back end that the user has configured multi-factor
+// authentication and which method").
+//
+// Each account gets a unique numeric uid shared with the OTP database via
+// the directory (§3.1: "an LDAP entry is generated including a unique user
+// ID that becomes common to both databases"). The IDM owns first-factor
+// credentials: salted password hashes and authorized ed25519 public keys.
+package idm
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/directory"
+	"openmfa/internal/store"
+)
+
+// PairingStatus mirrors the portal-visible MFA state of an account.
+type PairingStatus string
+
+// Pairing states. "none" is the pre-MFA default.
+const (
+	PairingNone     PairingStatus = "none"
+	PairingSoft     PairingStatus = "soft"
+	PairingSMS      PairingStatus = "sms"
+	PairingHard     PairingStatus = "hard"
+	PairingTraining PairingStatus = "training"
+)
+
+// AccountClass labels the behavioural category of an account (§2: SSH
+// users, gateways, community accounts; §3.3: training accounts).
+type AccountClass string
+
+// Account classes.
+const (
+	ClassUser      AccountClass = "user"
+	ClassStaff     AccountClass = "staff"
+	ClassGateway   AccountClass = "gateway"
+	ClassCommunity AccountClass = "community"
+	ClassTraining  AccountClass = "training"
+)
+
+// Account is one identity.
+type Account struct {
+	Username     string        `json:"username"`
+	UID          int           `json:"uid"`
+	Email        string        `json:"email"`
+	Class        AccountClass  `json:"class"`
+	PasswordHash string        `json:"password_hash"`
+	PublicKeys   []string      `json:"public_keys,omitempty"` // base64 ed25519
+	Pairing      PairingStatus `json:"pairing"`
+	Created      time.Time     `json:"created"`
+}
+
+// Errors.
+var (
+	ErrExists   = errors.New("idm: account already exists")
+	ErrNoUser   = errors.New("idm: no such account")
+	ErrBadCreds = errors.New("idm: bad credentials")
+)
+
+// IDM is the account database. It optionally mirrors entries into a
+// directory so the PAM token module's LDAP queries see pairing state.
+type IDM struct {
+	db        *store.Store
+	dir       *directory.Dir
+	clk       clock.Clock
+	cacheSalt [16]byte
+
+	mu          sync.Mutex
+	nextUID     int
+	verifyCache map[[32]byte]bool
+}
+
+// New builds an IDM over db, mirroring into dir (may be nil), using clk
+// for timestamps (nil means real time).
+func New(db *store.Store, dir *directory.Dir, clk clock.Clock) *IDM {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	idm := &IDM{db: db, dir: dir, clk: clk, nextUID: 1000,
+		verifyCache: make(map[[32]byte]bool)}
+	copy(idm.cacheSalt[:], cryptoutil.RandomBytes(16))
+	// Resume the uid sequence after a restart.
+	for _, kv := range db.Scan("acct/") {
+		var a Account
+		if json.Unmarshal(kv.Value, &a) == nil && a.UID >= idm.nextUID {
+			idm.nextUID = a.UID + 1
+		}
+	}
+	return idm
+}
+
+func acctKey(username string) string { return "acct/" + strings.ToLower(username) }
+
+// Create registers a new account with an initial password and returns it.
+func (m *IDM) Create(username, email, password string, class AccountClass) (*Account, error) {
+	username = strings.ToLower(strings.TrimSpace(username))
+	if username == "" {
+		return nil, errors.New("idm: empty username")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.db.Has(acctKey(username)) {
+		return nil, ErrExists
+	}
+	a := &Account{
+		Username:     username,
+		UID:          m.nextUID,
+		Email:        email,
+		Class:        class,
+		PasswordHash: cryptoutil.HashPassword(password),
+		Pairing:      PairingNone,
+		Created:      m.clk.Now().UTC(),
+	}
+	m.nextUID++
+	if err := m.save(a); err != nil {
+		return nil, err
+	}
+	if m.dir != nil {
+		err := m.dir.Add(directory.UserDN(username), map[string][]string{
+			"uid":         {username},
+			"uidnumber":   {fmt.Sprint(a.UID)},
+			"mail":        {email},
+			"objectclass": {"person", string(class)},
+			"mfapairing":  {string(PairingNone)},
+		})
+		if err != nil && !errors.Is(err, directory.ErrExists) {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func (m *IDM) save(a *Account) error {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	return m.db.Put(acctKey(a.Username), b)
+}
+
+// Lookup fetches an account.
+func (m *IDM) Lookup(username string) (*Account, error) {
+	b, err := m.db.Get(acctKey(username))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrNoUser
+	}
+	if err != nil {
+		return nil, err
+	}
+	var a Account
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("idm: corrupt account %s: %w", username, err)
+	}
+	return &a, nil
+}
+
+// Authenticate checks a first-factor password. Successful verifications
+// are cached per (user, hash, password-digest) the way sssd caches
+// credentials on HPC login nodes, so heavily scripted accounts do not pay
+// the full PBKDF2 cost on every connection. The cache holds salted SHA-256
+// digests, never plaintext, and is invalidated automatically when the
+// stored hash changes (SetPassword produces a new salt).
+func (m *IDM) Authenticate(username, password string) error {
+	a, err := m.Lookup(username)
+	if err != nil {
+		return ErrBadCreds // do not reveal which accounts exist
+	}
+	ck := m.cacheKey(username, a.PasswordHash, password)
+	m.mu.Lock()
+	hit := m.verifyCache[ck]
+	m.mu.Unlock()
+	if hit {
+		return nil
+	}
+	if !cryptoutil.VerifyPassword(a.PasswordHash, password) {
+		return ErrBadCreds
+	}
+	m.mu.Lock()
+	if len(m.verifyCache) > 65536 {
+		m.verifyCache = make(map[[32]byte]bool) // crude bound
+	}
+	m.verifyCache[ck] = true
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *IDM) cacheKey(username, storedHash, password string) [32]byte {
+	h := sha256.New()
+	h.Write(m.cacheSalt[:])
+	h.Write([]byte(username))
+	h.Write([]byte{0})
+	h.Write([]byte(storedHash))
+	h.Write([]byte{0})
+	h.Write([]byte(password))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SetPassword replaces the account password.
+func (m *IDM) SetPassword(username, password string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, err := m.Lookup(username)
+	if err != nil {
+		return err
+	}
+	a.PasswordHash = cryptoutil.HashPassword(password)
+	return m.save(a)
+}
+
+// AddPublicKey registers an ed25519 public key (base64, raw 32 bytes) for
+// SSH public-key authentication.
+func (m *IDM) AddPublicKey(username string, pub ed25519.PublicKey) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return errors.New("idm: bad public key size")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, err := m.Lookup(username)
+	if err != nil {
+		return err
+	}
+	enc := base64.StdEncoding.EncodeToString(pub)
+	for _, k := range a.PublicKeys {
+		if k == enc {
+			return nil // idempotent
+		}
+	}
+	a.PublicKeys = append(a.PublicKeys, enc)
+	return m.save(a)
+}
+
+// PublicKeys returns the account's authorized keys.
+func (m *IDM) PublicKeys(username string) ([]ed25519.PublicKey, error) {
+	a, err := m.Lookup(username)
+	if err != nil {
+		return nil, err
+	}
+	var out []ed25519.PublicKey
+	for _, k := range a.PublicKeys {
+		b, err := base64.StdEncoding.DecodeString(k)
+		if err == nil && len(b) == ed25519.PublicKeySize {
+			out = append(out, ed25519.PublicKey(b))
+		}
+	}
+	return out, nil
+}
+
+// SetPairing records the MFA pairing status and mirrors it to the
+// directory so PAM's LDAP query sees it immediately.
+func (m *IDM) SetPairing(username string, p PairingStatus) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, err := m.Lookup(username)
+	if err != nil {
+		return err
+	}
+	a.Pairing = p
+	if err := m.save(a); err != nil {
+		return err
+	}
+	if m.dir != nil {
+		err := m.dir.Modify(directory.UserDN(username), map[string][]string{
+			"mfapairing": {string(p)},
+		})
+		if err != nil && !errors.Is(err, directory.ErrNoEntry) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pairing returns the account's pairing status.
+func (m *IDM) Pairing(username string) (PairingStatus, error) {
+	a, err := m.Lookup(username)
+	if err != nil {
+		return "", err
+	}
+	return a.Pairing, nil
+}
+
+// All returns every account, sorted by username.
+func (m *IDM) All() []*Account {
+	var out []*Account
+	for _, kv := range m.db.Scan("acct/") {
+		var a Account
+		if json.Unmarshal(kv.Value, &a) == nil {
+			out = append(out, &a)
+		}
+	}
+	return out
+}
+
+// Count reports the number of accounts.
+func (m *IDM) Count() int { return m.db.Count("acct/") }

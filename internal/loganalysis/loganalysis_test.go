@@ -1,0 +1,136 @@
+package loganalysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/authlog"
+)
+
+var (
+	from = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+	to   = time.Date(2016, 7, 31, 23, 59, 59, 0, time.UTC)
+)
+
+func open(user string, tty bool, shell string, at time.Time) authlog.Event {
+	return authlog.Event{Time: at, Type: authlog.SessionOpen, User: user,
+		Addr: "1.2.3.4", TTY: tty, Shell: shell}
+}
+
+// synthetic population: one automated account dominating, staff, and a few
+// interactive users.
+func sampleEvents() []authlog.Event {
+	var ev []authlog.Event
+	at := from
+	// robot: 500 scripted logins (the §4.1 signature).
+	for i := 0; i < 500; i++ {
+		ev = append(ev, open("robot", false, "/usr/bin/scp", at.Add(time.Duration(i)*time.Hour)))
+	}
+	// staffer: 60 logins, mixed.
+	for i := 0; i < 60; i++ {
+		ev = append(ev, open("staffer", i%2 == 0, "/bin/bash", at.Add(time.Duration(i)*3*time.Hour)))
+	}
+	// gateway: 800 logins but known, to be filtered.
+	for i := 0; i < 800; i++ {
+		ev = append(ev, open("gateway1", false, "/bin/sh", at.Add(time.Duration(i)*30*time.Minute)))
+	}
+	// casual interactive users.
+	for u := 0; u < 10; u++ {
+		for i := 0; i < 5; i++ {
+			ev = append(ev, open(fmt.Sprintf("user%02d", u), true, "/bin/bash",
+				at.Add(time.Duration(u*24+i)*time.Hour)))
+		}
+	}
+	// Failed-password noise must be ignored.
+	ev = append(ev, authlog.Event{Time: at, Type: authlog.FailedPassword, User: "robot", Addr: "x"})
+	// Out-of-window events must be ignored.
+	ev = append(ev, open("robot", false, "/bin/sh", to.Add(48*time.Hour)))
+	return ev
+}
+
+func TestAnalyzeAggregation(t *testing.T) {
+	r := Analyze(sampleEvents(), from, to)
+	if r.Total != 500+60+800+50 {
+		t.Fatalf("Total = %d", r.Total)
+	}
+	robot := r.Users["robot"]
+	if robot == nil || robot.Logins != 500 || robot.NonTTY != 500 || robot.TTY != 0 {
+		t.Fatalf("robot = %+v", robot)
+	}
+	if robot.Shells["/usr/bin/scp"] != 500 {
+		t.Fatalf("robot shells = %v", robot.Shells)
+	}
+	if robot.NonTTYFraction() != 1.0 {
+		t.Fatal("robot NonTTYFraction != 1")
+	}
+	staffer := r.Users["staffer"]
+	if staffer.TTY != 30 || staffer.NonTTY != 30 {
+		t.Fatalf("staffer = %+v", staffer)
+	}
+}
+
+func TestRankingOrder(t *testing.T) {
+	r := Analyze(sampleEvents(), from, to)
+	ranked := r.Ranked()
+	if ranked[0].User != "gateway1" || ranked[1].User != "robot" || ranked[2].User != "staffer" {
+		t.Fatalf("top3 = %s %s %s", ranked[0].User, ranked[1].User, ranked[2].User)
+	}
+	// Ties broken deterministically by name.
+	for i := 3; i < len(ranked)-1; i++ {
+		if ranked[i].Logins == ranked[i+1].Logins && ranked[i].User > ranked[i+1].User {
+			t.Fatal("tie order not deterministic")
+		}
+	}
+}
+
+func TestStaffThresholdAndTargets(t *testing.T) {
+	r := Analyze(sampleEvents(), from, to)
+	staff := map[string]bool{"staffer": true}
+	threshold := r.StaffThreshold(staff)
+	if threshold != 60 {
+		t.Fatalf("threshold = %d", threshold)
+	}
+	// Known gateways and staff are excluded; only robot exceeds 60.
+	exclude := map[string]bool{"gateway1": true, "staffer": true}
+	targets := r.Targets(threshold, exclude)
+	if len(targets) != 1 || targets[0].User != "robot" {
+		t.Fatalf("targets = %+v", targets)
+	}
+	// "a minority of users were responsible for the majority of
+	// entries": robot alone is >1/3 of all traffic here.
+	if share := r.AutomationShare(targets); share < 0.3 {
+		t.Fatalf("automation share = %.2f", share)
+	}
+}
+
+func TestNonTTYShare(t *testing.T) {
+	r := Analyze(sampleEvents(), from, to)
+	// "The far majority of these log in events were not invoked with a
+	// TTY."
+	if s := r.NonTTYShare(); s < 0.9 {
+		t.Fatalf("non-TTY share = %.2f", s)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	r := Analyze(sampleEvents(), from, to)
+	out := r.Summary(3)
+	if !strings.Contains(out, "gateway1") || !strings.Contains(out, "robot") {
+		t.Fatalf("summary = %q", out)
+	}
+	if strings.Contains(out, "user05") {
+		t.Fatal("topN not honoured")
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	r := Analyze(nil, from, to)
+	if r.Total != 0 || r.NonTTYShare() != 0 || r.AutomationShare(nil) != 0 {
+		t.Fatal("empty report not zeroed")
+	}
+	if r.StaffThreshold(map[string]bool{"x": true}) != 0 {
+		t.Fatal("threshold on empty report")
+	}
+}

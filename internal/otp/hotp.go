@@ -1,0 +1,170 @@
+// Package otp implements the one-time password algorithms the paper's token
+// devices rely on: HOTP (RFC 4226) and TOTP (RFC 6238), plus otpauth:// key
+// URIs (the payload of the QR code shown during soft-token pairing) and
+// Base32 secret handling.
+//
+// All three of the paper's user-facing token types — the in-house
+// smartphone app, the Feitian OTP c200 fob, and SMS-delivered codes — are
+// six-digit, 30-second TOTP generators; the static "training token" type is
+// handled by the otpd back end rather than here.
+package otp
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/base32"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"strings"
+)
+
+// Algorithm selects the HMAC hash for HOTP/TOTP computation.
+type Algorithm int
+
+// Supported algorithms. SHA1 is what RFC 6238's reference values, Google
+// Authenticator, and the Feitian fobs use; it is the package default.
+const (
+	SHA1 Algorithm = iota
+	SHA256
+	SHA512
+)
+
+// String returns the otpauth URI spelling of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SHA1:
+		return "SHA1"
+	case SHA256:
+		return "SHA256"
+	case SHA512:
+		return "SHA512"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts an otpauth URI algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "", "SHA1":
+		return SHA1, nil
+	case "SHA256":
+		return SHA256, nil
+	case "SHA512":
+		return SHA512, nil
+	default:
+		return 0, fmt.Errorf("otp: unknown algorithm %q", s)
+	}
+}
+
+func (a Algorithm) newHash() func() hash.Hash {
+	switch a {
+	case SHA1:
+		return sha1.New
+	case SHA256:
+		return sha256.New
+	case SHA512:
+		return sha512.New
+	default:
+		panic(fmt.Sprintf("otp: invalid algorithm %d", int(a)))
+	}
+}
+
+// Digits is the length of generated codes. The paper's deployment uses six
+// digits everywhere.
+type Digits int
+
+// Common code lengths.
+const (
+	SixDigits   Digits = 6
+	EightDigits Digits = 8
+)
+
+// Valid reports whether d is a code length HOTP supports (1..9; 10^d must
+// fit in uint32 truncation space, and RFC 4226 requires at least 6).
+func (d Digits) Valid() bool { return d >= 6 && d <= 9 }
+
+// Format renders a truncated HOTP value as a zero-padded code string.
+func (d Digits) Format(v uint32) string {
+	return fmt.Sprintf("%0*d", int(d), v)
+}
+
+var pow10 = [...]uint32{1, 10, 100, 1000, 10000, 100000, 1000000, 10000000, 100000000, 1000000000}
+
+// ErrInvalidDigits is returned for unsupported code lengths.
+var ErrInvalidDigits = errors.New("otp: digits must be between 6 and 9")
+
+// HOTP computes the RFC 4226 HMAC-based one-time password for the given
+// secret key and moving counter.
+func HOTP(secret []byte, counter uint64, digits Digits, alg Algorithm) (string, error) {
+	if !digits.Valid() {
+		return "", ErrInvalidDigits
+	}
+	mac := hmac.New(alg.newHash(), secret)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], counter)
+	mac.Write(buf[:])
+	sum := mac.Sum(nil)
+
+	// Dynamic truncation (RFC 4226 §5.3).
+	offset := sum[len(sum)-1] & 0x0f
+	code := binary.BigEndian.Uint32(sum[offset:offset+4]) & 0x7fffffff
+	return digits.Format(code % pow10[digits]), nil
+}
+
+// ValidateHOTP reports whether code matches any counter in
+// [counter, counter+window] and returns the matching counter. A window of 0
+// checks exactly one value. The comparison is constant-time per candidate.
+func ValidateHOTP(secret []byte, code string, counter uint64, window int, digits Digits, alg Algorithm) (uint64, bool) {
+	if window < 0 {
+		window = 0
+	}
+	for i := 0; i <= window; i++ {
+		c := counter + uint64(i)
+		want, err := HOTP(secret, c, digits, alg)
+		if err != nil {
+			return 0, false
+		}
+		if subtleEqual(want, code) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func subtleEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := 0; i < len(a); i++ {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}
+
+// Base32 secret helpers. Secrets travel in unpadded RFC 4648 Base32, the
+// encoding Google Authenticator-compatible apps expect in otpauth URIs.
+var b32 = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// EncodeSecret renders raw key bytes as unpadded Base32.
+func EncodeSecret(secret []byte) string {
+	return b32.EncodeToString(secret)
+}
+
+// DecodeSecret parses an unpadded (or padded) Base32 secret, tolerating
+// lowercase input and interior spaces, which users routinely introduce when
+// typing secrets by hand.
+func DecodeSecret(s string) ([]byte, error) {
+	clean := strings.ToUpper(strings.NewReplacer(" ", "", "-", "").Replace(s))
+	clean = strings.TrimRight(clean, "=")
+	b, err := b32.DecodeString(clean)
+	if err != nil {
+		return nil, fmt.Errorf("otp: bad base32 secret: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,135 @@
+package otp
+
+import (
+	"errors"
+	"time"
+)
+
+// DefaultPeriod is the TOTP time step used throughout the deployment: "a
+// code is generated every 30 seconds" (§3.3).
+const DefaultPeriod = 30 * time.Second
+
+// DefaultDriftWindow is the paper's tolerance for device clock skew: "the
+// smartphone keep a time that does not drift more than a time delta of 300
+// seconds from the LinOTP server's time" (§3.3). With 30-second steps that
+// is ±10 steps.
+const DefaultDriftWindow = 300 * time.Second
+
+// TOTPOptions configures code generation and validation. The zero value is
+// not valid; use DefaultTOTPOptions.
+type TOTPOptions struct {
+	Period    time.Duration // time step; must be positive
+	Digits    Digits
+	Algorithm Algorithm
+	// Skew is the maximum absolute clock drift tolerated during
+	// validation, expressed as a duration. It is converted to a step
+	// count by rounding down (300s / 30s = ±10 steps).
+	Skew time.Duration
+}
+
+// DefaultTOTPOptions mirrors the paper's deployment: 6 digits, 30-second
+// period, SHA-1, ±300 seconds drift tolerance.
+func DefaultTOTPOptions() TOTPOptions {
+	return TOTPOptions{
+		Period:    DefaultPeriod,
+		Digits:    SixDigits,
+		Algorithm: SHA1,
+		Skew:      DefaultDriftWindow,
+	}
+}
+
+// ErrInvalidPeriod is returned when the period is not positive.
+var ErrInvalidPeriod = errors.New("otp: period must be positive")
+
+// Counter returns the TOTP moving factor for time t: floor(unix(t)/period).
+// Times before the Unix epoch are rejected by returning (0, false).
+func (o TOTPOptions) Counter(t time.Time) (uint64, bool) {
+	if o.Period <= 0 {
+		return 0, false
+	}
+	u := t.Unix()
+	if u < 0 {
+		return 0, false
+	}
+	return uint64(u) / uint64(o.Period/time.Second), true
+}
+
+// skewSteps converts the Skew duration into a step count.
+func (o TOTPOptions) skewSteps() uint64 {
+	if o.Skew <= 0 || o.Period <= 0 {
+		return 0
+	}
+	return uint64(o.Skew / o.Period)
+}
+
+// TOTP computes the RFC 6238 code for the secret at time t.
+func TOTP(secret []byte, t time.Time, o TOTPOptions) (string, error) {
+	if o.Period <= 0 {
+		return "", ErrInvalidPeriod
+	}
+	c, ok := o.Counter(t)
+	if !ok {
+		return "", errors.New("otp: time before epoch")
+	}
+	return HOTP(secret, c, o.Digits, o.Algorithm)
+}
+
+// ValidateTOTP reports whether code is valid for the secret at server time
+// t, allowing the configured skew in both directions. It returns the
+// matching counter so callers can implement replay protection ("the
+// provided token code is nullified", §3.2): a code must never be accepted
+// twice, so callers record the returned counter and reject any counter
+// <= the high-water mark.
+func ValidateTOTP(secret []byte, code string, t time.Time, o TOTPOptions) (uint64, bool) {
+	center, ok := o.Counter(t)
+	if !ok {
+		return 0, false
+	}
+	steps := o.skewSteps()
+
+	lo := uint64(0)
+	if center > steps {
+		lo = center - steps
+	}
+	hi := center + steps
+	// Check the centre first (the common case), then spiral outwards so
+	// that small drifts validate fastest.
+	if matchCounter(secret, code, center, o) {
+		return center, true
+	}
+	for d := uint64(1); d <= steps; d++ {
+		if center+d <= hi && matchCounter(secret, code, center+d, o) {
+			return center + d, true
+		}
+		if center >= d && center-d >= lo && matchCounter(secret, code, center-d, o) {
+			return center - d, true
+		}
+	}
+	return 0, false
+}
+
+func matchCounter(secret []byte, code string, c uint64, o TOTPOptions) bool {
+	want, err := HOTP(secret, c, o.Digits, o.Algorithm)
+	return err == nil && subtleEqual(want, code)
+}
+
+// Resync searches a wide window around server time t for two consecutive
+// codes, the classic OATH token resynchronisation procedure exposed by the
+// LinOTP admin UI ("re-synchronize tokens", §3.1). It returns the counter
+// of the second code on success. searchSteps bounds the scan on each side.
+func Resync(secret []byte, code1, code2 string, t time.Time, searchSteps uint64, o TOTPOptions) (uint64, bool) {
+	center, ok := o.Counter(t)
+	if !ok {
+		return 0, false
+	}
+	lo := uint64(0)
+	if center > searchSteps {
+		lo = center - searchSteps
+	}
+	for c := lo; c <= center+searchSteps; c++ {
+		if matchCounter(secret, code1, c, o) && matchCounter(secret, code2, c+1, o) {
+			return c + 1, true
+		}
+	}
+	return 0, false
+}

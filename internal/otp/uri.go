@@ -1,0 +1,140 @@
+package otp
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Key describes a provisioned OTP credential, the information carried by
+// the QR code a user scans during soft-token pairing (§3.5): "the user is
+// shown a QR code which contains the user's secret key encoded as an
+// image".
+type Key struct {
+	Issuer    string // e.g. "TACC"
+	Account   string // username
+	Secret    []byte
+	Options   TOTPOptions
+	IsCounter bool   // hotp instead of totp
+	Counter   uint64 // initial counter for hotp keys
+}
+
+// URI renders the key in the de facto standard otpauth:// format understood
+// by Google Authenticator-derived applications, which is what the paper's
+// in-house app is ("modeled after an open source release of the Google
+// Authenticator application", §3.3).
+func (k Key) URI() string {
+	typ := "totp"
+	if k.IsCounter {
+		typ = "hotp"
+	}
+	label := url.PathEscape(k.Account)
+	if k.Issuer != "" {
+		label = url.PathEscape(k.Issuer) + ":" + label
+	}
+	q := url.Values{}
+	q.Set("secret", EncodeSecret(k.Secret))
+	if k.Issuer != "" {
+		q.Set("issuer", k.Issuer)
+	}
+	if k.Options.Algorithm != SHA1 {
+		q.Set("algorithm", k.Options.Algorithm.String())
+	}
+	if k.Options.Digits != SixDigits && k.Options.Digits != 0 {
+		q.Set("digits", strconv.Itoa(int(k.Options.Digits)))
+	}
+	if k.IsCounter {
+		q.Set("counter", strconv.FormatUint(k.Counter, 10))
+	} else if k.Options.Period != DefaultPeriod && k.Options.Period != 0 {
+		q.Set("period", strconv.Itoa(int(k.Options.Period/time.Second)))
+	}
+	return fmt.Sprintf("otpauth://%s/%s?%s", typ, label, q.Encode())
+}
+
+// ParseURI decodes an otpauth:// URI into a Key. Unspecified parameters
+// take the deployment defaults (6 digits, 30 s, SHA-1).
+func ParseURI(s string) (Key, error) {
+	u, err := url.Parse(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("otp: bad uri: %w", err)
+	}
+	if u.Scheme != "otpauth" {
+		return Key{}, fmt.Errorf("otp: scheme %q, want otpauth", u.Scheme)
+	}
+	k := Key{Options: DefaultTOTPOptions()}
+	switch u.Host {
+	case "totp":
+	case "hotp":
+		k.IsCounter = true
+	default:
+		return Key{}, fmt.Errorf("otp: type %q, want totp or hotp", u.Host)
+	}
+
+	label := strings.TrimPrefix(u.Path, "/")
+	if unesc, err := url.PathUnescape(label); err == nil {
+		label = unesc
+	}
+	if i := strings.IndexByte(label, ':'); i >= 0 {
+		k.Issuer = label[:i]
+		k.Account = strings.TrimPrefix(label[i+1:], " ")
+	} else {
+		k.Account = label
+	}
+
+	q := u.Query()
+	if iss := q.Get("issuer"); iss != "" {
+		k.Issuer = iss
+	}
+	sec := q.Get("secret")
+	if sec == "" {
+		return Key{}, fmt.Errorf("otp: uri missing secret")
+	}
+	k.Secret, err = DecodeSecret(sec)
+	if err != nil {
+		return Key{}, err
+	}
+	if alg := q.Get("algorithm"); alg != "" {
+		k.Options.Algorithm, err = ParseAlgorithm(alg)
+		if err != nil {
+			return Key{}, err
+		}
+	}
+	if dig := q.Get("digits"); dig != "" {
+		n, err := strconv.Atoi(dig)
+		if err != nil || !Digits(n).Valid() {
+			return Key{}, fmt.Errorf("otp: bad digits %q", dig)
+		}
+		k.Options.Digits = Digits(n)
+	}
+	if per := q.Get("period"); per != "" {
+		n, err := strconv.Atoi(per)
+		if err != nil || n <= 0 {
+			return Key{}, fmt.Errorf("otp: bad period %q", per)
+		}
+		k.Options.Period = time.Duration(n) * time.Second
+	}
+	if cnt := q.Get("counter"); cnt != "" {
+		n, err := strconv.ParseUint(cnt, 10, 64)
+		if err != nil {
+			return Key{}, fmt.Errorf("otp: bad counter %q", cnt)
+		}
+		k.Counter = n
+	} else if k.IsCounter {
+		return Key{}, fmt.Errorf("otp: hotp uri missing counter")
+	}
+	return k, nil
+}
+
+// NewKey generates a fresh random TOTP key for account under issuer using
+// the deployment defaults and a 20-byte secret (the RFC 4226 recommended
+// minimum for SHA-1).
+func NewKey(issuer, account string, newSecret func(int) []byte) Key {
+	return Key{
+		Issuer:  issuer,
+		Account: account,
+		Secret:  newSecret(20),
+		Options: DefaultTOTPOptions(),
+	}
+}

@@ -1,0 +1,363 @@
+package otpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/httpdigest"
+	"openmfa/internal/otp"
+	"openmfa/internal/radius"
+)
+
+// --- RADIUS handler ---
+
+func radiusPair(t *testing.T) (*Server, *capturedSMS, *clock.Sim, string, []byte) {
+	t.Helper()
+	sim := clock.NewSim(t0)
+	s, sms := newServer(t, sim)
+	secret := []byte("radius-secret")
+	srv := &radius.Server{Secret: secret, Handler: &RadiusHandler{OTP: s}}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return s, sms, sim, srv.Addr().String(), secret
+}
+
+func radiusAsk(t *testing.T, addr string, secret []byte, user, code string) *radius.Packet {
+	t.Helper()
+	c := &radius.Client{Addr: addr, Secret: secret, Timeout: 2 * time.Second}
+	req := radius.NewRequest(0)
+	req.AddString(radius.AttrUserName, user)
+	hidden, err := radius.HidePassword(code, secret, req.Authenticator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Add(radius.AttrUserPassword, hidden)
+	resp, err := c.Exchange(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestRadiusAcceptRejectFlow(t *testing.T) {
+	s, _, sim, addr, secret := radiusPair(t)
+	enr, _ := s.InitSoftToken("u")
+	code, _ := otp.TOTP(enr.Secret, sim.Now(), s.OTPOptions())
+
+	if resp := radiusAsk(t, addr, secret, "u", code); resp.Code != radius.AccessAccept {
+		t.Fatalf("valid code → %v", resp.Code)
+	}
+	// Replay → reject.
+	if resp := radiusAsk(t, addr, secret, "u", code); resp.Code != radius.AccessReject {
+		t.Fatalf("replayed code → %v", resp.Code)
+	}
+	if resp := radiusAsk(t, addr, secret, "u", "000000"); resp.Code != radius.AccessReject {
+		t.Fatalf("wrong code → %v", resp.Code)
+	}
+	if resp := radiusAsk(t, addr, secret, "ghost", "123456"); resp.Code != radius.AccessReject {
+		t.Fatalf("unknown user → %v", resp.Code)
+	}
+	// Missing user name → reject.
+	c := &radius.Client{Addr: addr, Secret: secret, Timeout: 2 * time.Second}
+	req := radius.NewRequest(0)
+	resp, err := c.Exchange(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != radius.AccessReject {
+		t.Fatalf("empty request → %v", resp.Code)
+	}
+}
+
+func TestRadiusSMSChallenge(t *testing.T) {
+	s, sms, sim, addr, secret := radiusPair(t)
+	enr, _ := s.InitSMSToken("storm", "5125551234")
+
+	// Null request triggers the SMS and a challenge.
+	resp := radiusAsk(t, addr, secret, "storm", "")
+	if resp.Code != radius.AccessChallenge {
+		t.Fatalf("null request → %v", resp.Code)
+	}
+	if sms.count() != 1 {
+		t.Fatalf("sms count = %d", sms.count())
+	}
+	if st, ok := resp.Get(radius.AttrState); !ok || len(st) == 0 {
+		t.Fatal("challenge missing State")
+	}
+	// Second null request while active: challenge again with the
+	// already-sent message, no second text.
+	resp2 := radiusAsk(t, addr, secret, "storm", "")
+	if resp2.Code != radius.AccessChallenge {
+		t.Fatalf("repeat null → %v", resp2.Code)
+	}
+	if sms.count() != 1 {
+		t.Fatal("duplicate SMS sent")
+	}
+	if got := resp2.GetString(radius.AttrReplyMessage); got == resp.GetString(radius.AttrReplyMessage) {
+		t.Fatalf("expected already-sent notice, got %q twice", got)
+	}
+	// Complete with the code.
+	code, _ := otp.TOTP(enr.Secret, sim.Now(), s.OTPOptions())
+	if r := radiusAsk(t, addr, secret, "storm", code); r.Code != radius.AccessAccept {
+		t.Fatalf("code after challenge → %v", r.Code)
+	}
+}
+
+func TestRadiusNullForNonSMSUserChallengesForCode(t *testing.T) {
+	s, _, _, addr, secret := radiusPair(t)
+	s.InitSoftToken("softie")
+	resp := radiusAsk(t, addr, secret, "softie", "")
+	if resp.Code != radius.AccessChallenge {
+		t.Fatalf("null for soft user → %v", resp.Code)
+	}
+}
+
+func TestRadiusLockedOutReject(t *testing.T) {
+	s, _, _, addr, secret := radiusPair(t)
+	s.InitSMSToken("u", "5125551234")
+	for i := 0; i < DefaultLockoutThreshold; i++ {
+		s.Check("u", "000000")
+	}
+	if resp := radiusAsk(t, addr, secret, "u", "111111"); resp.Code != radius.AccessReject {
+		t.Fatalf("locked out check → %v", resp.Code)
+	}
+	if resp := radiusAsk(t, addr, secret, "u", ""); resp.Code != radius.AccessReject {
+		t.Fatalf("locked out trigger → %v", resp.Code)
+	}
+}
+
+// --- Admin REST API ---
+
+func apiServer(t *testing.T) (*Server, *clock.Sim, *httptest.Server, *http.Client) {
+	t.Helper()
+	sim := clock.NewSim(t0)
+	s, _ := newServer(t, sim)
+	api := &AdminAPI{
+		OTP:   s,
+		Realm: "otpd-admin",
+		Creds: httpdigest.StaticCredentials{
+			"portal": httpdigest.HA1("portal", "otpd-admin", "hunter2"),
+		},
+	}
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	client := &http.Client{Transport: &httpdigest.Client{Username: "portal", Password: "hunter2"}}
+	return s, sim, srv, client
+}
+
+func postJSON(t *testing.T, c *http.Client, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestAdminAPIInitShowRemove(t *testing.T) {
+	s, _, srv, client := apiServer(t)
+
+	resp, body := postJSON(t, client, srv.URL+"/admin/init",
+		initReq{User: "alice", Type: TokenSoft})
+	if resp.StatusCode != 200 {
+		t.Fatalf("init status = %d (%v)", resp.StatusCode, body)
+	}
+	if body["secret"] == "" || body["uri"] == "" {
+		t.Fatalf("init response = %v", body)
+	}
+	if !s.HasToken("alice") {
+		t.Fatal("token not created")
+	}
+
+	// Show.
+	r2, err := client.Get(srv.URL + "/admin/show?user=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TokenInfo
+	json.NewDecoder(r2.Body).Decode(&info)
+	r2.Body.Close()
+	if info.Type != TokenSoft || !info.Active {
+		t.Fatalf("show = %+v", info)
+	}
+
+	// Duplicate init → 409.
+	resp, _ = postJSON(t, client, srv.URL+"/admin/init", initReq{User: "alice", Type: TokenSoft})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate init status = %d", resp.StatusCode)
+	}
+
+	// Remove.
+	resp, _ = postJSON(t, client, srv.URL+"/admin/remove", userReq{User: "alice"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("remove status = %d", resp.StatusCode)
+	}
+	if s.HasToken("alice") {
+		t.Fatal("token survived remove")
+	}
+	// Remove again → 404.
+	resp, _ = postJSON(t, client, srv.URL+"/admin/remove", userReq{User: "alice"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-remove status = %d", resp.StatusCode)
+	}
+}
+
+func TestAdminAPIRequiresDigestAuth(t *testing.T) {
+	_, _, srv, _ := apiServer(t)
+	resp, err := http.Get(srv.URL + "/admin/tokens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated admin status = %d", resp.StatusCode)
+	}
+	bad := &http.Client{Transport: &httpdigest.Client{Username: "portal", Password: "wrong"}}
+	resp2, err := bad.Get(srv.URL + "/admin/tokens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong password status = %d", resp2.StatusCode)
+	}
+}
+
+func TestAdminAPIBadType(t *testing.T) {
+	_, _, srv, client := apiServer(t)
+	resp, _ := postJSON(t, client, srv.URL+"/admin/init", initReq{User: "x", Type: "yubikey"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad type status = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	r, err := client.Post(srv.URL+"/admin/init", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d", r.StatusCode)
+	}
+}
+
+func TestAdminAPIStaticResetAuditLockedout(t *testing.T) {
+	s, sim, srv, client := apiServer(t)
+	resp, _ := postJSON(t, client, srv.URL+"/admin/static", userReq{User: "train01", Code: "123456"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("static status = %d", resp.StatusCode)
+	}
+	if res, _ := s.Check("train01", "123456"); !res.OK {
+		t.Fatal("static code not set")
+	}
+	_ = sim
+
+	// Lock out and verify /admin/lockedout, then /admin/reset.
+	for i := 0; i < DefaultLockoutThreshold; i++ {
+		s.Check("train01", "999999")
+	}
+	r, err := client.Get(srv.URL + "/admin/lockedout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locked []string
+	json.NewDecoder(r.Body).Decode(&locked)
+	r.Body.Close()
+	if len(locked) != 1 || locked[0] != "train01" {
+		t.Fatalf("lockedout = %v", locked)
+	}
+	resp, _ = postJSON(t, client, srv.URL+"/admin/reset", userReq{User: "train01"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("reset status = %d", resp.StatusCode)
+	}
+	if res, _ := s.Check("train01", "123456"); !res.OK {
+		t.Fatal("reset did not restore token")
+	}
+
+	// Audit is reachable and chained.
+	r2, err := client.Get(srv.URL + "/admin/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []AuditEntry
+	json.NewDecoder(r2.Body).Decode(&entries)
+	r2.Body.Close()
+	if len(entries) == 0 {
+		t.Fatal("empty audit trail")
+	}
+}
+
+func TestValidateEndpointOpen(t *testing.T) {
+	s, sim, srv, _ := apiServer(t)
+	enr, _ := s.InitSoftToken("u")
+	code, _ := otp.TOTP(enr.Secret, sim.Now(), s.OTPOptions())
+	// No digest auth needed for /validate/check.
+	b, _ := json.Marshal(userReq{User: "u", Pass: code})
+	resp, err := http.Post(srv.URL+"/validate/check", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["value"] != true {
+		t.Fatalf("validate = %v", out)
+	}
+	// Unknown user → value=false, not an HTTP error.
+	b2, _ := json.Marshal(userReq{User: "ghost", Pass: "123456"})
+	resp2, err := http.Post(srv.URL+"/validate/check", "application/json", bytes.NewReader(b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 map[string]any
+	json.NewDecoder(resp2.Body).Decode(&out2)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || out2["value"] != false {
+		t.Fatalf("validate unknown = %d %v", resp2.StatusCode, out2)
+	}
+}
+
+func TestAdminAPIHardTokenFlow(t *testing.T) {
+	s, sim, srv, client := apiServer(t)
+	secret := []byte("fob-secret-0002-----")
+	s.ImportHardToken("C200-0002", secret)
+	resp, body := postJSON(t, client, srv.URL+"/admin/init",
+		initReq{User: "hanlon", Type: TokenHard, Serial: "C200-0002"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("hard init = %d %v", resp.StatusCode, body)
+	}
+	code, _ := otp.TOTP(secret, sim.Now(), s.OTPOptions())
+	if res, _ := s.Check("hanlon", code); !res.OK {
+		t.Fatal("hard token unusable after REST assignment")
+	}
+	// Unknown serial → 404.
+	resp, _ = postJSON(t, client, srv.URL+"/admin/init",
+		initReq{User: "other", Type: TokenHard, Serial: "NOPE"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown serial status = %d", resp.StatusCode)
+	}
+}
+
+func TestAdminAPIResync(t *testing.T) {
+	s, sim, srv, client := apiServer(t)
+	enr, _ := s.InitSoftToken("u")
+	dev := sim.Now().Add(15 * time.Minute)
+	c1, _ := otp.TOTP(enr.Secret, dev, s.OTPOptions())
+	c2, _ := otp.TOTP(enr.Secret, dev.Add(30*time.Second), s.OTPOptions())
+	resp, _ := postJSON(t, client, srv.URL+"/admin/resync", userReq{User: "u", OTP1: c1, OTP2: c2})
+	if resp.StatusCode != 200 {
+		t.Fatalf("resync status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,81 @@
+package otpd
+
+import (
+	"errors"
+
+	"openmfa/internal/radius"
+)
+
+// RadiusHandler adapts the OTP platform to the RADIUS protocol, the glue
+// described in §3.2: "The token code is sent using challenge-response
+// functionality of the RADIUS protocol to a server that then negotiates a
+// response from the LinOTP database."
+//
+// Request handling:
+//
+//   - Empty User-Password from an SMS-paired user → trigger a text message
+//     and answer Access-Challenge with a State attribute and a
+//     Reply-Message ("an SMS ... has been sent", or the already-sent
+//     notice while a code is active).
+//   - Otherwise validate the code: Access-Accept on success (the code is
+//     nullified), Access-Reject with a Reply-Message on failure.
+type RadiusHandler struct {
+	OTP *Server
+}
+
+// ServeRADIUS implements radius.Handler.
+func (h *RadiusHandler) ServeRADIUS(req *radius.Request) *radius.Packet {
+	user := req.Username()
+	if user == "" {
+		return reject("missing user name")
+	}
+	code, err := req.Password()
+	if err != nil {
+		return reject("undecodable password attribute")
+	}
+
+	if code == "" {
+		// Null request: SMS trigger (§3.4 Figure 2).
+		sent, msg, err := h.OTP.TriggerSMS(user)
+		switch {
+		case errors.Is(err, ErrNotSMS), errors.Is(err, ErrNoToken):
+			// Not an SMS user: prompt for the device code directly.
+			return challenge("enter your token code")
+		case errors.Is(err, ErrLockedOut):
+			return reject("token deactivated; contact support")
+		case err != nil:
+			return reject("token service unavailable")
+		}
+		_ = sent
+		return challenge(msg)
+	}
+
+	res, err := h.OTP.Check(user, code)
+	switch {
+	case errors.Is(err, ErrNoToken):
+		return reject("no token paired")
+	case errors.Is(err, ErrLockedOut):
+		return reject("token deactivated; contact support")
+	case err != nil:
+		return reject("token service unavailable")
+	}
+	if !res.OK {
+		return reject(res.Message)
+	}
+	out := &radius.Packet{Code: radius.AccessAccept}
+	out.AddString(radius.AttrReplyMessage, res.Message)
+	return out
+}
+
+func reject(msg string) *radius.Packet {
+	p := &radius.Packet{Code: radius.AccessReject}
+	p.AddString(radius.AttrReplyMessage, msg)
+	return p
+}
+
+func challenge(msg string) *radius.Packet {
+	p := &radius.Packet{Code: radius.AccessChallenge}
+	p.Add(radius.AttrState, []byte("otpd-challenge"))
+	p.AddString(radius.AttrReplyMessage, msg)
+	return p
+}

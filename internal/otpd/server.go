@@ -1,0 +1,492 @@
+package otpd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/otp"
+	"openmfa/internal/store"
+)
+
+// SMSSender delivers a token code out of band. The production wiring uses
+// the sms.Gateway; tests can substitute a function.
+type SMSSender interface {
+	SendSMS(phone, body string) error
+}
+
+// SMSSenderFunc adapts a function to SMSSender.
+type SMSSenderFunc func(phone, body string) error
+
+// SendSMS calls f.
+func (f SMSSenderFunc) SendSMS(phone, body string) error { return f(phone, body) }
+
+// Config configures a Server.
+type Config struct {
+	// DB is the backing store (required).
+	DB *store.Store
+	// EncryptionKey seals token secrets at rest (16/24/32 bytes,
+	// required).
+	EncryptionKey []byte
+	// AuditKey signs the audit chain; defaults to EncryptionKey.
+	AuditKey []byte
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// SMS delivers SMS codes; required only if SMS tokens are used.
+	SMS SMSSender
+	// LockoutThreshold defaults to DefaultLockoutThreshold (20).
+	LockoutThreshold int
+	// OTP holds the TOTP parameters; defaults to the deployment
+	// defaults (6 digits / 30 s / SHA-1 / ±300 s).
+	OTP otp.TOTPOptions
+	// Issuer labels otpauth URIs; defaults to "HPC".
+	Issuer string
+}
+
+// Server is the OTP platform.
+type Server struct {
+	db        *store.Store
+	box       *cryptoutil.Box
+	clk       clock.Clock
+	sms       SMSSender
+	opts      otp.TOTPOptions
+	issuer    string
+	threshold int
+	audit     *Audit
+
+	// userMu serialises per-user validation so concurrent guesses
+	// cannot race the fail counter.
+	userMu sync.Mutex
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("otpd: Config.DB required")
+	}
+	box, err := cryptoutil.NewBox(cfg.EncryptionKey)
+	if err != nil {
+		return nil, fmt.Errorf("otpd: bad encryption key: %w", err)
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	opts := cfg.OTP
+	if opts.Period == 0 {
+		opts = otp.DefaultTOTPOptions()
+	}
+	threshold := cfg.LockoutThreshold
+	if threshold == 0 {
+		threshold = DefaultLockoutThreshold
+	}
+	issuer := cfg.Issuer
+	if issuer == "" {
+		issuer = "HPC"
+	}
+	auditKey := cfg.AuditKey
+	if auditKey == nil {
+		auditKey = cfg.EncryptionKey
+	}
+	return &Server{
+		db: cfg.DB, box: box, clk: clk, sms: cfg.SMS, opts: opts,
+		issuer: issuer, threshold: threshold,
+		audit: NewAudit(auditKey, clk.Now),
+	}, nil
+}
+
+// Audit exposes the audit log.
+func (s *Server) Audit() *Audit { return s.audit }
+
+// OTPOptions returns the validation parameters in force.
+func (s *Server) OTPOptions() otp.TOTPOptions { return s.opts }
+
+// Enrollment is returned by Init* calls; it carries the material the
+// portal needs to finish pairing.
+type Enrollment struct {
+	User   string
+	Type   TokenType
+	Secret []byte // nil for training tokens
+	Serial string // hard tokens
+	Phone  string // SMS tokens
+	URI    string // otpauth:// URI (soft tokens: the QR payload)
+}
+
+// InitSoftToken provisions a fresh soft token for user. The secret is
+// returned once (encoded in the QR the portal shows) and stored sealed.
+func (s *Server) InitSoftToken(user string) (*Enrollment, error) {
+	return s.initGenerated(user, TokenSoft, "", "")
+}
+
+// InitSMSToken provisions an SMS token tied to phone.
+func (s *Server) InitSMSToken(user, phone string) (*Enrollment, error) {
+	if phone == "" {
+		return nil, errors.New("otpd: phone required for SMS token")
+	}
+	return s.initGenerated(user, TokenSMS, phone, "")
+}
+
+func (s *Server) initGenerated(user string, typ TokenType, phone, serial string) (*Enrollment, error) {
+	user = strings.ToLower(user)
+	if user == "" {
+		return nil, errors.New("otpd: empty user")
+	}
+	if s.db.Has(tokenKey(user)) {
+		return nil, ErrHasToken
+	}
+	secret := cryptoutil.RandomBytes(20)
+	r := &record{
+		User: user, Type: typ, Phone: phone, Serial: serial,
+		SecretSealed: s.sealSecret(user, secret),
+		Active:       true,
+		CreatedUnix:  s.clk.Now().Unix(),
+	}
+	if err := s.saveRecord(r); err != nil {
+		return nil, err
+	}
+	key := otp.Key{Issuer: s.issuer, Account: user, Secret: secret, Options: s.opts}
+	s.audit.Record("init", user, "type="+string(typ), true)
+	return &Enrollment{User: user, Type: typ, Secret: secret, Phone: phone, URI: key.URI()}, nil
+}
+
+// AssignHardToken pairs an inventory fob (by serial) to user.
+func (s *Server) AssignHardToken(user, serial string) (*Enrollment, error) {
+	user = strings.ToLower(user)
+	if s.db.Has(tokenKey(user)) {
+		return nil, ErrHasToken
+	}
+	b, err := s.db.Get(hardInvKey(serial))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrBadSerial
+	}
+	if err != nil {
+		return nil, err
+	}
+	var inv hardInventory
+	if err := unmarshal(b, &inv); err != nil {
+		return nil, err
+	}
+	secret, err := s.box.Open(inv.SecretSealed, []byte("serial:"+serial))
+	if err != nil {
+		return nil, fmt.Errorf("otpd: inventory unseal: %w", err)
+	}
+	r := &record{
+		User: user, Type: TokenHard, Serial: serial,
+		SecretSealed: s.sealSecret(user, secret),
+		Active:       true,
+		CreatedUnix:  s.clk.Now().Unix(),
+	}
+	if err := s.saveRecord(r); err != nil {
+		return nil, err
+	}
+	if err := s.db.Delete(hardInvKey(serial)); err != nil {
+		return nil, err
+	}
+	s.audit.Record("assign_hard", user, "serial="+serial, true)
+	return &Enrollment{User: user, Type: TokenHard, Serial: serial}, nil
+}
+
+// SetStaticToken provisions (or reprovisions) a training account with a
+// static six-digit code (§3.3: "LinOTP provides the capability to set a
+// static, six-digit token code for individual accounts").
+func (s *Server) SetStaticToken(user, code string) error {
+	user = strings.ToLower(user)
+	if len(code) != 6 || strings.TrimLeft(code, "0123456789") != "" {
+		return ErrBadStatic
+	}
+	r, err := s.loadRecord(user)
+	if errors.Is(err, ErrNoToken) {
+		r = &record{User: user, Type: TokenTraining, Active: true, CreatedUnix: s.clk.Now().Unix()}
+	} else if err != nil {
+		return err
+	} else if r.Type != TokenTraining {
+		return fmt.Errorf("otpd: %s has a %s token; remove it first", user, r.Type)
+	}
+	// "The static token codes are easily regenerated once the training
+	// session is finished" — reprovisioning resets state.
+	r.StaticSealed = s.box.Seal([]byte(code), []byte("static:"+user))
+	r.FailCount = 0
+	r.Active = true
+	if err := s.saveRecord(r); err != nil {
+		return err
+	}
+	s.audit.Record("set_static", user, "", true)
+	return nil
+}
+
+// RemoveToken unpairs user's token.
+func (s *Server) RemoveToken(user string) error {
+	user = strings.ToLower(user)
+	if !s.db.Has(tokenKey(user)) {
+		return ErrNoToken
+	}
+	if err := s.db.Delete(tokenKey(user)); err != nil {
+		return err
+	}
+	s.audit.Record("remove", user, "", true)
+	return nil
+}
+
+// Token returns the admin view of user's token.
+func (s *Server) Token(user string) (TokenInfo, error) {
+	r, err := s.loadRecord(strings.ToLower(user))
+	if err != nil {
+		return TokenInfo{}, err
+	}
+	return r.info(), nil
+}
+
+// HasToken reports whether user has any token ("opt-in ... simply by a
+// device pairing").
+func (s *Server) HasToken(user string) bool {
+	return s.db.Has(tokenKey(strings.ToLower(user)))
+}
+
+// Tokens lists every provisioned token.
+func (s *Server) Tokens() []TokenInfo {
+	var out []TokenInfo
+	for _, kv := range s.db.Scan("token/") {
+		var r record
+		if err := unmarshal(kv.Value, &r); err == nil {
+			out = append(out, r.info())
+		}
+	}
+	return out
+}
+
+// CheckResult reports a validation outcome.
+type CheckResult struct {
+	OK      bool
+	Message string
+	// LockedOut is set when this attempt tripped (or found) the lockout.
+	LockedOut bool
+}
+
+// Check validates a token code for user. Semantics per the paper:
+//
+//   - Success consumes the code: "the provided token code is nullified"
+//     (§3.2) — a replayed counter is rejected.
+//   - "In the event of a token mismatch, the token code remains valid and
+//     a failure message is sent instead."
+//   - 20 consecutive failures deactivate the token (§3.1); successes reset
+//     the counter.
+func (s *Server) Check(user, code string) (CheckResult, error) {
+	user = strings.ToLower(user)
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
+
+	r, err := s.loadRecord(user)
+	if err != nil {
+		return CheckResult{Message: "no token"}, err
+	}
+	if !r.Active {
+		s.audit.Record("check", user, "locked out", false)
+		return CheckResult{Message: "token deactivated", LockedOut: true}, ErrLockedOut
+	}
+
+	ok := false
+	var matched uint64
+	switch r.Type {
+	case TokenTraining:
+		static, err := s.box.Open(r.StaticSealed, []byte("static:"+user))
+		if err != nil {
+			return CheckResult{}, fmt.Errorf("otpd: unseal static: %w", err)
+		}
+		ok = subtleEqual(string(static), code)
+	default:
+		secret, err := s.openSecret(user, r.SecretSealed)
+		if err != nil {
+			return CheckResult{}, fmt.Errorf("otpd: unseal secret: %w", err)
+		}
+		matched, ok = otp.ValidateTOTP(secret, code, s.clk.Now(), s.opts)
+		if ok && matched <= r.LastCounter {
+			// Replay of a consumed code.
+			ok = false
+		}
+	}
+
+	if !ok {
+		r.FailCount++
+		res := CheckResult{Message: "invalid token code"}
+		if r.FailCount >= s.threshold {
+			r.Active = false
+			res.LockedOut = true
+			res.Message = "token deactivated after repeated failures"
+		}
+		if err := s.saveRecord(r); err != nil {
+			return CheckResult{}, err
+		}
+		s.audit.Record("check", user, fmt.Sprintf("fail_count=%d", r.FailCount), false)
+		return res, nil
+	}
+
+	r.FailCount = 0
+	if r.Type != TokenTraining {
+		r.LastCounter = matched
+	}
+	// The consumed code is no longer "active": the next null request may
+	// send a fresh SMS immediately instead of the already-sent notice.
+	r.LastSMSUnix = 0
+	if err := s.saveRecord(r); err != nil {
+		return CheckResult{}, err
+	}
+	s.audit.Record("check", user, "", true)
+	return CheckResult{OK: true, Message: "token validated"}, nil
+}
+
+func subtleEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := 0; i < len(a); i++ {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}
+
+// smsValidity is how long an SMS code remains "active", suppressing
+// duplicate sends: "While the token code is active, if another request is
+// made, LinOTP will not forward to Twilio" (§3.3). SMS codes tolerate the
+// full drift window, so activity mirrors it.
+func (s *Server) smsValidity() time.Duration {
+	v := s.opts.Skew
+	if v <= 0 {
+		v = s.opts.Period
+	}
+	return v
+}
+
+// TriggerSMS sends the current token code to user's phone, unless a code
+// is still active. It returns (sent, userMessage).
+func (s *Server) TriggerSMS(user string) (bool, string, error) {
+	user = strings.ToLower(user)
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
+
+	r, err := s.loadRecord(user)
+	if err != nil {
+		return false, "", err
+	}
+	if r.Type != TokenSMS {
+		return false, "", ErrNotSMS
+	}
+	if !r.Active {
+		return false, "token deactivated", ErrLockedOut
+	}
+	now := s.clk.Now()
+	if r.LastSMSUnix > 0 && now.Sub(time.Unix(r.LastSMSUnix, 0)) < s.smsValidity() {
+		return false, "an SMS has already been sent; enter the code you received", nil
+	}
+	secret, err := s.openSecret(user, r.SecretSealed)
+	if err != nil {
+		return false, "", err
+	}
+	code, err := otp.TOTP(secret, now, s.opts)
+	if err != nil {
+		return false, "", err
+	}
+	if s.sms == nil {
+		return false, "", errors.New("otpd: no SMS sender configured")
+	}
+	if err := s.sms.SendSMS(r.Phone, fmt.Sprintf("Your %s token code is %s", s.issuer, code)); err != nil {
+		s.audit.Record("sms", user, err.Error(), false)
+		return false, "", fmt.Errorf("otpd: sms send: %w", err)
+	}
+	r.LastSMSUnix = now.Unix()
+	if err := s.saveRecord(r); err != nil {
+		return false, "", err
+	}
+	s.audit.Record("sms", user, "code sent", true)
+	return true, "an SMS with your token code has been sent", nil
+}
+
+// Resync realigns a drifted token given two consecutive codes (admin UI
+// operation, §3.1).
+func (s *Server) Resync(user, code1, code2 string) error {
+	user = strings.ToLower(user)
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
+	r, err := s.loadRecord(user)
+	if err != nil {
+		return err
+	}
+	if r.Type == TokenTraining {
+		return errors.New("otpd: training tokens cannot be resynced")
+	}
+	secret, err := s.openSecret(user, r.SecretSealed)
+	if err != nil {
+		return err
+	}
+	counter, ok := otp.Resync(secret, code1, code2, s.clk.Now(), 1000, s.opts)
+	if !ok {
+		s.audit.Record("resync", user, "", false)
+		return errors.New("otpd: resync failed: codes not consecutive in search window")
+	}
+	r.LastCounter = counter
+	r.FailCount = 0
+	r.Active = true
+	if err := s.saveRecord(r); err != nil {
+		return err
+	}
+	s.audit.Record("resync", user, fmt.Sprintf("counter=%d", counter), true)
+	return nil
+}
+
+// ResetFailures clears the failure counter and reactivates the token
+// ("clear failure counters associated with consecutive unsuccessful MFA
+// log in attempts", §3.1).
+func (s *Server) ResetFailures(user string) error {
+	user = strings.ToLower(user)
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
+	r, err := s.loadRecord(user)
+	if err != nil {
+		return err
+	}
+	r.FailCount = 0
+	r.Active = true
+	if err := s.saveRecord(r); err != nil {
+		return err
+	}
+	s.audit.Record("reset", user, "", true)
+	return nil
+}
+
+// LockedOutUsers lists users whose tokens are deactivated — the paper's
+// internal staff website for troubleshooting (§3.1).
+func (s *Server) LockedOutUsers() []string {
+	var out []string
+	for _, ti := range s.Tokens() {
+		if !ti.Active {
+			out = append(out, ti.User)
+		}
+	}
+	return out
+}
+
+// CurrentCode computes the code a user's device would show right now.
+// This is device-side functionality exposed for simulations and tests; it
+// never appears in the admin API.
+func (s *Server) CurrentCode(user string, deviceDrift time.Duration) (string, error) {
+	r, err := s.loadRecord(strings.ToLower(user))
+	if err != nil {
+		return "", err
+	}
+	if r.Type == TokenTraining {
+		static, err := s.box.Open(r.StaticSealed, []byte("static:"+strings.ToLower(user)))
+		if err != nil {
+			return "", err
+		}
+		return string(static), nil
+	}
+	secret, err := s.openSecret(strings.ToLower(user), r.SecretSealed)
+	if err != nil {
+		return "", err
+	}
+	return otp.TOTP(secret, s.clk.Now().Add(deviceDrift), s.opts)
+}

@@ -1,0 +1,163 @@
+// Package otpd is the OTP platform at the core of the back end — the
+// LinOTP substitute (§3.1). It keeps the repository of users and their
+// associated one-time-password secret keys (encrypted at rest), validates
+// token codes with replay protection and drift windows, enforces the
+// 20-consecutive-failure lockout, implements the SMS challenge flow, static
+// training tokens, token resynchronisation, an HMAC-chained audit log, and
+// a REST admin API protected by HTTP Digest authentication.
+package otpd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"openmfa/internal/store"
+)
+
+// unmarshal wraps json.Unmarshal with a package-tagged error.
+func unmarshal(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("otpd: decode: %w", err)
+	}
+	return nil
+}
+
+// TokenType is the device pairing class (§3.3, Table 1).
+type TokenType string
+
+// The four token types the deployment supports.
+const (
+	TokenSoft     TokenType = "soft"     // in-house smartphone app
+	TokenSMS      TokenType = "sms"      // Twilio-delivered codes
+	TokenHard     TokenType = "hard"     // Feitian OTP c200 fob
+	TokenTraining TokenType = "training" // static code for workshop accounts
+)
+
+// ValidType reports whether t is a known token type.
+func ValidType(t TokenType) bool {
+	switch t {
+	case TokenSoft, TokenSMS, TokenHard, TokenTraining:
+		return true
+	}
+	return false
+}
+
+// DefaultLockoutThreshold is the paper's deactivation threshold: "A
+// threshold of 20 consecutive failed attempts must occur before a user
+// account is temporarily deactivated" (§3.1).
+const DefaultLockoutThreshold = 20
+
+// record is the persisted form of a token. Secrets are sealed with the
+// server's Box before they reach the store.
+type record struct {
+	User         string    `json:"user"`
+	Type         TokenType `json:"type"`
+	SecretSealed []byte    `json:"secret_sealed,omitempty"`
+	StaticSealed []byte    `json:"static_sealed,omitempty"`
+	Serial       string    `json:"serial,omitempty"`
+	Phone        string    `json:"phone,omitempty"`
+	Active       bool      `json:"active"`
+	FailCount    int       `json:"fail_count"`
+	LastCounter  uint64    `json:"last_counter"` // replay high-water mark
+	LastSMSUnix  int64     `json:"last_sms_unix,omitempty"`
+	CreatedUnix  int64     `json:"created_unix"`
+}
+
+// TokenInfo is the admin-visible view of a token (no secret material).
+type TokenInfo struct {
+	User      string    `json:"user"`
+	Type      TokenType `json:"type"`
+	Serial    string    `json:"serial,omitempty"`
+	Phone     string    `json:"phone,omitempty"`
+	Active    bool      `json:"active"`
+	FailCount int       `json:"fail_count"`
+	Created   time.Time `json:"created"`
+}
+
+func (r *record) info() TokenInfo {
+	return TokenInfo{
+		User: r.User, Type: r.Type, Serial: r.Serial, Phone: r.Phone,
+		Active: r.Active, FailCount: r.FailCount,
+		Created: time.Unix(r.CreatedUnix, 0).UTC(),
+	}
+}
+
+func tokenKey(user string) string     { return "token/" + strings.ToLower(user) }
+func hardInvKey(serial string) string { return "hardinv/" + serial }
+
+// Well-known errors.
+var (
+	ErrNoToken   = errors.New("otpd: user has no token")
+	ErrHasToken  = errors.New("otpd: user already has a token")
+	ErrLockedOut = errors.New("otpd: token deactivated after too many failures")
+	ErrBadType   = errors.New("otpd: invalid token type")
+	ErrBadSerial = errors.New("otpd: unknown or assigned hard token serial")
+	ErrNotSMS    = errors.New("otpd: token is not an SMS token")
+	ErrInactive  = errors.New("otpd: token is inactive")
+	ErrBadStatic = errors.New("otpd: static code must be six digits")
+)
+
+func (s *Server) loadRecord(user string) (*record, error) {
+	b, err := s.db.Get(tokenKey(user))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrNoToken
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("otpd: corrupt record for %s: %w", user, err)
+	}
+	return &r, nil
+}
+
+func (s *Server) saveRecord(r *record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return s.db.Put(tokenKey(r.User), b)
+}
+
+func (s *Server) sealSecret(user string, secret []byte) []byte {
+	return s.box.Seal(secret, []byte("user:"+strings.ToLower(user)))
+}
+
+func (s *Server) openSecret(user string, sealed []byte) ([]byte, error) {
+	return s.box.Open(sealed, []byte("user:"+strings.ToLower(user)))
+}
+
+// hardInventory is the persisted form of an unassigned fob.
+type hardInventory struct {
+	Serial       string `json:"serial"`
+	SecretSealed []byte `json:"secret_sealed"`
+}
+
+// ImportHardToken loads one pre-programmed fob into inventory. The paper's
+// batch purchase "came pre-programmed with a secret key, all of which were
+// provided at the time of batch purchase" (§3.3).
+func (s *Server) ImportHardToken(serial string, secret []byte) error {
+	if serial == "" || len(secret) == 0 {
+		return errors.New("otpd: serial and secret required")
+	}
+	if s.db.Has(hardInvKey(serial)) {
+		return fmt.Errorf("otpd: serial %s already imported", serial)
+	}
+	inv := hardInventory{Serial: serial, SecretSealed: s.box.Seal(secret, []byte("serial:"+serial))}
+	b, err := json.Marshal(inv)
+	if err != nil {
+		return err
+	}
+	if err := s.db.Put(hardInvKey(serial), b); err != nil {
+		return err
+	}
+	s.audit.Record("import_hard", "", "serial="+serial, true)
+	return nil
+}
+
+// HardInventoryCount reports unassigned fobs remaining.
+func (s *Server) HardInventoryCount() int { return s.db.Count("hardinv/") }

@@ -1,0 +1,249 @@
+// Package pam reimplements the Pluggable Authentication Modules stack
+// semantics in pure Go, together with the paper's four in-house modules
+// (§3.4): the public-key-success check, the MFA exemption check, the MFA
+// token-code module with its four-tier enforcement policy, and the Solaris
+// combination module.
+//
+// The engine follows Linux-PAM's generalized control syntax: every module
+// result maps to an action (ok, done, bad, die, ignore, or skip-N), and
+// the classic keywords required / requisite / sufficient / optional are
+// provided as the conventional mappings. This makes the paper's Figure 1
+// decision tree directly executable — see TestFigure1.
+package pam
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Result is a module's verdict, a compact subset of PAM return codes.
+type Result int
+
+// Module results.
+const (
+	// Success is PAM_SUCCESS.
+	Success Result = iota
+	// Ignore is PAM_IGNORE: the module abstains.
+	Ignore
+	// AuthErr is PAM_AUTH_ERR: authentication failed.
+	AuthErr
+	// UserUnknown is PAM_USER_UNKNOWN.
+	UserUnknown
+	// SystemErr is PAM_SYSTEM_ERR: infrastructure failure.
+	SystemErr
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Success:
+		return "success"
+	case Ignore:
+		return "ignore"
+	case AuthErr:
+		return "auth_err"
+	case UserUnknown:
+		return "user_unknown"
+	case SystemErr:
+		return "system_err"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Action is what the stack does with a module result.
+type Action int
+
+// Actions, per Linux-PAM's control value vocabulary. Positive values are
+// skip counts (the [success=N] jump syntax).
+const (
+	// ActionIgnore: the result does not influence the stack outcome.
+	ActionIgnore Action = -1 - iota
+	// ActionOK: contributes success unless a failure is already recorded.
+	ActionOK
+	// ActionDone: like OK, then terminate the stack immediately.
+	ActionDone
+	// ActionBad: record failure, continue.
+	ActionBad
+	// ActionDie: record failure, terminate immediately.
+	ActionDie
+)
+
+// Skip returns the action that jumps over the next n entries.
+func Skip(n int) Action {
+	if n < 1 {
+		panic("pam: Skip requires n >= 1")
+	}
+	return Action(n)
+}
+
+// Control maps results to actions. Default applies to unmapped results.
+type Control struct {
+	On      map[Result]Action
+	Default Action
+}
+
+func (c Control) action(r Result) Action {
+	if a, ok := c.On[r]; ok {
+		return a
+	}
+	return c.Default
+}
+
+// The four classic control keywords.
+
+// Required: failure is recorded but the stack continues (so later modules
+// still run, hiding which one failed); success contributes.
+func Required() Control {
+	return Control{On: map[Result]Action{Success: ActionOK, Ignore: ActionIgnore}, Default: ActionBad}
+}
+
+// Requisite: failure terminates the stack immediately.
+func Requisite() Control {
+	return Control{On: map[Result]Action{Success: ActionOK, Ignore: ActionIgnore}, Default: ActionDie}
+}
+
+// Sufficient: success terminates the stack successfully (unless a required
+// module already failed); failure is ignored.
+func Sufficient() Control {
+	return Control{On: map[Result]Action{Success: ActionDone}, Default: ActionIgnore}
+}
+
+// Optional: counts only when nothing else is determinative.
+func Optional() Control {
+	return Control{On: map[Result]Action{Success: ActionOK}, Default: ActionIgnore}
+}
+
+// SkipOnSuccess is the [success=N default=ignore] jump used to bypass the
+// password module after public-key success.
+func SkipOnSuccess(n int) Control {
+	return Control{On: map[Result]Action{Success: Skip(n)}, Default: ActionIgnore}
+}
+
+// Conversation is the PAM conversation function: the only channel a module
+// has to the remote user.
+type Conversation interface {
+	// Prompt asks the user for input. echo=false means secret entry.
+	Prompt(echo bool, msg string) (string, error)
+	// Info displays a message without expecting input.
+	Info(msg string) error
+}
+
+// Context carries one authentication attempt through the stack.
+type Context struct {
+	User       string
+	RemoteAddr net.IP
+	Service    string // e.g. "sshd"
+	Conv       Conversation
+	Now        func() time.Time
+
+	// Data is module-shared state (pam_set_data equivalent).
+	Data map[string]any
+
+	// Log, when set, receives a line per module decision.
+	Log func(format string, args ...any)
+}
+
+func (ctx *Context) logf(format string, args ...any) {
+	if ctx.Log != nil {
+		ctx.Log(format, args...)
+	}
+}
+
+func (ctx *Context) now() time.Time {
+	if ctx.Now != nil {
+		return ctx.Now()
+	}
+	return time.Now()
+}
+
+// Module is an authentication module.
+type Module interface {
+	Name() string
+	Authenticate(ctx *Context) Result
+}
+
+// Entry is one line of a PAM stack configuration.
+type Entry struct {
+	Control Control
+	Module  Module
+}
+
+// Stack is an ordered PAM configuration for one service.
+type Stack struct {
+	Service string
+	Entries []Entry
+}
+
+// Authentication outcomes.
+var (
+	// ErrAuthFailed: a determinative module failed.
+	ErrAuthFailed = errors.New("pam: authentication failure")
+	// ErrEmptyStack: no module expressed an opinion.
+	ErrEmptyStack = errors.New("pam: no determinative module in stack")
+)
+
+// Authenticate runs the stack. nil means entry is granted.
+func (s *Stack) Authenticate(ctx *Context) error {
+	if ctx.Data == nil {
+		ctx.Data = make(map[string]any)
+	}
+	type impression int
+	const (
+		none impression = iota
+		good
+		bad
+	)
+	state := none
+
+	record := func(ok bool) {
+		if ok {
+			if state == none {
+				state = good
+			}
+		} else {
+			// First failure wins and sticks (Linux-PAM retains the
+			// first required failure).
+			if state != bad {
+				state = bad
+			}
+		}
+	}
+
+	for i := 0; i < len(s.Entries); i++ {
+		e := s.Entries[i]
+		res := e.Module.Authenticate(ctx)
+		act := e.Control.action(res)
+		ctx.logf("pam(%s): %s -> %s", s.Service, e.Module.Name(), res)
+		switch {
+		case act == ActionIgnore:
+			// nothing
+		case act == ActionOK:
+			record(true)
+		case act == ActionDone:
+			record(true)
+			if state == good {
+				return nil
+			}
+			// A prior failure blocks the early success; keep going
+			// so remaining required modules still run.
+		case act == ActionBad:
+			record(false)
+		case act == ActionDie:
+			record(false)
+			return ErrAuthFailed
+		case act >= 1: // skip N
+			i += int(act)
+		}
+	}
+	switch state {
+	case good:
+		return nil
+	case bad:
+		return ErrAuthFailed
+	default:
+		return ErrEmptyStack
+	}
+}

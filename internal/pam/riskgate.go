@@ -1,0 +1,56 @@
+package pam
+
+import (
+	"fmt"
+
+	"openmfa/internal/risk"
+)
+
+// RiskGate is the dynamic-risk extension module (§6 future work, built
+// out per DESIGN.md): it scores the attempt before the exemption module
+// runs and
+//
+//   - Critical  → denies the attempt outright (AuthErr),
+//   - Elevated  → cancels any MFA exemption for this attempt by setting
+//     DataRiskForceMFA, which the Exempt module honours, so the second
+//     factor is required even for whitelisted origins,
+//   - Low       → abstains (Ignore).
+//
+// Outcomes feed back into the engine via RecordSuccess/RecordFailure from
+// the caller (sshd does this automatically when a risk engine is wired).
+type RiskGate struct {
+	Engine *risk.Engine
+	// Notify, when set, receives a human-readable line per non-low
+	// assessment (the admin alert channel).
+	Notify func(user string, a risk.Assessment)
+}
+
+// DataRiskForceMFA marks the attempt as too risky for exemptions.
+const DataRiskForceMFA = "risk_force_mfa"
+
+// Name implements Module.
+func (m *RiskGate) Name() string { return "pam_risk_gate" }
+
+// Authenticate implements Module.
+func (m *RiskGate) Authenticate(ctx *Context) Result {
+	a := m.Engine.Assess(ctx.User, ctx.RemoteAddr, ctx.now())
+	if a.Level != risk.Low && m.Notify != nil {
+		m.Notify(ctx.User, a)
+	}
+	switch a.Level {
+	case risk.Critical:
+		ctx.logf("pam_risk_gate: DENY %s from %v: score %.2f (%v)",
+			ctx.User, ctx.RemoteAddr, a.Score, a.Reasons)
+		if ctx.Conv != nil {
+			ctx.Conv.Info(fmt.Sprintf("login blocked by risk policy (%s)", a.Level))
+		}
+		return AuthErr
+	case risk.Elevated:
+		ctx.logf("pam_risk_gate: force MFA for %s from %v: score %.2f (%v)",
+			ctx.User, ctx.RemoteAddr, a.Score, a.Reasons)
+		ctx.Data[DataRiskForceMFA] = true
+		return Ignore
+	default:
+		return Ignore
+	}
+}

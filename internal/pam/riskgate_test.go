@@ -1,0 +1,147 @@
+package pam
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"openmfa/internal/geoip"
+	"openmfa/internal/risk"
+)
+
+var (
+	austinIP = net.ParseIP("129.114.3.7")
+	chinaIP  = net.ParseIP("159.226.40.1")
+	germanIP = net.ParseIP("141.20.1.2")
+)
+
+// riskHarness wires the risk-gated stack over the usual back end.
+func riskHarness(t *testing.T, aclRules string) (*harness, *risk.Engine, *Stack) {
+	t.Helper()
+	h := newHarness(t, aclRules)
+	engine := risk.NewEngine(geoip.Synthetic(), risk.DefaultWeights())
+	stack := NewSSHDStackWithRisk(SSHDStackConfig{
+		AuthLog:    h.authLog,
+		IDM:        h.idm,
+		Exemptions: h.acl,
+		TokenCfg:   h.mode,
+		Pairing:    LocalPairing{Dir: h.dir},
+		Radius:     h.pool,
+	}, engine, nil)
+	return h, engine, stack
+}
+
+func seedHistory(e *risk.Engine, user string, at time.Time) {
+	for i := 0; i < 30; i++ {
+		e.RecordSuccess(user, austinIP, at.AddDate(0, 0, -30+i))
+	}
+}
+
+func loginVia(t *testing.T, h *harness, stack *Stack, user string, ip net.IP, c *conv) error {
+	t.Helper()
+	ctx := &Context{User: user, RemoteAddr: ip, Service: "sshd", Conv: c, Now: h.sim.Now}
+	return stack.Authenticate(ctx)
+}
+
+func TestRiskGateLowRiskPassesThrough(t *testing.T) {
+	h, engine, stack := riskHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	code := h.pairSoft(t, "alice")
+	seedHistory(engine, "alice", h.sim.Now())
+	c := &conv{answers: []any{"pw", func() string { return code() }}}
+	if err := loginVia(t, h, stack, "alice", austinIP, c); err != nil {
+		t.Fatalf("familiar login denied: %v", err)
+	}
+}
+
+func TestRiskGateElevatedCancelsExemption(t *testing.T) {
+	// A whitelisted user from a brand-new country must still present a
+	// token code: the exemption is suppressed for the attempt.
+	h, engine, stack := riskHarness(t, "permit : gateway1 : ALL : ALL")
+	h.addUser(t, "gateway1", "pw")
+	code := h.pairSoft(t, "gateway1")
+	seedHistory(engine, "gateway1", h.sim.Now())
+
+	// From the usual place: exemption applies, no token prompt.
+	c1 := &conv{answers: []any{"pw"}}
+	if err := loginVia(t, h, stack, "gateway1", austinIP, c1); err != nil {
+		t.Fatalf("home login denied: %v", err)
+	}
+	if c1.sawPrompt("Token") {
+		t.Fatal("token prompted from familiar origin")
+	}
+	// From Germany (new net + new country = elevated): token required.
+	c2 := &conv{answers: []any{"pw", func() string { return code() }}}
+	if err := loginVia(t, h, stack, "gateway1", germanIP, c2); err != nil {
+		t.Fatalf("elevated-risk login with valid token denied: %v", err)
+	}
+	if !c2.sawPrompt("Token") {
+		t.Fatal("exemption not suppressed under elevated risk")
+	}
+}
+
+func TestRiskGateCriticalDenies(t *testing.T) {
+	h, engine, stack := riskHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	code := h.pairSoft(t, "alice")
+	seedHistory(engine, "alice", h.sim.Now())
+	// Impossible travel: success from Austin now, login from China in
+	// 30 minutes.
+	engine.RecordSuccess("alice", austinIP, h.sim.Now())
+	h.sim.Advance(30 * time.Minute)
+	c := &conv{answers: []any{"pw", func() string { return code() }}}
+	err := loginVia(t, h, stack, "alice", chinaIP, c)
+	if !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("impossible travel admitted: %v", err)
+	}
+	if c.sawPrompt("Token") {
+		t.Fatal("critical risk still reached the token module")
+	}
+	if !c.sawInfo("risk policy") {
+		t.Fatalf("no user-facing risk notice: %v", c.infos)
+	}
+}
+
+func TestRiskGateNotifyChannel(t *testing.T) {
+	h, engine, _ := riskHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	h.pairSoft(t, "alice")
+	seedHistory(engine, "alice", h.sim.Now())
+	var alerts []string
+	stack := NewSSHDStackWithRisk(SSHDStackConfig{
+		AuthLog:    h.authLog,
+		IDM:        h.idm,
+		Exemptions: h.acl,
+		TokenCfg:   h.mode,
+		Pairing:    LocalPairing{Dir: h.dir},
+		Radius:     h.pool,
+	}, engine, func(user string, a risk.Assessment) {
+		alerts = append(alerts, user+":"+a.Level.String())
+	})
+	code := h.pairSoft // silence unused; not needed here
+	_ = code
+	c := &conv{answers: []any{"pw", "000000"}}
+	loginVia(t, h, stack, "alice", germanIP, c)
+	if len(alerts) != 1 || alerts[0] != "alice:elevated" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestRiskGateRunsAfterFirstFactor(t *testing.T) {
+	// The gate must not fire for attempts that fail the password: the
+	// stack is requisite-ordered, password first.
+	h, engine, stack := riskHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	seedHistory(engine, "alice", h.sim.Now())
+	var alerts int
+	stack.Entries[2].Module = &RiskGate{Engine: engine,
+		Notify: func(string, risk.Assessment) { alerts++ }}
+	c := &conv{answers: []any{"wrong-password"}}
+	if err := loginVia(t, h, stack, "alice", chinaIP, c); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if alerts != 0 {
+		t.Fatal("risk gate evaluated before the first factor succeeded")
+	}
+}

@@ -1,0 +1,83 @@
+package pam
+
+import (
+	"openmfa/internal/accessctl"
+	"openmfa/internal/authlog"
+	"openmfa/internal/idm"
+	"openmfa/internal/radius"
+	"openmfa/internal/risk"
+)
+
+// SSHDStackConfig collects the dependencies of the paper's Figure 1 stack.
+type SSHDStackConfig struct {
+	AuthLog    *authlog.Log
+	IDM        *idm.IDM
+	Exemptions *accessctl.List
+	TokenCfg   ConfigProvider
+	Pairing    PairingLookup
+	Radius     *radius.Pool
+}
+
+// NewSSHDStack builds the representative Linux PAM authentication stack of
+// Figure 1:
+//
+//	auth  [success=1 default=ignore]  pam_pubkey_success   # pubkey? skip password
+//	auth  requisite                   pam_password          # first factor
+//	auth  sufficient                  pam_mfa_exempt        # exemption? done
+//	auth  required                    pam_mfa_token         # second factor
+//
+// Reading of the tree: SSH first tests for an authorized public key. The
+// pubkey-success module detects that via the auth log and skips the
+// password module; otherwise the user must enter a correct password
+// (requisite: a wrong password terminates the stack, and sshd restarts it
+// for the retry budget). Only then is the second factor processed: the
+// exemption module short-circuits to success for whitelisted
+// users/addresses, and finally the token module enforces the configured
+// opt-in tier.
+func NewSSHDStack(cfg SSHDStackConfig) *Stack {
+	return &Stack{
+		Service: "sshd",
+		Entries: []Entry{
+			{SkipOnSuccess(1), &PubkeySuccess{Log: cfg.AuthLog}},
+			{Requisite(), &Password{IDM: cfg.IDM}},
+			{Sufficient(), &Exempt{List: cfg.Exemptions}},
+			{Required(), &Token{Config: cfg.TokenCfg, Pairing: cfg.Pairing, Radius: cfg.Radius}},
+		},
+	}
+}
+
+// NewSSHDStackWithRisk is NewSSHDStack plus the dynamic-risk gate (§6
+// future work): the gate runs right after the first factor, so a critical
+// score denies before the second factor is even attempted, and an
+// elevated score forces MFA past any exemption.
+func NewSSHDStackWithRisk(cfg SSHDStackConfig, engine *risk.Engine, notify func(string, risk.Assessment)) *Stack {
+	return &Stack{
+		Service: "sshd",
+		Entries: []Entry{
+			{SkipOnSuccess(1), &PubkeySuccess{Log: cfg.AuthLog}},
+			{Requisite(), &Password{IDM: cfg.IDM}},
+			{Requisite(), &RiskGate{Engine: engine, Notify: notify}},
+			{Sufficient(), &Exempt{List: cfg.Exemptions}},
+			{Required(), &Token{Config: cfg.TokenCfg, Pairing: cfg.Pairing, Radius: cfg.Radius}},
+		},
+	}
+}
+
+// NewSolarisStack is the Oracle Solaris variant (§3.4): the combined
+// pubkey+exemption module replaces the two separate entries "to
+// accommodate differences in PAM stack processing logic". Password
+// handling on Solaris happens before this stack runs, so the combo module
+// leads.
+func NewSolarisStack(cfg SSHDStackConfig) *Stack {
+	combo := &SolarisCombo{
+		Pubkey: &PubkeySuccess{Log: cfg.AuthLog},
+		Exempt: &Exempt{List: cfg.Exemptions},
+	}
+	return &Stack{
+		Service: "sshd-solaris",
+		Entries: []Entry{
+			{Sufficient(), combo},
+			{Required(), &Token{Config: cfg.TokenCfg, Pairing: cfg.Pairing, Radius: cfg.Radius}},
+		},
+	}
+}

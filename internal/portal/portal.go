@@ -1,0 +1,470 @@
+// Package portal implements the web-based user portal of §3.5: the single
+// place users manage their MFA device pairing. It reproduces the paper's
+// flows in full:
+//
+//   - session login against the IDM, with the interstitial "splash screen"
+//     for unpaired users, dismissible but re-shown on every login;
+//   - a stateful pairing process per session (soft QR scan, SMS phone
+//     number, hard-token serial), hardened against refreshes, form
+//     resubmission, and the back button: any restart aborts the pending
+//     pairing and the user starts from the beginning;
+//   - token-code confirmation against the OTP back end via the
+//     digest-authenticated admin REST API;
+//   - unpairing with possession proof (current code), the signed-URL
+//     out-of-band email path for lost devices, and the hard-token
+//     exception (support ticket only);
+//   - notifications to the identity-management back end on every pairing
+//     change.
+package portal
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/idm"
+	"openmfa/internal/otpd"
+	"openmfa/internal/qr"
+	"openmfa/internal/sms"
+)
+
+// EmailSender delivers out-of-band mail (unpair links). Tests capture it.
+type EmailSender interface {
+	SendEmail(to, subject, body string) error
+}
+
+// EmailFunc adapts a function.
+type EmailFunc func(to, subject, body string) error
+
+// SendEmail implements EmailSender.
+func (f EmailFunc) SendEmail(to, subject, body string) error { return f(to, subject, body) }
+
+// Config wires a Portal.
+type Config struct {
+	IDM   *idm.IDM          // required
+	Admin *otpd.AdminClient // required
+	Email EmailSender       // required for out-of-band unpairing
+	Clock clock.Clock       // nil = real time
+	// SessionKey signs cookies and out-of-band URLs (required).
+	SessionKey []byte
+	// BaseURL prefixes signed links in email.
+	BaseURL string
+	// SessionTTL defaults to 12 hours.
+	SessionTTL time.Duration
+}
+
+// Portal is the web application.
+type Portal struct {
+	idm    *idm.IDM
+	admin  *otpd.AdminClient
+	email  EmailSender
+	clk    clock.Clock
+	signer *cryptoutil.Signer
+	base   string
+	ttl    time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	user    string
+	expires time.Time
+	pending *pairingState
+}
+
+// pairingState is the stateful, no-refresh pairing operation.
+type pairingState struct {
+	typ    otpd.TokenType
+	nonce  string
+	secret string // base32, soft only (displayed as QR)
+	uri    string
+	serial string
+	phone  string
+}
+
+// New builds the Portal.
+func New(cfg Config) (*Portal, error) {
+	if cfg.IDM == nil || cfg.Admin == nil {
+		return nil, errors.New("portal: IDM and Admin required")
+	}
+	if len(cfg.SessionKey) == 0 {
+		return nil, errors.New("portal: SessionKey required")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	ttl := cfg.SessionTTL
+	if ttl == 0 {
+		ttl = 12 * time.Hour
+	}
+	return &Portal{
+		idm:      cfg.IDM,
+		admin:    cfg.Admin,
+		email:    cfg.Email,
+		clk:      clk,
+		signer:   cryptoutil.NewSigner(cfg.SessionKey),
+		base:     strings.TrimSuffix(cfg.BaseURL, "/"),
+		ttl:      ttl,
+		sessions: make(map[string]*session),
+	}, nil
+}
+
+// Handler returns the portal's HTTP mux.
+func (p *Portal) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /login", p.handleLogin)
+	mux.HandleFunc("POST /logout", p.handleLogout)
+	mux.HandleFunc("GET /home", p.auth(p.handleHome))
+	mux.HandleFunc("GET /splash", p.auth(p.handleSplash))
+	mux.HandleFunc("GET /pair", p.auth(p.handlePairPage))
+	mux.HandleFunc("POST /pair/start", p.auth(p.handlePairStart))
+	mux.HandleFunc("POST /pair/confirm", p.auth(p.handlePairConfirm))
+	mux.HandleFunc("POST /unpair/confirm", p.auth(p.handleUnpairConfirm))
+	mux.HandleFunc("POST /unpair/email", p.auth(p.handleUnpairEmail))
+	mux.HandleFunc("GET /unpair/oob", p.handleUnpairOOB)
+	return mux
+}
+
+const cookieName = "portal_session"
+
+// --- session plumbing ---
+
+func (p *Portal) handleLogin(w http.ResponseWriter, r *http.Request) {
+	user := strings.ToLower(r.PostFormValue("username"))
+	pass := r.PostFormValue("password")
+	if err := p.idm.Authenticate(user, pass); err != nil {
+		http.Error(w, "bad credentials", http.StatusUnauthorized)
+		return
+	}
+	sid := cryptoutil.RandomHex(16)
+	now := p.clk.Now()
+	p.mu.Lock()
+	p.sessions[sid] = &session{user: user, expires: now.Add(p.ttl)}
+	for id, s := range p.sessions { // opportunistic GC
+		if now.After(s.expires) {
+			delete(p.sessions, id)
+		}
+	}
+	p.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{
+		Name: cookieName, Path: "/", HttpOnly: true,
+		Value: p.signer.Sign(sid, now.Add(p.ttl)),
+	})
+	// "If no multi-factor device is configured, then the user is
+	// directed to an interstitial page" — on every log in.
+	pairing, err := p.idm.Pairing(user)
+	if err == nil && pairing == idm.PairingNone {
+		http.Redirect(w, r, "/splash", http.StatusSeeOther)
+		return
+	}
+	http.Redirect(w, r, "/home", http.StatusSeeOther)
+}
+
+func (p *Portal) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if s, sid := p.session(r); s != nil {
+		p.mu.Lock()
+		delete(p.sessions, sid)
+		p.mu.Unlock()
+	}
+	http.SetCookie(w, &http.Cookie{Name: cookieName, Path: "/", MaxAge: -1})
+	fmt.Fprintln(w, "logged out")
+}
+
+func (p *Portal) session(r *http.Request) (*session, string) {
+	c, err := r.Cookie(cookieName)
+	if err != nil {
+		return nil, ""
+	}
+	sid, err := p.signer.Verify(c.Value, p.clk.Now())
+	if err != nil {
+		return nil, ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.sessions[sid]
+	if s == nil || p.clk.Now().After(s.expires) {
+		return nil, ""
+	}
+	return s, sid
+}
+
+func (p *Portal) auth(fn func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s, _ := p.session(r)
+		if s == nil {
+			http.Error(w, "not logged in", http.StatusUnauthorized)
+			return
+		}
+		fn(w, r, s)
+	}
+}
+
+// --- pages ---
+
+func (p *Portal) handleHome(w http.ResponseWriter, r *http.Request, s *session) {
+	pairing, _ := p.idm.Pairing(s.user)
+	fmt.Fprintf(w, "user: %s\npairing: %s\n", s.user, pairing)
+}
+
+func (p *Portal) handleSplash(w http.ResponseWriter, r *http.Request, s *session) {
+	// The splash explains the requirement and links to pairing. It is
+	// dismissible (the user simply navigates to /home) but will be shown
+	// again at next login.
+	fmt.Fprintf(w, "Multi-factor authentication is required for system entry.\n"+
+		"Pair a device now: %s/pair\nDismiss: %s/home\n", p.base, p.base)
+}
+
+func (p *Portal) handlePairPage(w http.ResponseWriter, r *http.Request, s *session) {
+	// "If a user refreshes in the middle of the process ... the process
+	// is aborted and the user will have to restart from the beginning."
+	p.abortPending(s)
+	pairing, _ := p.idm.Pairing(s.user)
+	fmt.Fprintf(w, "current pairing: %s\noptions: soft sms hard\n", pairing)
+}
+
+// abortPending discards a half-finished pairing, removing the provisional
+// token from the back end.
+func (p *Portal) abortPending(s *session) {
+	p.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	p.mu.Unlock()
+	if pending != nil {
+		p.admin.Remove(s.user) // best effort; token was provisional
+	}
+}
+
+func (p *Portal) handlePairStart(w http.ResponseWriter, r *http.Request, s *session) {
+	p.abortPending(s) // restarting the process aborts the previous one
+
+	if pairing, _ := p.idm.Pairing(s.user); pairing != idm.PairingNone {
+		http.Error(w, "a device is already paired; unpair it first", http.StatusConflict)
+		return
+	}
+	typ := otpd.TokenType(r.PostFormValue("type"))
+	st := &pairingState{typ: typ, nonce: cryptoutil.RandomHex(8)}
+
+	switch typ {
+	case otpd.TokenSoft:
+		enr, err := p.admin.Init(s.user, otpd.TokenSoft, "", "")
+		if err != nil {
+			p.adminError(w, err)
+			return
+		}
+		st.secret, st.uri = enr.Secret, enr.URI
+	case otpd.TokenSMS:
+		phone := r.PostFormValue("phone")
+		if !sms.ValidUSNumber(phone) {
+			http.Error(w, "enter a ten-digit, US-based phone number", http.StatusBadRequest)
+			return
+		}
+		if _, err := p.admin.Init(s.user, otpd.TokenSMS, phone, ""); err != nil {
+			p.adminError(w, err)
+			return
+		}
+		st.phone = phone
+		// "The portal then triggers the LinOTP server to send a token
+		// code to the user via SMS."
+		if _, _, err := p.admin.TriggerSMS(s.user); err != nil {
+			p.admin.Remove(s.user)
+			p.adminError(w, err)
+			return
+		}
+	case otpd.TokenHard:
+		serial := strings.TrimSpace(r.PostFormValue("serial"))
+		if serial == "" {
+			http.Error(w, "enter the serial number on the back of the token", http.StatusBadRequest)
+			return
+		}
+		if _, err := p.admin.Init(s.user, otpd.TokenHard, "", serial); err != nil {
+			p.adminError(w, err)
+			return
+		}
+		st.serial = serial
+	default:
+		http.Error(w, "unknown device type", http.StatusBadRequest)
+		return
+	}
+
+	p.mu.Lock()
+	s.pending = st
+	p.mu.Unlock()
+
+	switch typ {
+	case otpd.TokenSoft:
+		// The QR code "contains the user's secret key encoded as an
+		// image": render the real symbol plus its payload.
+		fmt.Fprintf(w, "state: %s\nscan this QR payload: %s\nthen enter the code shown in the app\n", st.nonce, st.uri)
+		if code, err := qr.Encode(st.uri, qr.L); err == nil {
+			fmt.Fprintf(w, "\n%s\n", code.Render())
+		}
+	case otpd.TokenSMS:
+		fmt.Fprintf(w, "state: %s\nan SMS was sent to %s; enter the code to confirm receipt\n", st.nonce, st.phone)
+	case otpd.TokenHard:
+		fmt.Fprintf(w, "state: %s\nenter the current code on fob %s to confirm it survived shipment\n", st.nonce, st.serial)
+	}
+}
+
+func (p *Portal) handlePairConfirm(w http.ResponseWriter, r *http.Request, s *session) {
+	p.mu.Lock()
+	st := s.pending
+	p.mu.Unlock()
+	if st == nil {
+		// Replay/back-button: no live pairing process.
+		http.Error(w, "no pairing in progress; start again", http.StatusGone)
+		return
+	}
+	if got := r.PostFormValue("state"); got != st.nonce {
+		// A stale form post from an aborted process.
+		http.Error(w, "stale pairing form; start again", http.StatusGone)
+		return
+	}
+	code := r.PostFormValue("code")
+	ok, msg, err := p.admin.Validate(s.user, code)
+	if err != nil {
+		p.adminError(w, err)
+		return
+	}
+	if !ok {
+		// Wrong code: the process stays alive for another try.
+		http.Error(w, "code did not validate: "+msg, http.StatusUnprocessableEntity)
+		return
+	}
+	p.mu.Lock()
+	s.pending = nil
+	p.mu.Unlock()
+	// "the identity management back end is notified that the user has
+	// paired using a ... token device."
+	if err := p.idm.SetPairing(s.user, pairingFor(st.typ)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "paired: %s\n", st.typ)
+}
+
+func pairingFor(t otpd.TokenType) idm.PairingStatus {
+	switch t {
+	case otpd.TokenSoft:
+		return idm.PairingSoft
+	case otpd.TokenSMS:
+		return idm.PairingSMS
+	case otpd.TokenHard:
+		return idm.PairingHard
+	case otpd.TokenTraining:
+		return idm.PairingTraining
+	default:
+		return idm.PairingNone
+	}
+}
+
+// --- unpairing ---
+
+func (p *Portal) handleUnpairConfirm(w http.ResponseWriter, r *http.Request, s *session) {
+	pairing, err := p.idm.Pairing(s.user)
+	if err != nil || pairing == idm.PairingNone {
+		http.Error(w, "no device paired", http.StatusNotFound)
+		return
+	}
+	if pairing == idm.PairingHard {
+		// "Support is not provided for the unpairing of a hard token
+		// device via the portal. Instead ... submit a request directly
+		// to the center's user support ticketing system."
+		http.Error(w, "hard tokens are unpaired via a support ticket", http.StatusForbidden)
+		return
+	}
+	// Possession proof: the current token code.
+	code := r.PostFormValue("code")
+	ok, msg, err := p.admin.Validate(s.user, code)
+	if err != nil {
+		p.adminError(w, err)
+		return
+	}
+	if !ok {
+		http.Error(w, "code did not validate: "+msg, http.StatusUnprocessableEntity)
+		return
+	}
+	if err := p.unpair(s.user); err != nil {
+		p.adminError(w, err)
+		return
+	}
+	fmt.Fprintln(w, "device unpaired")
+}
+
+func (p *Portal) unpair(user string) error {
+	if err := p.admin.Remove(user); err != nil {
+		return err
+	}
+	return p.idm.SetPairing(user, idm.PairingNone)
+}
+
+// OOBTTL is the lifetime of out-of-band unpair links.
+const OOBTTL = 24 * time.Hour
+
+func (p *Portal) handleUnpairEmail(w http.ResponseWriter, r *http.Request, s *session) {
+	if p.email == nil {
+		http.Error(w, "email unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	acct, err := p.idm.Lookup(s.user)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if acct.Pairing == idm.PairingHard {
+		http.Error(w, "hard tokens are unpaired via a support ticket", http.StatusForbidden)
+		return
+	}
+	// "The user is sent an email to their associated account email
+	// address that contains a signed URL."
+	tok := p.signer.Sign("unpair:"+s.user, p.clk.Now().Add(OOBTTL))
+	link := fmt.Sprintf("%s/unpair/oob?token=%s", p.base, tok)
+	body := fmt.Sprintf("Follow this link to remove your MFA device pairing:\n%s\n", link)
+	if err := p.email.SendEmail(acct.Email, "MFA device unpairing request", body); err != nil {
+		http.Error(w, "could not send email", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "unpairing email sent")
+}
+
+func (p *Portal) handleUnpairOOB(w http.ResponseWriter, r *http.Request) {
+	payload, err := p.signer.Verify(r.URL.Query().Get("token"), p.clk.Now())
+	if err != nil {
+		http.Error(w, "invalid or expired link", http.StatusForbidden)
+		return
+	}
+	user, ok := strings.CutPrefix(payload, "unpair:")
+	if !ok {
+		http.Error(w, "invalid link", http.StatusForbidden)
+		return
+	}
+	pairing, err := p.idm.Pairing(user)
+	if err != nil || pairing == idm.PairingNone {
+		http.Error(w, "no device paired", http.StatusNotFound)
+		return
+	}
+	if pairing == idm.PairingHard {
+		http.Error(w, "hard tokens are unpaired via a support ticket", http.StatusForbidden)
+		return
+	}
+	if err := p.unpair(user); err != nil {
+		p.adminError(w, err)
+		return
+	}
+	fmt.Fprintln(w, "device unpaired")
+}
+
+func (p *Portal) adminError(w http.ResponseWriter, err error) {
+	var apiErr *otpd.APIError
+	if errors.As(err, &apiErr) {
+		http.Error(w, apiErr.Message, apiErr.Status)
+		return
+	}
+	http.Error(w, "back end unavailable", http.StatusBadGateway)
+}

@@ -1,0 +1,90 @@
+// Package qr implements QR Code (model 2) generation for byte-mode
+// payloads, versions 1–10, error-correction levels L and M — enough to
+// carry any otpauth:// enrollment URI. The portal's soft-token pairing
+// page and cmd/tokengen render the result as a terminal-scannable block
+// matrix (§3.5: "the user is shown a QR code which contains the user's
+// secret key").
+//
+// Everything is implemented from the ISO/IEC 18004 structure: GF(256)
+// Reed–Solomon error correction, block interleaving, the eight mask
+// patterns with penalty scoring, and BCH-protected format/version
+// information.
+package qr
+
+// GF(256) arithmetic with the QR polynomial x^8+x^4+x^3+x^2+1 (0x11D).
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// rsGenerator returns the degree-n Reed–Solomon generator polynomial
+// ∏(x - α^i), i = 0..n-1, highest-order coefficient first.
+func rsGenerator(n int) []byte {
+	g := []byte{1}
+	for i := 0; i < n; i++ {
+		next := make([]byte, len(g)+1)
+		for j, c := range g {
+			next[j] ^= gfMul(c, 1) // x * g
+			next[j+1] ^= gfMul(c, gfExp[i])
+		}
+		g = next
+	}
+	return g
+}
+
+// rsEncode computes n error-correction codewords for data.
+func rsEncode(data []byte, n int) []byte {
+	gen := rsGenerator(n)
+	rem := make([]byte, n)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[n-1] = 0
+		if factor != 0 {
+			for i := 0; i < n; i++ {
+				rem[i] ^= gfMul(gen[i+1], factor)
+			}
+		}
+	}
+	return rem
+}
+
+// rsSyndromesZero reports whether data||ec is a valid RS codeword: every
+// syndrome S_i = C(α^i) must be zero. Tests use this as the algebraic
+// proof that encoding is correct.
+func rsSyndromesZero(codeword []byte, n int) bool {
+	for i := 0; i < n; i++ {
+		var s byte
+		alpha := gfExp[i]
+		for _, c := range codeword {
+			s = gfMul(s, alpha) ^ c
+		}
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+package qr
+
+// matrix assembly: function patterns, data placement, masking, and the
+// BCH-protected format/version information.
+
+type matrix struct {
+	size     int
+	dark     [][]bool
+	reserved [][]bool // function patterns + format/version areas
+}
+
+func newMatrix(version int) *matrix {
+	size := 17 + 4*version
+	m := &matrix{size: size}
+	m.dark = make([][]bool, size)
+	m.reserved = make([][]bool, size)
+	for i := range m.dark {
+		m.dark[i] = make([]bool, size)
+		m.reserved[i] = make([]bool, size)
+	}
+	return m
+}
+
+func (m *matrix) set(x, y int, dark bool) {
+	m.dark[y][x] = dark
+	m.reserved[y][x] = true
+}
+
+// placeFinder draws a 7×7 finder pattern with its separator at (x, y)
+// top-left.
+func (m *matrix) placeFinder(x, y int) {
+	for dy := -1; dy <= 7; dy++ {
+		for dx := -1; dx <= 7; dx++ {
+			xx, yy := x+dx, y+dy
+			if xx < 0 || yy < 0 || xx >= m.size || yy >= m.size {
+				continue
+			}
+			inRing := dx >= 0 && dx <= 6 && dy >= 0 && dy <= 6 &&
+				(dx == 0 || dx == 6 || dy == 0 || dy == 6)
+			inCore := dx >= 2 && dx <= 4 && dy >= 2 && dy <= 4
+			m.set(xx, yy, inRing || inCore)
+		}
+	}
+}
+
+func (m *matrix) placeAlignment(cx, cy int) {
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			dark := dx == -2 || dx == 2 || dy == -2 || dy == 2 || (dx == 0 && dy == 0)
+			m.set(cx+dx, cy+dy, dark)
+		}
+	}
+}
+
+func (m *matrix) placeFunctionPatterns(version int) {
+	m.placeFinder(0, 0)
+	m.placeFinder(m.size-7, 0)
+	m.placeFinder(0, m.size-7)
+
+	// Timing patterns.
+	for i := 8; i < m.size-8; i++ {
+		m.set(i, 6, i%2 == 0)
+		m.set(6, i, i%2 == 0)
+	}
+
+	// Alignment patterns (skip any overlapping a finder).
+	for _, cy := range alignmentCenters[version] {
+		for _, cx := range alignmentCenters[version] {
+			if m.reserved[cy][cx] {
+				continue
+			}
+			m.placeAlignment(cx, cy)
+		}
+	}
+
+	// Dark module.
+	m.set(8, m.size-8, true)
+
+	// Reserve format-information areas (filled in later).
+	for i := 0; i <= 8; i++ {
+		if !m.reserved[8][i] {
+			m.set(i, 8, false)
+		}
+		if !m.reserved[i][8] {
+			m.set(8, i, false)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m.set(m.size-1-i, 8, false)
+		if !m.reserved[m.size-1-i][8] {
+			m.set(8, m.size-1-i, false)
+		}
+	}
+
+	// Reserve version-information areas (v ≥ 7).
+	if version >= 7 {
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 3; j++ {
+				m.set(i, m.size-11+j, false)
+				m.set(m.size-11+j, i, false)
+			}
+		}
+	}
+}
+
+// placeData writes the codeword bit stream into the zigzag pattern.
+func (m *matrix) placeData(codewords []byte) {
+	bitIdx := 0
+	totalBits := len(codewords) * 8
+	bitAt := func(i int) bool {
+		return codewords[i/8]&(0x80>>uint(i%8)) != 0
+	}
+
+	upward := true
+	for right := m.size - 1; right >= 1; right -= 2 {
+		if right == 6 {
+			right = 5 // skip the vertical timing column
+		}
+		for i := 0; i < m.size; i++ {
+			y := i
+			if upward {
+				y = m.size - 1 - i
+			}
+			for _, x := range []int{right, right - 1} {
+				if m.reserved[y][x] {
+					continue
+				}
+				dark := false
+				if bitIdx < totalBits {
+					dark = bitAt(bitIdx)
+				}
+				// Remainder bits beyond the stream stay light.
+				m.dark[y][x] = dark
+				bitIdx++
+			}
+		}
+		upward = !upward
+	}
+}
+
+// maskFuncs are the eight mask conditions (dark modules are toggled where
+// the condition holds). Arguments are (row y, column x) per the spec.
+var maskFuncs = [8]func(y, x int) bool{
+	func(y, x int) bool { return (y+x)%2 == 0 },
+	func(y, x int) bool { return y%2 == 0 },
+	func(y, x int) bool { return x%3 == 0 },
+	func(y, x int) bool { return (y+x)%3 == 0 },
+	func(y, x int) bool { return (y/2+x/3)%2 == 0 },
+	func(y, x int) bool { return y*x%2+y*x%3 == 0 },
+	func(y, x int) bool { return (y*x%2+y*x%3)%2 == 0 },
+	func(y, x int) bool { return ((y+x)%2+y*x%3)%2 == 0 },
+}
+
+func (m *matrix) applyMask(mask int) {
+	f := maskFuncs[mask]
+	for y := 0; y < m.size; y++ {
+		for x := 0; x < m.size; x++ {
+			if !m.reserved[y][x] && f(y, x) {
+				m.dark[y][x] = !m.dark[y][x]
+			}
+		}
+	}
+}
+
+// penalty scores a masked symbol (ISO 18004 rules N1–N4).
+func (m *matrix) penalty() int {
+	n := m.size
+	score := 0
+
+	// N1: runs of ≥5 same-colour modules in a row/column.
+	for axis := 0; axis < 2; axis++ {
+		for a := 0; a < n; a++ {
+			run := 1
+			for b := 1; b < n; b++ {
+				var cur, prev bool
+				if axis == 0 {
+					cur, prev = m.dark[a][b], m.dark[a][b-1]
+				} else {
+					cur, prev = m.dark[b][a], m.dark[b-1][a]
+				}
+				if cur == prev {
+					run++
+					if run == 5 {
+						score += 3
+					} else if run > 5 {
+						score++
+					}
+				} else {
+					run = 1
+				}
+			}
+		}
+	}
+
+	// N2: 2×2 blocks of the same colour.
+	for y := 0; y < n-1; y++ {
+		for x := 0; x < n-1; x++ {
+			c := m.dark[y][x]
+			if m.dark[y][x+1] == c && m.dark[y+1][x] == c && m.dark[y+1][x+1] == c {
+				score += 3
+			}
+		}
+	}
+
+	// N3: finder-like 1:1:3:1:1 patterns with 4-module light flank.
+	pat1 := []bool{true, false, true, true, true, false, true, false, false, false, false}
+	pat2 := []bool{false, false, false, false, true, false, true, true, true, false, true}
+	match := func(get func(int) bool, start int, pat []bool) bool {
+		for i, p := range pat {
+			if get(start+i) != p {
+				return false
+			}
+		}
+		return true
+	}
+	for a := 0; a < n; a++ {
+		row := func(i int) bool { return m.dark[a][i] }
+		col := func(i int) bool { return m.dark[i][a] }
+		for b := 0; b+11 <= n; b++ {
+			if match(row, b, pat1) || match(row, b, pat2) {
+				score += 40
+			}
+			if match(col, b, pat1) || match(col, b, pat2) {
+				score += 40
+			}
+		}
+	}
+
+	// N4: dark-module proportion deviation from 50%.
+	dark := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if m.dark[y][x] {
+				dark++
+			}
+		}
+	}
+	pct := dark * 100 / (n * n)
+	dev := pct - 50
+	if dev < 0 {
+		dev = -dev
+	}
+	score += dev / 5 * 10
+	return score
+}
+
+// bch computes poly-division remainders for format/version information.
+func bch(value uint32, poly uint32, polyBits, dataShift int) uint32 {
+	v := value << uint(dataShift)
+	for i := 31; i >= polyBits-1; i-- {
+		if v&(1<<uint(i)) != 0 {
+			v ^= poly << uint(i-(polyBits-1))
+		}
+	}
+	return value<<uint(dataShift) | v
+}
+
+// formatInfo returns the masked 15-bit format string.
+func formatInfo(level Level, mask int) uint32 {
+	data := level.formatBits()<<3 | uint32(mask)
+	// BCH(15,5) generator 0x537.
+	full := bch(data, 0x537, 11, 10)
+	return full ^ 0x5412
+}
+
+// versionInfo returns the 18-bit version string (v ≥ 7).
+func versionInfo(version int) uint32 {
+	// Golay(18,6) generator 0x1F25.
+	return bch(uint32(version), 0x1F25, 13, 12)
+}
+
+// writeFormatInfo paints the 15 format bits into both reserved regions.
+// Bit 14 is the most significant.
+func (m *matrix) writeFormatInfo(bits uint32) {
+	get := func(i int) bool { return bits&(1<<uint(i)) != 0 }
+	// Around the top-left finder: bits 0..5 along the top row x=0..5,
+	// bit 6 at (7,8), bit 7 at (8,8), bit 8 at (8,7), bits 9..14 down
+	// the left column y=5..0 (per the spec's figure 25 layout).
+	for i := 0; i <= 5; i++ {
+		m.dark[8][i] = get(i)
+	}
+	m.dark[8][7] = get(6)
+	m.dark[8][8] = get(7)
+	m.dark[7][8] = get(8)
+	for i := 9; i <= 14; i++ {
+		m.dark[14-i][8] = get(i)
+	}
+	// Second copy: bits 0..6 down the right of the bottom-left finder
+	// (y = size-1 .. size-7 at x=8), bits 7..14 along the bottom of the
+	// top-right finder (x = size-8 .. size-1 at y=8).
+	for i := 0; i <= 6; i++ {
+		m.dark[m.size-1-i][8] = get(i)
+	}
+	for i := 7; i <= 14; i++ {
+		m.dark[8][m.size-15+i] = get(i)
+	}
+}
+
+func (m *matrix) writeVersionInfo(version int) {
+	if version < 7 {
+		return
+	}
+	bits := versionInfo(version)
+	for i := 0; i < 18; i++ {
+		bit := bits&(1<<uint(i)) != 0
+		x := i / 3
+		y := m.size - 11 + i%3
+		m.dark[y][x] = bit // bottom-left block
+		m.dark[x][y] = bit // top-right block (transposed)
+	}
+}
+
+// assemble builds the final symbol, trying all masks and keeping the best.
+func assemble(version int, level Level, codewords []byte) *Code {
+	base := newMatrix(version)
+	base.placeFunctionPatterns(version)
+	base.placeData(codewords)
+
+	bestMask, bestScore := 0, int(^uint(0)>>1)
+	var bestDark [][]bool
+	for mask := 0; mask < 8; mask++ {
+		m := base.clone()
+		m.applyMask(mask)
+		m.writeFormatInfo(formatInfo(level, mask))
+		m.writeVersionInfo(version)
+		if s := m.penalty(); s < bestScore {
+			bestScore, bestMask, bestDark = s, mask, m.dark
+		}
+	}
+	return &Code{
+		Version: version, Level: level, Mask: bestMask,
+		Size: base.size, modules: bestDark,
+	}
+}
+
+func (m *matrix) clone() *matrix {
+	out := &matrix{size: m.size}
+	out.dark = make([][]bool, m.size)
+	out.reserved = make([][]bool, m.size)
+	for i := range m.dark {
+		out.dark[i] = append([]bool(nil), m.dark[i]...)
+		out.reserved[i] = append([]bool(nil), m.reserved[i]...)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package qr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level is the error-correction level.
+type Level int
+
+// Supported levels. L tolerates ~7% damage, M ~15%.
+const (
+	L Level = iota
+	M
+)
+
+// formatBits are the two-bit EC indicators from the spec (L=01, M=00).
+func (l Level) formatBits() uint32 {
+	switch l {
+	case L:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// blockSpec describes the RS structure for one (version, level).
+type blockSpec struct {
+	ecPerBlock int
+	// groups: pairs of (blockCount, dataCodewordsPerBlock).
+	groups [][2]int
+}
+
+// dataCapacity is the total data codewords.
+func (b blockSpec) dataCapacity() int {
+	n := 0
+	for _, g := range b.groups {
+		n += g[0] * g[1]
+	}
+	return n
+}
+
+// ISO/IEC 18004 table 9 (versions 1–10, levels L and M).
+var blockTable = map[Level][11]blockSpec{
+	L: {
+		1:  {7, [][2]int{{1, 19}}},
+		2:  {10, [][2]int{{1, 34}}},
+		3:  {15, [][2]int{{1, 55}}},
+		4:  {20, [][2]int{{1, 80}}},
+		5:  {26, [][2]int{{1, 108}}},
+		6:  {18, [][2]int{{2, 68}}},
+		7:  {20, [][2]int{{2, 78}}},
+		8:  {24, [][2]int{{2, 97}}},
+		9:  {30, [][2]int{{2, 116}}},
+		10: {18, [][2]int{{2, 68}, {2, 69}}},
+	},
+	M: {
+		1:  {10, [][2]int{{1, 16}}},
+		2:  {16, [][2]int{{1, 28}}},
+		3:  {26, [][2]int{{1, 44}}},
+		4:  {18, [][2]int{{2, 32}}},
+		5:  {24, [][2]int{{2, 43}}},
+		6:  {16, [][2]int{{4, 27}}},
+		7:  {18, [][2]int{{4, 31}}},
+		8:  {22, [][2]int{{2, 38}, {2, 39}}},
+		9:  {22, [][2]int{{3, 36}, {2, 37}}},
+		10: {26, [][2]int{{4, 43}, {1, 44}}},
+	},
+}
+
+// alignmentCenters per version (2–10).
+var alignmentCenters = map[int][]int{
+	2: {6, 18}, 3: {6, 22}, 4: {6, 26}, 5: {6, 30},
+	6: {6, 34}, 7: {6, 22, 38}, 8: {6, 24, 42},
+	9: {6, 26, 46}, 10: {6, 28, 50},
+}
+
+// ErrTooLong is returned when the payload exceeds version 10 capacity.
+var ErrTooLong = errors.New("qr: payload too long for version <= 10")
+
+// bitBuffer accumulates the data bit stream.
+type bitBuffer struct {
+	bits []bool
+}
+
+func (b *bitBuffer) append(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		b.bits = append(b.bits, v>>uint(i)&1 == 1)
+	}
+}
+
+func (b *bitBuffer) bytes() []byte {
+	out := make([]byte, (len(b.bits)+7)/8)
+	for i, bit := range b.bits {
+		if bit {
+			out[i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+	return out
+}
+
+// chooseVersion picks the smallest version whose capacity holds the
+// byte-mode payload.
+func chooseVersion(payloadLen int, level Level) (int, error) {
+	for v := 1; v <= 10; v++ {
+		spec := blockTable[level][v]
+		countBits := 8
+		if v >= 10 {
+			countBits = 16
+		}
+		// mode(4) + count + payload bits must fit.
+		need := 4 + countBits + 8*payloadLen
+		if need <= 8*spec.dataCapacity() {
+			return v, nil
+		}
+	}
+	return 0, ErrTooLong
+}
+
+// buildCodewords produces the final interleaved data+EC codeword stream.
+func buildCodewords(payload []byte, version int, level Level) []byte {
+	spec := blockTable[level][version]
+	capacity := spec.dataCapacity()
+
+	var bb bitBuffer
+	bb.append(0b0100, 4) // byte mode
+	countBits := 8
+	if version >= 10 {
+		countBits = 16
+	}
+	bb.append(uint32(len(payload)), countBits)
+	for _, c := range payload {
+		bb.append(uint32(c), 8)
+	}
+	// Terminator: up to 4 zero bits.
+	for i := 0; i < 4 && len(bb.bits) < capacity*8; i++ {
+		bb.bits = append(bb.bits, false)
+	}
+	// Pad to a byte boundary.
+	for len(bb.bits)%8 != 0 {
+		bb.bits = append(bb.bits, false)
+	}
+	data := bb.bytes()
+	// Pad codewords 0xEC / 0x11 alternating.
+	for i := 0; len(data) < capacity; i++ {
+		if i%2 == 0 {
+			data = append(data, 0xEC)
+		} else {
+			data = append(data, 0x11)
+		}
+	}
+
+	// Split into blocks and compute per-block EC.
+	type block struct{ data, ec []byte }
+	var blocks []block
+	off := 0
+	for _, g := range spec.groups {
+		for i := 0; i < g[0]; i++ {
+			d := data[off : off+g[1]]
+			off += g[1]
+			blocks = append(blocks, block{data: d, ec: rsEncode(d, spec.ecPerBlock)})
+		}
+	}
+
+	// Interleave: data column-wise across blocks, then EC likewise.
+	var out []byte
+	maxData := 0
+	for _, b := range blocks {
+		if len(b.data) > maxData {
+			maxData = len(b.data)
+		}
+	}
+	for i := 0; i < maxData; i++ {
+		for _, b := range blocks {
+			if i < len(b.data) {
+				out = append(out, b.data[i])
+			}
+		}
+	}
+	for i := 0; i < spec.ecPerBlock; i++ {
+		for _, b := range blocks {
+			out = append(out, b.ec[i])
+		}
+	}
+	return out
+}
+
+// Code is a rendered QR symbol.
+type Code struct {
+	Version int
+	Level   Level
+	Mask    int
+	Size    int
+	// modules[y][x]: true = dark.
+	modules [][]bool
+}
+
+// At reports whether the module at (x, y) is dark.
+func (c *Code) At(x, y int) bool { return c.modules[y][x] }
+
+// Encode builds a QR code for a byte-mode payload.
+func Encode(payload string, level Level) (*Code, error) {
+	if _, ok := blockTable[level]; !ok {
+		return nil, fmt.Errorf("qr: unsupported level %d", int(level))
+	}
+	version, err := chooseVersion(len(payload), level)
+	if err != nil {
+		return nil, err
+	}
+	codewords := buildCodewords([]byte(payload), version, level)
+	return assemble(version, level, codewords), nil
+}

@@ -1,0 +1,413 @@
+package qr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// --- reference decoder (used to round-trip symbols in tests) ---
+
+// decode reads a Code back to its payload, verifying the format BCH and
+// every Reed–Solomon block on the way.
+func decode(t *testing.T, c *Code) string {
+	t.Helper()
+
+	// 1. Format info (copy 1, around the top-left finder).
+	var fbits uint32
+	get := func(x, y int) bool { return c.At(x, y) }
+	setBit := func(i int, v bool) {
+		if v {
+			fbits |= 1 << uint(i)
+		}
+	}
+	for i := 0; i <= 5; i++ {
+		setBit(i, get(i, 8))
+	}
+	setBit(6, get(7, 8))
+	setBit(7, get(8, 8))
+	setBit(8, get(8, 7))
+	for i := 9; i <= 14; i++ {
+		setBit(i, get(8, 14-i))
+	}
+	unmasked := fbits ^ 0x5412
+	// BCH check: remainder of the full 15 bits by 0x537 must be zero.
+	rem := unmasked
+	for i := 14; i >= 10; i-- {
+		if rem&(1<<uint(i)) != 0 {
+			rem ^= 0x537 << uint(i-10)
+		}
+	}
+	if rem != 0 {
+		t.Fatalf("format info BCH check failed: %015b", unmasked)
+	}
+	mask := int(unmasked >> 10 & 7)
+	levelBits := unmasked >> 13
+	var level Level
+	switch levelBits {
+	case 1:
+		level = L
+	case 0:
+		level = M
+	default:
+		t.Fatalf("unexpected level bits %b", levelBits)
+	}
+	if mask != c.Mask || level != c.Level {
+		t.Fatalf("format info decodes to mask=%d level=%d, symbol says %d/%d",
+			mask, level, c.Mask, c.Level)
+	}
+
+	// 2. Rebuild the reserved map and unmask the data region.
+	scratch := newMatrix(c.Version)
+	scratch.placeFunctionPatterns(c.Version)
+	f := maskFuncs[mask]
+	dark := make([][]bool, c.Size)
+	for y := range dark {
+		dark[y] = make([]bool, c.Size)
+		for x := range dark[y] {
+			dark[y][x] = c.At(x, y)
+			if !scratch.reserved[y][x] && f(y, x) {
+				dark[y][x] = !dark[y][x]
+			}
+		}
+	}
+
+	// 3. Zigzag read-out.
+	var bits []bool
+	upward := true
+	for right := c.Size - 1; right >= 1; right -= 2 {
+		if right == 6 {
+			right = 5
+		}
+		for i := 0; i < c.Size; i++ {
+			y := i
+			if upward {
+				y = c.Size - 1 - i
+			}
+			for _, x := range []int{right, right - 1} {
+				if scratch.reserved[y][x] {
+					continue
+				}
+				bits = append(bits, dark[y][x])
+			}
+		}
+		upward = !upward
+	}
+	spec := blockTable[level][c.Version]
+	totalCW := 0
+	for _, g := range spec.groups {
+		totalCW += g[0] * (g[1] + spec.ecPerBlock)
+	}
+	if len(bits) < totalCW*8 {
+		t.Fatalf("read %d bits, need %d", len(bits), totalCW*8)
+	}
+	stream := make([]byte, totalCW)
+	for i := 0; i < totalCW*8; i++ {
+		if bits[i] {
+			stream[i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+
+	// 4. De-interleave into blocks.
+	type block struct{ data, ec []byte }
+	var blocks []block
+	for _, g := range spec.groups {
+		for i := 0; i < g[0]; i++ {
+			blocks = append(blocks, block{data: make([]byte, 0, g[1])})
+		}
+	}
+	sizes := make([]int, 0, len(blocks))
+	for _, g := range spec.groups {
+		for i := 0; i < g[0]; i++ {
+			sizes = append(sizes, g[1])
+		}
+	}
+	maxData := 0
+	for _, s := range sizes {
+		if s > maxData {
+			maxData = s
+		}
+	}
+	pos := 0
+	for i := 0; i < maxData; i++ {
+		for b := range blocks {
+			if i < sizes[b] {
+				blocks[b].data = append(blocks[b].data, stream[pos])
+				pos++
+			}
+		}
+	}
+	for i := 0; i < spec.ecPerBlock; i++ {
+		for b := range blocks {
+			blocks[b].ec = append(blocks[b].ec, stream[pos])
+			pos++
+		}
+	}
+
+	// 5. RS verification per block, then concatenate data.
+	var data []byte
+	for i, b := range blocks {
+		cw := append(append([]byte(nil), b.data...), b.ec...)
+		if !rsSyndromesZero(cw, spec.ecPerBlock) {
+			t.Fatalf("block %d fails RS syndrome check", i)
+		}
+		data = append(data, b.data...)
+	}
+
+	// 6. Parse the byte-mode segment.
+	br := bitReader{data: data}
+	if m := br.read(4); m != 0b0100 {
+		t.Fatalf("mode = %04b, want 0100", m)
+	}
+	countBits := 8
+	if c.Version >= 10 {
+		countBits = 16
+	}
+	n := br.read(countBits)
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(br.read(8))
+	}
+	return string(payload)
+}
+
+type bitReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *bitReader) read(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if r.data[r.pos/8]&(0x80>>uint(r.pos%8)) != 0 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v
+}
+
+// --- tests ---
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := []string{
+		"A",
+		"hello world",
+		"otpauth://totp/TACC:cproctor?issuer=TACC&secret=JBSWY3DPEHPK3PXPJBSWY3DP",
+		strings.Repeat("x", 100),
+		strings.Repeat("padding-test-", 16), // 208 bytes → higher version
+	}
+	for _, level := range []Level{L, M} {
+		for _, p := range payloads {
+			c, err := Encode(p, level)
+			if err != nil {
+				t.Fatalf("Encode(%d bytes, level %d): %v", len(p), level, err)
+			}
+			if got := decode(t, c); got != p {
+				t.Fatalf("round trip (level %d, %d bytes): got %q", level, len(p), got)
+			}
+		}
+	}
+}
+
+func TestVersionSelection(t *testing.T) {
+	cases := []struct {
+		n       int
+		level   Level
+		version int
+	}{
+		{10, L, 1}, // fits in 19-2 = 17 bytes
+		{17, L, 1}, // exactly v1-L capacity for byte mode
+		{18, L, 2}, // one over
+		{14, M, 1}, // v1-M holds 16-2 = 14
+		{15, M, 2},
+		{100, L, 5},  // 108-2 = 106 ≥ 100
+		{250, L, 10}, // needs v10 (v9-L holds 232-2=230)
+	}
+	for _, c := range cases {
+		code, err := Encode(strings.Repeat("a", c.n), c.level)
+		if err != nil {
+			t.Fatalf("n=%d level=%d: %v", c.n, c.level, err)
+		}
+		if code.Version != c.version {
+			t.Errorf("n=%d level=%d: version %d, want %d", c.n, c.level, code.Version, c.version)
+		}
+		if code.Size != 17+4*code.Version {
+			t.Errorf("size = %d for version %d", code.Size, code.Version)
+		}
+	}
+	// Too long for v10.
+	if _, err := Encode(strings.Repeat("a", 600), L); err != ErrTooLong {
+		t.Fatalf("oversize err = %v", err)
+	}
+}
+
+func TestFinderPatternsPresent(t *testing.T) {
+	c, err := Encode("finder test", L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core of each finder must be dark, ring edges alternating as spec'd.
+	for _, corner := range [][2]int{{0, 0}, {c.Size - 7, 0}, {0, c.Size - 7}} {
+		x0, y0 := corner[0], corner[1]
+		if !c.At(x0+3, y0+3) {
+			t.Errorf("finder core at (%d,%d) not dark", x0+3, y0+3)
+		}
+		if !c.At(x0, y0) || !c.At(x0+6, y0+6) {
+			t.Errorf("finder ring at (%d,%d) broken", x0, y0)
+		}
+		if c.At(x0+1, y0+1) || c.At(x0+5, y0+5) {
+			t.Errorf("finder white ring at (%d,%d) broken", x0, y0)
+		}
+	}
+	// Timing pattern alternates.
+	for i := 8; i < c.Size-8; i++ {
+		if c.At(i, 6) != (i%2 == 0) {
+			t.Fatalf("horizontal timing wrong at %d", i)
+		}
+		if c.At(6, i) != (i%2 == 0) {
+			t.Fatalf("vertical timing wrong at %d", i)
+		}
+	}
+	// Dark module.
+	if !c.At(8, c.Size-8) {
+		t.Fatal("dark module missing")
+	}
+}
+
+func TestFormatInfoKnownVector(t *testing.T) {
+	// Published reference value: level M (00), mask 5 → 0x40CE after
+	// masking (widely documented example from the thonky.com tables and
+	// the spec's annex).
+	if got := formatInfo(M, 5); got != 0x40CE {
+		t.Fatalf("formatInfo(M,5) = %#x, want 0x40ce", got)
+	}
+	// Level L, mask 4 → 110011000101111 = 0x662F (same tables).
+	if got := formatInfo(L, 4); got != 0x662F {
+		t.Fatalf("formatInfo(L,4) = %#x, want 0x662f", got)
+	}
+	// Level L, mask 0 → 111011111000100 = 0x77C4.
+	if got := formatInfo(L, 0); got != 0x77C4 {
+		t.Fatalf("formatInfo(L,0) = %#x, want 0x77c4", got)
+	}
+}
+
+func TestFormatInfoDistance(t *testing.T) {
+	// The 32 valid format strings have pairwise Hamming distance ≥ 5.
+	var all []uint32
+	for _, lvl := range []Level{L, M} {
+		for mask := 0; mask < 8; mask++ {
+			all = append(all, formatInfo(lvl, mask))
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			d := popcount(all[i] ^ all[j])
+			if d < 5 {
+				t.Fatalf("format codes %d and %d only distance %d apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestVersionInfoKnownVector(t *testing.T) {
+	// Spec annex example: version 7 → 0x07C94.
+	if got := versionInfo(7); got != 0x07C94 {
+		t.Fatalf("versionInfo(7) = %#x, want 0x7c94", got)
+	}
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestRSKnownProperty(t *testing.T) {
+	// Any message's codeword must have all-zero syndromes, and flipping
+	// any byte must break that.
+	data := []byte("openmfa reed solomon self-check")
+	ec := rsEncode(data, 16)
+	cw := append(append([]byte(nil), data...), ec...)
+	if !rsSyndromesZero(cw, 16) {
+		t.Fatal("fresh codeword fails syndrome check")
+	}
+	cw[3] ^= 0x40
+	if rsSyndromesZero(cw, 16) {
+		t.Fatal("corrupted codeword passes syndrome check")
+	}
+}
+
+func TestRSGeneratorKnownVector(t *testing.T) {
+	// The degree-7 generator's coefficients (after the leading 1) are
+	// α^87, α^229, α^146, α^149, α^238, α^102, α^21 (spec annex A).
+	g := rsGenerator(7)
+	want := []byte{1, gfExp[87], gfExp[229], gfExp[146], gfExp[149], gfExp[238], gfExp[102], gfExp[21]}
+	if !bytes.Equal(g, want) {
+		t.Fatalf("g7 = %v, want %v", g, want)
+	}
+}
+
+func TestMaskChoiceMinimizesPenalty(t *testing.T) {
+	c, err := Encode("penalty minimization check", L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mask < 0 || c.Mask > 7 {
+		t.Fatalf("mask = %d", c.Mask)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	c, err := Encode("render", L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != c.Size+8 {
+		t.Fatalf("render has %d lines, want %d", len(lines), c.Size+8)
+	}
+	if !strings.Contains(out, "██") {
+		t.Fatal("no dark modules rendered")
+	}
+	inv := c.RenderInverted()
+	if !strings.HasPrefix(inv, "██") {
+		t.Fatal("inverted render quiet zone missing")
+	}
+}
+
+// Property: every encodable ASCII payload round-trips at both levels.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte, lvl bool) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		level := L
+		if lvl {
+			level = M
+		}
+		c, err := Encode(string(raw), level)
+		if err != nil {
+			return false
+		}
+		return decode(t, c) == string(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeOtpauthURI(b *testing.B) {
+	uri := "otpauth://totp/TACC:cproctor?issuer=TACC&secret=JBSWY3DPEHPK3PXPJBSWY3DP"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(uri, L); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package qr
+
+import "strings"
+
+// Render draws the code as terminal text: two characters per module plus
+// the mandatory 4-module quiet zone. Dark modules print as '█'-pairs so
+// phone cameras can scan a white-background terminal.
+func (c *Code) Render() string {
+	const quiet = 4
+	var sb strings.Builder
+	line := strings.Repeat("  ", c.Size+2*quiet)
+	for i := 0; i < quiet; i++ {
+		sb.WriteString(line + "\n")
+	}
+	for y := 0; y < c.Size; y++ {
+		sb.WriteString(strings.Repeat("  ", quiet))
+		for x := 0; x < c.Size; x++ {
+			if c.At(x, y) {
+				sb.WriteString("██")
+			} else {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString(strings.Repeat("  ", quiet))
+		sb.WriteByte('\n')
+	}
+	for i := 0; i < quiet; i++ {
+		sb.WriteString(line + "\n")
+	}
+	return sb.String()
+}
+
+// RenderInverted draws dark modules as spaces on a dark-background
+// terminal (light text blocks form the quiet zone and light modules).
+func (c *Code) RenderInverted() string {
+	const quiet = 4
+	var sb strings.Builder
+	line := strings.Repeat("██", c.Size+2*quiet)
+	for i := 0; i < quiet; i++ {
+		sb.WriteString(line + "\n")
+	}
+	for y := 0; y < c.Size; y++ {
+		sb.WriteString(strings.Repeat("██", quiet))
+		for x := 0; x < c.Size; x++ {
+			if c.At(x, y) {
+				sb.WriteString("  ")
+			} else {
+				sb.WriteString("██")
+			}
+		}
+		sb.WriteString(strings.Repeat("██", quiet))
+		sb.WriteByte('\n')
+	}
+	for i := 0; i < quiet; i++ {
+		sb.WriteString(line + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,219 @@
+package radius
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client exchange errors.
+var (
+	ErrTimeout     = errors.New("radius: timeout waiting for response")
+	ErrBadResponse = errors.New("radius: response failed verification")
+	ErrAllDown     = errors.New("radius: all servers unavailable")
+)
+
+// Client sends Access-Requests to a single RADIUS server with
+// retransmission, and verifies response authenticators.
+type Client struct {
+	// Addr is the server's UDP address ("host:port").
+	Addr string
+	// Secret is the shared secret.
+	Secret []byte
+	// Timeout is the per-attempt wait; zero means 1 second.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first attempt;
+	// zero means 2 (3 attempts total).
+	Retries int
+
+	idCounter uint32
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return time.Second
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2
+}
+
+// nextID allocates request identifiers round-robin per client.
+func (c *Client) nextID() byte {
+	return byte(atomic.AddUint32(&c.idCounter, 1))
+}
+
+// Exchange sends req and waits for a verified response. The request's
+// Identifier is assigned automatically and a Message-Authenticator is
+// added. The same wire bytes are retransmitted on timeout so the server's
+// duplicate cache works as intended.
+func (c *Client) Exchange(req *Packet) (*Packet, error) {
+	req.Identifier = c.nextID()
+	if err := AddMessageAuthenticator(req, c.Secret); err != nil {
+		return nil, err
+	}
+	wire, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	raddr, err := net.ResolveUDPAddr("udp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("radius: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("radius: %w", err)
+	}
+	defer conn.Close()
+
+	buf := make([]byte, MaxPacketLen)
+	attempts := 1 + c.retries()
+	for a := 0; a < attempts; a++ {
+		if _, err := conn.Write(wire); err != nil {
+			return nil, fmt.Errorf("radius: %w", err)
+		}
+		deadline := time.Now().Add(c.timeout())
+		for {
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, err := conn.Read(buf)
+			if err != nil {
+				break // timeout: retransmit
+			}
+			resp, err := Decode(buf[:n])
+			if err != nil || resp.Identifier != req.Identifier {
+				continue // stray packet; keep waiting
+			}
+			if !VerifyResponse(resp, req.Authenticator, c.Secret) {
+				return nil, ErrBadResponse
+			}
+			if !c.verifyRespMA(resp, req.Authenticator) {
+				return nil, ErrBadResponse
+			}
+			return resp, nil
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// verifyRespMA validates a response Message-Authenticator, which is
+// computed with the *request* authenticator in the header field.
+func (c *Client) verifyRespMA(resp *Packet, reqAuth [16]byte) bool {
+	if _, ok := resp.Get(AttrMessageAuthenticator); !ok {
+		return true
+	}
+	clone := &Packet{Code: resp.Code, Identifier: resp.Identifier, Authenticator: reqAuth}
+	clone.Attributes = append(clone.Attributes, resp.Attributes...)
+	return VerifyMessageAuthenticator(clone, c.Secret)
+}
+
+// Pool is a round-robin failover client over several RADIUS servers: "API
+// calls communicate with RADIUS servers in a round-robin fashion to provide
+// load balancing and resiliency if specific RADIUS servers are unavailable"
+// (§3.4).
+type Pool struct {
+	// Cooldown is how long a failed server is skipped before being
+	// retried; zero means 30 seconds.
+	Cooldown time.Duration
+
+	secret  []byte
+	mu      sync.Mutex
+	clients []*Client
+	downTil []time.Time
+	next    int
+}
+
+// NewPool builds a pool of clients sharing one secret. Each address gets
+// the provided per-attempt timeout and retry budget.
+func NewPool(addrs []string, secret []byte, timeout time.Duration, retries int) *Pool {
+	p := &Pool{secret: append([]byte(nil), secret...)}
+	for _, a := range addrs {
+		p.clients = append(p.clients, &Client{Addr: a, Secret: secret, Timeout: timeout, Retries: retries})
+	}
+	p.downTil = make([]time.Time, len(p.clients))
+	return p
+}
+
+func (p *Pool) cooldown() time.Duration {
+	if p.Cooldown > 0 {
+		return p.Cooldown
+	}
+	return 30 * time.Second
+}
+
+// Secret returns the shared secret, which callers need to hide
+// User-Password attributes bound to each rebuilt request authenticator.
+func (p *Pool) Secret() []byte { return p.secret }
+
+// Servers returns the configured addresses.
+func (p *Pool) Servers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.clients))
+	for i, c := range p.clients {
+		out[i] = c.Addr
+	}
+	return out
+}
+
+// pick returns the next candidate client honouring cooldowns, or -1.
+func (p *Pool) pick(now time.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.clients)
+	for i := 0; i < n; i++ {
+		idx := (p.next + i) % n
+		if now.After(p.downTil[idx]) {
+			p.next = (idx + 1) % n
+			return idx
+		}
+	}
+	return -1
+}
+
+func (p *Pool) markDown(idx int, now time.Time) {
+	p.mu.Lock()
+	p.downTil[idx] = now.Add(p.cooldown())
+	p.mu.Unlock()
+}
+
+// Exchange sends req via the next healthy server, failing over on timeout.
+// Each failover re-randomises the request authenticator and re-hides
+// password attributes via the rebuild callback, because hiding is bound to
+// the authenticator. rebuild is called with a fresh request skeleton
+// (Code/Authenticator set) and must populate attributes.
+func (p *Pool) Exchange(rebuild func(req *Packet)) (*Packet, error) {
+	now := time.Now()
+	n := len(p.clients)
+	if n == 0 {
+		return nil, ErrAllDown
+	}
+	var lastErr error = ErrAllDown
+	for attempt := 0; attempt < n; attempt++ {
+		idx := p.pick(now)
+		if idx < 0 {
+			// Everything is cooling down; desperate fallback to
+			// plain round-robin so logins do not hard-fail while a
+			// single server flaps (resiliency over strictness).
+			idx = attempt % n
+		}
+		req := NewRequest(0)
+		rebuild(req)
+		resp, err := p.clients[idx].Exchange(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		p.markDown(idx, now)
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,339 @@
+// Package radius implements the subset of RADIUS (RFC 2865, RFC 2869) the
+// MFA infrastructure depends on: Access-Request / Access-Accept /
+// Access-Reject / Access-Challenge exchanges over UDP, User-Password
+// hiding, response authenticators, Message-Authenticator (HMAC-MD5)
+// integrity, a retransmitting client, a round-robin failover pool (the
+// paper's PAM token module "communicate[s] with RADIUS servers in a
+// round-robin fashion to provide load balancing and resiliency"), and a
+// proxy ("capable of load balancing and proxy chaining across servers",
+// §3.2).
+package radius
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Code is the RADIUS packet type.
+type Code byte
+
+// Packet codes used by the infrastructure.
+const (
+	AccessRequest   Code = 1
+	AccessAccept    Code = 2
+	AccessReject    Code = 3
+	AccessChallenge Code = 11
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case AccessRequest:
+		return "Access-Request"
+	case AccessAccept:
+		return "Access-Accept"
+	case AccessReject:
+		return "Access-Reject"
+	case AccessChallenge:
+		return "Access-Challenge"
+	default:
+		return fmt.Sprintf("Code(%d)", byte(c))
+	}
+}
+
+// Attribute types used by the infrastructure.
+const (
+	AttrUserName             = 1
+	AttrUserPassword         = 2
+	AttrNASIPAddress         = 4
+	AttrReplyMessage         = 18
+	AttrState                = 24
+	AttrNASIdentifier        = 32
+	AttrProxyState           = 33
+	AttrMessageAuthenticator = 80
+)
+
+// Attribute is a single type-length-value attribute.
+type Attribute struct {
+	Type  byte
+	Value []byte
+}
+
+// Packet is a RADIUS packet.
+type Packet struct {
+	Code          Code
+	Identifier    byte
+	Authenticator [16]byte
+	Attributes    []Attribute
+}
+
+// Add appends an attribute.
+func (p *Packet) Add(typ byte, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	p.Attributes = append(p.Attributes, Attribute{Type: typ, Value: v})
+}
+
+// AddString appends a string-valued attribute.
+func (p *Packet) AddString(typ byte, value string) { p.Add(typ, []byte(value)) }
+
+// Get returns the first attribute of the given type.
+func (p *Packet) Get(typ byte) ([]byte, bool) {
+	for _, a := range p.Attributes {
+		if a.Type == typ {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// GetString returns the first attribute of the given type as a string.
+func (p *Packet) GetString(typ byte) string {
+	v, _ := p.Get(typ)
+	return string(v)
+}
+
+// GetAll returns every attribute of the given type, in order. Reply-Message
+// may legally repeat to carry multi-line prompts.
+func (p *Packet) GetAll(typ byte) [][]byte {
+	var out [][]byte
+	for _, a := range p.Attributes {
+		if a.Type == typ {
+			out = append(out, a.Value)
+		}
+	}
+	return out
+}
+
+// RemoveAll deletes every attribute of the given type.
+func (p *Packet) RemoveAll(typ byte) {
+	kept := p.Attributes[:0]
+	for _, a := range p.Attributes {
+		if a.Type != typ {
+			kept = append(kept, a)
+		}
+	}
+	p.Attributes = kept
+}
+
+const headerLen = 20
+
+// MaxPacketLen is the RFC 2865 maximum packet size.
+const MaxPacketLen = 4096
+
+// Encoding/decoding errors.
+var (
+	ErrPacketTooShort = errors.New("radius: packet too short")
+	ErrPacketTooLong  = errors.New("radius: packet exceeds 4096 bytes")
+	ErrBadLength      = errors.New("radius: length field mismatch")
+	ErrBadAttribute   = errors.New("radius: malformed attribute")
+	ErrAttrTooLong    = errors.New("radius: attribute value exceeds 253 bytes")
+)
+
+// Encode serialises the packet.
+func (p *Packet) Encode() ([]byte, error) {
+	length := headerLen
+	for _, a := range p.Attributes {
+		if len(a.Value) > 253 {
+			return nil, ErrAttrTooLong
+		}
+		length += 2 + len(a.Value)
+	}
+	if length > MaxPacketLen {
+		return nil, ErrPacketTooLong
+	}
+	buf := make([]byte, length)
+	buf[0] = byte(p.Code)
+	buf[1] = p.Identifier
+	binary.BigEndian.PutUint16(buf[2:4], uint16(length))
+	copy(buf[4:20], p.Authenticator[:])
+	off := headerLen
+	for _, a := range p.Attributes {
+		buf[off] = a.Type
+		buf[off+1] = byte(2 + len(a.Value))
+		copy(buf[off+2:], a.Value)
+		off += 2 + len(a.Value)
+	}
+	return buf, nil
+}
+
+// Decode parses a wire packet.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < headerLen {
+		return nil, ErrPacketTooShort
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if length < headerLen || length > len(b) || length > MaxPacketLen {
+		return nil, ErrBadLength
+	}
+	p := &Packet{Code: Code(b[0]), Identifier: b[1]}
+	copy(p.Authenticator[:], b[4:20])
+	off := headerLen
+	for off < length {
+		if off+2 > length {
+			return nil, ErrBadAttribute
+		}
+		alen := int(b[off+1])
+		if alen < 2 || off+alen > length {
+			return nil, ErrBadAttribute
+		}
+		val := make([]byte, alen-2)
+		copy(val, b[off+2:off+alen])
+		p.Attributes = append(p.Attributes, Attribute{Type: b[off], Value: val})
+		off += alen
+	}
+	return p, nil
+}
+
+// NewRequest builds an Access-Request with a fresh random authenticator.
+func NewRequest(identifier byte) *Packet {
+	p := &Packet{Code: AccessRequest, Identifier: identifier}
+	if _, err := rand.Read(p.Authenticator[:]); err != nil {
+		panic("radius: rand: " + err.Error())
+	}
+	return p
+}
+
+// HidePassword encodes password per RFC 2865 §5.2 using the shared secret
+// and the request authenticator. Passwords longer than 128 bytes fail.
+func HidePassword(password string, secret []byte, reqAuth [16]byte) ([]byte, error) {
+	if len(password) > 128 {
+		return nil, errors.New("radius: password longer than 128 bytes")
+	}
+	// Pad to a 16-byte multiple; empty password still occupies one block.
+	n := (len(password) + 15) / 16 * 16
+	if n == 0 {
+		n = 16
+	}
+	pw := make([]byte, n)
+	copy(pw, password)
+
+	out := make([]byte, n)
+	prev := reqAuth[:]
+	for i := 0; i < n; i += 16 {
+		h := md5.New()
+		h.Write(secret)
+		h.Write(prev)
+		b := h.Sum(nil)
+		for j := 0; j < 16; j++ {
+			out[i+j] = pw[i+j] ^ b[j]
+		}
+		prev = out[i : i+16]
+	}
+	return out, nil
+}
+
+// RevealPassword inverts HidePassword, trimming trailing NUL padding.
+func RevealPassword(hidden, secret []byte, reqAuth [16]byte) (string, error) {
+	if len(hidden) == 0 || len(hidden)%16 != 0 || len(hidden) > 128 {
+		return "", errors.New("radius: bad hidden password length")
+	}
+	out := make([]byte, len(hidden))
+	prev := reqAuth[:]
+	for i := 0; i < len(hidden); i += 16 {
+		h := md5.New()
+		h.Write(secret)
+		h.Write(prev)
+		b := h.Sum(nil)
+		for j := 0; j < 16; j++ {
+			out[i+j] = hidden[i+j] ^ b[j]
+		}
+		prev = hidden[i : i+16]
+	}
+	// Strip padding.
+	end := len(out)
+	for end > 0 && out[end-1] == 0 {
+		end--
+	}
+	return string(out[:end]), nil
+}
+
+// ResponseAuthenticator computes MD5(Code+ID+Length+RequestAuth+Attrs+Secret)
+// for a response whose Authenticator field is currently zero or arbitrary.
+func ResponseAuthenticator(resp *Packet, reqAuth [16]byte, secret []byte) ([16]byte, error) {
+	save := resp.Authenticator
+	resp.Authenticator = reqAuth
+	wire, err := resp.Encode()
+	resp.Authenticator = save
+	if err != nil {
+		return [16]byte{}, err
+	}
+	h := md5.New()
+	h.Write(wire)
+	h.Write(secret)
+	var out [16]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// SignResponse fills in the response authenticator for a reply to a request
+// carrying reqAuth.
+func SignResponse(resp *Packet, reqAuth [16]byte, secret []byte) error {
+	auth, err := ResponseAuthenticator(resp, reqAuth, secret)
+	if err != nil {
+		return err
+	}
+	resp.Authenticator = auth
+	return nil
+}
+
+// VerifyResponse checks a reply's response authenticator.
+func VerifyResponse(resp *Packet, reqAuth [16]byte, secret []byte) bool {
+	want, err := ResponseAuthenticator(resp, reqAuth, secret)
+	if err != nil {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want[:], resp.Authenticator[:]) == 1
+}
+
+// AddMessageAuthenticator appends an RFC 2869 §5.14 Message-Authenticator
+// computed over the packet with the attribute itself zeroed. For requests,
+// the packet's own (random) authenticator is in place; for responses,
+// reqAuth must already be substituted by the caller.
+func AddMessageAuthenticator(p *Packet, secret []byte) error {
+	p.RemoveAll(AttrMessageAuthenticator)
+	p.Add(AttrMessageAuthenticator, make([]byte, 16))
+	wire, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	mac := hmac.New(md5.New, secret)
+	mac.Write(wire)
+	sum := mac.Sum(nil)
+	copy(p.Attributes[len(p.Attributes)-1].Value, sum)
+	return nil
+}
+
+// VerifyMessageAuthenticator checks the Message-Authenticator attribute if
+// present; packets without one verify trivially (the attribute is optional
+// for Access-Request).
+func VerifyMessageAuthenticator(p *Packet, secret []byte) bool {
+	got, ok := p.Get(AttrMessageAuthenticator)
+	if !ok {
+		return true
+	}
+	if len(got) != 16 {
+		return false
+	}
+	// Recompute with the attribute zeroed in place.
+	clone := &Packet{Code: p.Code, Identifier: p.Identifier, Authenticator: p.Authenticator}
+	for _, a := range p.Attributes {
+		v := make([]byte, len(a.Value))
+		if a.Type != AttrMessageAuthenticator {
+			copy(v, a.Value)
+		}
+		clone.Attributes = append(clone.Attributes, Attribute{Type: a.Type, Value: v})
+	}
+	wire, err := clone.Encode()
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(md5.New, secret)
+	mac.Write(wire)
+	return hmac.Equal(mac.Sum(nil), got)
+}

@@ -1,0 +1,281 @@
+package radius
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewRequest(7)
+	p.AddString(AttrUserName, "cproctor")
+	p.AddString(AttrNASIdentifier, "login1.stampede")
+	p.Add(AttrState, []byte{1, 2, 3})
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != AccessRequest || got.Identifier != p.Identifier {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Authenticator != p.Authenticator {
+		t.Fatal("authenticator mismatch")
+	}
+	if got.GetString(AttrUserName) != "cproctor" {
+		t.Fatalf("User-Name = %q", got.GetString(AttrUserName))
+	}
+	if s, _ := got.Get(AttrState); !bytes.Equal(s, []byte{1, 2, 3}) {
+		t.Fatal("State mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrPacketTooShort {
+		t.Fatalf("short: %v", err)
+	}
+	// Length field smaller than header.
+	bad := make([]byte, 20)
+	bad[3] = 10
+	if _, err := Decode(bad); err != ErrBadLength {
+		t.Fatalf("bad length: %v", err)
+	}
+	// Length larger than datagram.
+	bad2 := make([]byte, 20)
+	bad2[2] = 0xff
+	bad2[3] = 0xff
+	if _, err := Decode(bad2); err != ErrBadLength {
+		t.Fatalf("overlong: %v", err)
+	}
+	// Attribute with length < 2.
+	p := NewRequest(1)
+	wire, _ := p.Encode()
+	wire = append(wire, 1, 1)
+	wire[3] = byte(len(wire))
+	if _, err := Decode(wire); err != ErrBadAttribute {
+		t.Fatalf("bad attr: %v", err)
+	}
+	// Attribute overrunning the packet.
+	p2 := NewRequest(1)
+	wire2, _ := p2.Encode()
+	wire2 = append(wire2, 1, 30, 'x')
+	wire2[3] = byte(len(wire2))
+	if _, err := Decode(wire2); err != ErrBadAttribute {
+		t.Fatalf("overrun attr: %v", err)
+	}
+}
+
+func TestEncodeAttrTooLong(t *testing.T) {
+	p := NewRequest(1)
+	p.Add(AttrReplyMessage, make([]byte, 254))
+	if _, err := p.Encode(); err != ErrAttrTooLong {
+		t.Fatalf("err = %v, want ErrAttrTooLong", err)
+	}
+}
+
+func TestGetAllAndRemoveAll(t *testing.T) {
+	p := NewRequest(1)
+	p.AddString(AttrReplyMessage, "line 1")
+	p.AddString(AttrUserName, "u")
+	p.AddString(AttrReplyMessage, "line 2")
+	all := p.GetAll(AttrReplyMessage)
+	if len(all) != 2 || string(all[0]) != "line 1" || string(all[1]) != "line 2" {
+		t.Fatalf("GetAll = %q", all)
+	}
+	p.RemoveAll(AttrReplyMessage)
+	if _, ok := p.Get(AttrReplyMessage); ok {
+		t.Fatal("RemoveAll left attributes behind")
+	}
+	if p.GetString(AttrUserName) != "u" {
+		t.Fatal("RemoveAll removed unrelated attribute")
+	}
+}
+
+func TestHideRevealPassword(t *testing.T) {
+	secret := []byte("s3cret")
+	var auth [16]byte
+	copy(auth[:], "0123456789abcdef")
+	for _, pw := range []string{"", "123456", "a", "exactly-16-bytes", "this one is much longer than sixteen bytes"} {
+		hidden, err := HidePassword(pw, secret, auth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hidden)%16 != 0 || len(hidden) == 0 {
+			t.Fatalf("hidden length %d not a positive multiple of 16", len(hidden))
+		}
+		got, err := RevealPassword(hidden, secret, auth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != pw {
+			t.Fatalf("reveal = %q, want %q", got, pw)
+		}
+	}
+}
+
+func TestHidePasswordTooLong(t *testing.T) {
+	if _, err := HidePassword(string(make([]byte, 129)), []byte("s"), [16]byte{}); err == nil {
+		t.Fatal("129-byte password accepted")
+	}
+}
+
+func TestRevealPasswordBadLength(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 144} {
+		if _, err := RevealPassword(make([]byte, n), []byte("s"), [16]byte{}); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestRevealWithWrongSecretGarbles(t *testing.T) {
+	var auth [16]byte
+	hidden, _ := HidePassword("123456", []byte("right"), auth)
+	got, err := RevealPassword(hidden, []byte("wrong"), auth)
+	if err == nil && got == "123456" {
+		t.Fatal("wrong secret revealed the password")
+	}
+}
+
+func TestResponseAuthenticatorVerify(t *testing.T) {
+	secret := []byte("shared")
+	req := NewRequest(9)
+	req.AddString(AttrUserName, "u")
+	resp := &Packet{Code: AccessAccept, Identifier: 9}
+	resp.AddString(AttrReplyMessage, "welcome")
+	if err := SignResponse(resp, req.Authenticator, secret); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyResponse(resp, req.Authenticator, secret) {
+		t.Fatal("signed response failed verification")
+	}
+	// Tampering with an attribute must break verification.
+	resp.Attributes[0].Value[0] ^= 1
+	if VerifyResponse(resp, req.Authenticator, secret) {
+		t.Fatal("tampered response verified")
+	}
+	resp.Attributes[0].Value[0] ^= 1
+	// Wrong secret must fail.
+	if VerifyResponse(resp, req.Authenticator, []byte("other")) {
+		t.Fatal("response verified under wrong secret")
+	}
+}
+
+func TestMessageAuthenticator(t *testing.T) {
+	secret := []byte("shared")
+	p := NewRequest(3)
+	p.AddString(AttrUserName, "storm")
+	if err := AddMessageAuthenticator(p, secret); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyMessageAuthenticator(p, secret) {
+		t.Fatal("fresh MA failed verification")
+	}
+	// Round-trip through the wire.
+	wire, _ := p.Encode()
+	got, _ := Decode(wire)
+	if !VerifyMessageAuthenticator(got, secret) {
+		t.Fatal("decoded MA failed verification")
+	}
+	// Tamper.
+	got.Attributes[0].Value[0] ^= 1
+	if VerifyMessageAuthenticator(got, secret) {
+		t.Fatal("tampered packet verified")
+	}
+	// Wrong secret.
+	got.Attributes[0].Value[0] ^= 1
+	if VerifyMessageAuthenticator(got, []byte("wrong")) {
+		t.Fatal("wrong secret verified")
+	}
+	// Absent MA verifies trivially.
+	q := NewRequest(4)
+	if !VerifyMessageAuthenticator(q, secret) {
+		t.Fatal("packet without MA should verify")
+	}
+	// Malformed MA length fails.
+	r := NewRequest(5)
+	r.Add(AttrMessageAuthenticator, []byte{1, 2, 3})
+	if VerifyMessageAuthenticator(r, secret) {
+		t.Fatal("short MA verified")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	for c, want := range map[Code]string{
+		AccessRequest: "Access-Request", AccessAccept: "Access-Accept",
+		AccessReject: "Access-Reject", AccessChallenge: "Access-Challenge",
+		Code(99): "Code(99)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", byte(c), c.String(), want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary attribute sets.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(id byte, attrs [][]byte) bool {
+		p := NewRequest(id)
+		for i, v := range attrs {
+			if len(v) > 253 {
+				v = v[:253]
+			}
+			p.Add(byte(i%250)+1, v)
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		if len(got.Attributes) != len(p.Attributes) {
+			return false
+		}
+		for i := range got.Attributes {
+			if got.Attributes[i].Type != p.Attributes[i].Type ||
+				!bytes.Equal(got.Attributes[i].Value, p.Attributes[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: password hiding round-trips all short printable passwords.
+func TestHideRevealProperty(t *testing.T) {
+	f := func(pwRaw []byte, secret []byte, auth [16]byte) bool {
+		if len(secret) == 0 {
+			secret = []byte{1}
+		}
+		if len(pwRaw) > 128 {
+			pwRaw = pwRaw[:128]
+		}
+		// NUL bytes are indistinguishable from padding by design; real
+		// token codes are digits.
+		pw := ""
+		for _, b := range pwRaw {
+			if b != 0 {
+				pw += string(rune(b%94 + 33))
+			}
+		}
+		if len(pw) > 128 {
+			pw = pw[:128]
+		}
+		hidden, err := HidePassword(pw, secret, auth)
+		if err != nil {
+			return false
+		}
+		got, err := RevealPassword(hidden, secret, auth)
+		return err == nil && got == pw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package radius
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Proxy is a Handler that forwards Access-Requests to an upstream server,
+// reproducing FreeRADIUS "proxy chaining" (§3.2). The login nodes talk to
+// a handful of proxy RADIUS servers which in turn negotiate with the
+// server in front of the LinOTP database.
+//
+// The proxy appends a Proxy-State attribute on the way up (RFC 2865 §5.33)
+// and strips it from the reply on the way down, preserving any State
+// attribute used by challenge–response flows.
+type Proxy struct {
+	// Upstream exchanges packets with the next hop.
+	Upstream *Client
+	counter  uint32
+}
+
+// ServeRADIUS implements Handler.
+func (p *Proxy) ServeRADIUS(req *Request) *Packet {
+	fwd := NewRequest(0)
+	fwd.Code = AccessRequest
+
+	// Copy attributes; User-Password must be re-hidden under the
+	// upstream secret and the new authenticator.
+	for _, a := range req.Packet.Attributes {
+		switch a.Type {
+		case AttrUserPassword:
+			pw, err := req.Password()
+			if err != nil {
+				return &Packet{Code: AccessReject}
+			}
+			hidden, err := HidePassword(pw, p.Upstream.Secret, fwd.Authenticator)
+			if err != nil {
+				return &Packet{Code: AccessReject}
+			}
+			fwd.Add(AttrUserPassword, hidden)
+		case AttrMessageAuthenticator:
+			// Recomputed by the upstream client.
+		default:
+			fwd.Add(a.Type, a.Value)
+		}
+	}
+	var ps [4]byte
+	binary.BigEndian.PutUint32(ps[:], atomic.AddUint32(&p.counter, 1))
+	fwd.Add(AttrProxyState, ps[:])
+
+	resp, err := p.Upstream.Exchange(fwd)
+	if err != nil {
+		return nil // drop; the NAS will retransmit and fail over
+	}
+	out := &Packet{Code: resp.Code}
+	for _, a := range resp.Attributes {
+		if a.Type == AttrProxyState || a.Type == AttrMessageAuthenticator {
+			continue
+		}
+		out.Add(a.Type, a.Value)
+	}
+	return out
+}

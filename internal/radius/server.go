@@ -1,0 +1,229 @@
+package radius
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes a decoded Access-Request and returns a reply packet
+// (Access-Accept, Access-Reject, or Access-Challenge). The returned packet
+// needs only Code and Attributes set; the server fills Identifier and the
+// response authenticator. Returning nil drops the request silently.
+type Handler interface {
+	ServeRADIUS(req *Request) *Packet
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Packet
+
+// ServeRADIUS calls f.
+func (f HandlerFunc) ServeRADIUS(req *Request) *Packet { return f(req) }
+
+// Request bundles a decoded packet with its origin and convenience
+// accessors for the fields the OTP flow uses.
+type Request struct {
+	Packet *Packet
+	Addr   net.Addr
+	secret []byte
+}
+
+// Username returns the User-Name attribute.
+func (r *Request) Username() string { return r.Packet.GetString(AttrUserName) }
+
+// Password reveals the User-Password attribute (the token code in this
+// infrastructure). A missing attribute yields "".
+func (r *Request) Password() (string, error) {
+	hidden, ok := r.Packet.Get(AttrUserPassword)
+	if !ok {
+		return "", nil
+	}
+	return RevealPassword(hidden, r.secret, r.Packet.Authenticator)
+}
+
+// State returns the State attribute linking a challenge to its response.
+func (r *Request) State() []byte {
+	v, _ := r.Packet.Get(AttrState)
+	return v
+}
+
+// Server is a UDP RADIUS server.
+type Server struct {
+	// Secret is the shared secret for all clients (per-client secrets
+	// are overkill for this reproduction; FreeRADIUS supports both).
+	Secret []byte
+	// Handler processes Access-Requests.
+	Handler Handler
+	// DedupWindow bounds the duplicate-detection cache. Retransmitted
+	// requests (same source, identifier, and authenticator) within the
+	// window receive the cached reply instead of a second evaluation,
+	// matching RFC 2865 §2 duplicate handling. Zero means 5 seconds.
+	DedupWindow time.Duration
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed bool
+	dedup  map[dedupKey]dedupEntry
+	wg     sync.WaitGroup
+}
+
+type dedupKey struct {
+	src  string
+	id   byte
+	auth [16]byte
+}
+
+type dedupEntry struct {
+	at    time.Time
+	reply []byte
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns once the listener is bound; serving continues in background
+// goroutines.
+func (s *Server) ListenAndServe(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("radius: server closed")
+	}
+	s.conn = conn
+	s.dedup = make(map[dedupKey]dedupEntry)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serve(conn)
+	return nil
+}
+
+// Addr returns the bound address, or nil before ListenAndServe.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+func (s *Server) dedupWindow() time.Duration {
+	if s.DedupWindow > 0 {
+		return s.DedupWindow
+	}
+	return 5 * time.Second
+}
+
+func (s *Server) serve(conn *net.UDPConn) {
+	defer s.wg.Done()
+	buf := make([]byte, MaxPacketLen)
+	for {
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func(pkt []byte, src *net.UDPAddr) {
+			defer s.wg.Done()
+			s.handlePacket(conn, pkt, src)
+		}(pkt, src)
+	}
+}
+
+func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) {
+	req, err := Decode(wire)
+	if err != nil {
+		s.logf("radius: drop malformed packet from %s: %v", src, err)
+		return
+	}
+	if req.Code != AccessRequest {
+		s.logf("radius: drop %s from %s", req.Code, src)
+		return
+	}
+	if !VerifyMessageAuthenticator(req, s.Secret) {
+		s.logf("radius: drop request with bad Message-Authenticator from %s", src)
+		return
+	}
+
+	key := dedupKey{src: src.String(), id: req.Identifier, auth: req.Authenticator}
+	s.mu.Lock()
+	if e, ok := s.dedup[key]; ok && time.Since(e.at) < s.dedupWindow() {
+		reply := e.reply
+		s.mu.Unlock()
+		if reply != nil {
+			conn.WriteToUDP(reply, src)
+		}
+		return
+	}
+	// GC old entries opportunistically.
+	for k, e := range s.dedup {
+		if time.Since(e.at) > s.dedupWindow() {
+			delete(s.dedup, k)
+		}
+	}
+	s.mu.Unlock()
+
+	resp := s.Handler.ServeRADIUS(&Request{Packet: req, Addr: src, secret: s.Secret})
+	var replyWire []byte
+	if resp != nil {
+		resp.Identifier = req.Identifier
+		// Responses carry a Message-Authenticator when the request did.
+		if _, hadMA := req.Get(AttrMessageAuthenticator); hadMA {
+			save := resp.Authenticator
+			resp.Authenticator = req.Authenticator
+			if err := AddMessageAuthenticator(resp, s.Secret); err != nil {
+				s.logf("radius: sign response: %v", err)
+				return
+			}
+			resp.Authenticator = save
+		}
+		if err := SignResponse(resp, req.Authenticator, s.Secret); err != nil {
+			s.logf("radius: sign response: %v", err)
+			return
+		}
+		replyWire, err = resp.Encode()
+		if err != nil {
+			s.logf("radius: encode response: %v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.dedup[key] = dedupEntry{at: time.Now(), reply: replyWire}
+	s.mu.Unlock()
+	if replyWire != nil {
+		if _, err := conn.WriteToUDP(replyWire, src); err != nil {
+			s.logf("radius: write to %s: %v", src, err)
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package risk implements the dynamic risk assessment the paper names as
+// the infrastructure's growth path (§6). Each login attempt is scored
+// from the user's history:
+//
+//   - novel source network (first sighting of the /24),
+//   - novel country,
+//   - impossible travel (geo-velocity between consecutive logins),
+//   - recent failed-attempt pressure on the account,
+//   - off-hours access relative to the user's own activity profile.
+//
+// Scores map to levels, and a PAM module (Gate) folds the level into the
+// Figure 1 stack: Elevated cancels any MFA exemption for the attempt
+// (forces the second factor), Critical denies outright. History is kept
+// in memory with bounded per-user state.
+package risk
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"openmfa/internal/geoip"
+)
+
+// Level buckets a score.
+type Level int
+
+// Risk levels.
+const (
+	Low Level = iota
+	Elevated
+	Critical
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Elevated:
+		return "elevated"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Weights tune the scoring. The zero value is unusable; use
+// DefaultWeights.
+type Weights struct {
+	NewNetwork      float64 // first login from this /24
+	NewCountry      float64 // first login from this country
+	ImpossibleSpeed float64 // travel faster than MaxKmh
+	FailPressure    float64 // per recent failed attempt (capped)
+	OffHours        float64 // outside the user's usual window
+	MaxKmh          float64 // fastest plausible travel
+	// ElevatedAt / CriticalAt are the level thresholds.
+	ElevatedAt, CriticalAt float64
+}
+
+// DefaultWeights is a conservative profile: a single novelty signal
+// elevates; novelty plus impossible travel (or heavy failure pressure)
+// becomes critical.
+func DefaultWeights() Weights {
+	return Weights{
+		NewNetwork:      0.35,
+		NewCountry:      0.55,
+		ImpossibleSpeed: 0.80,
+		FailPressure:    0.12,
+		OffHours:        0.15,
+		MaxKmh:          950, // commercial flight
+		ElevatedAt:      0.50,
+		CriticalAt:      1.20,
+	}
+}
+
+// Assessment is the scored verdict for one attempt.
+type Assessment struct {
+	Score   float64
+	Level   Level
+	Reasons []string
+}
+
+// userState is the bounded per-user history.
+type userState struct {
+	networks   map[string]bool // /24 prefixes seen
+	countries  map[string]bool
+	lastSeen   time.Time
+	lastLoc    geoip.Location
+	hasLastLoc bool
+	// failure ring: timestamps of recent failures.
+	fails []time.Time
+	// hour histogram of successful logins.
+	hours [24]int
+	total int
+}
+
+// Engine scores attempts. Safe for concurrent use.
+type Engine struct {
+	Geo     *geoip.DB
+	Weights Weights
+
+	mu    sync.Mutex
+	users map[string]*userState
+}
+
+// NewEngine builds an engine over a geolocation DB (nil disables the
+// geographic signals).
+func NewEngine(geo *geoip.DB, w Weights) *Engine {
+	return &Engine{Geo: geo, Weights: w, users: make(map[string]*userState)}
+}
+
+func (e *Engine) state(user string) *userState {
+	s := e.users[user]
+	if s == nil {
+		s = &userState{networks: map[string]bool{}, countries: map[string]bool{}}
+		e.users[user] = s
+	}
+	return s
+}
+
+func slash24(ip net.IP) string {
+	v4 := ip.To4()
+	if v4 == nil {
+		return ip.String()
+	}
+	return fmt.Sprintf("%d.%d.%d.0/24", v4[0], v4[1], v4[2])
+}
+
+const failWindow = 30 * time.Minute
+
+// Assess scores an attempt without mutating history (call RecordSuccess /
+// RecordFailure afterwards with the outcome).
+func (e *Engine) Assess(user string, ip net.IP, at time.Time) Assessment {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.state(user)
+	w := e.Weights
+	var a Assessment
+
+	var loc geoip.Location
+	var haveLoc bool
+	if e.Geo != nil {
+		if l, err := e.Geo.Lookup(ip); err == nil {
+			loc, haveLoc = l, true
+		}
+	}
+
+	if s.total > 0 {
+		if !s.networks[slash24(ip)] {
+			a.Score += w.NewNetwork
+			a.Reasons = append(a.Reasons, "new source network "+slash24(ip))
+		}
+		if haveLoc && !s.countries[loc.Country] {
+			a.Score += w.NewCountry
+			a.Reasons = append(a.Reasons, "new country "+loc.Country)
+		}
+		if haveLoc && s.hasLastLoc && at.After(s.lastSeen) {
+			km := geoip.KilometersBetween(s.lastLoc, loc)
+			hours := at.Sub(s.lastSeen).Hours()
+			if hours > 0 && km > 50 {
+				speed := km / hours
+				if speed > w.MaxKmh {
+					a.Score += w.ImpossibleSpeed
+					a.Reasons = append(a.Reasons,
+						fmt.Sprintf("impossible travel: %.0f km in %.1f h", km, hours))
+				}
+			}
+		}
+		if s.total >= 20 && w.OffHours > 0 {
+			h := at.UTC().Hour()
+			// "Usual" = the hour accounts for at least 2% of history,
+			// counting adjacent hours as usual too.
+			usual := false
+			for _, hh := range []int{(h + 23) % 24, h, (h + 1) % 24} {
+				if float64(s.hours[hh]) >= 0.02*float64(s.total) {
+					usual = true
+				}
+			}
+			if !usual {
+				a.Score += w.OffHours
+				a.Reasons = append(a.Reasons, fmt.Sprintf("unusual hour %02d:00 UTC", h))
+			}
+		}
+	}
+
+	// Failure pressure applies to new and old accounts alike.
+	recent := 0
+	for _, f := range s.fails {
+		if at.Sub(f) <= failWindow {
+			recent++
+		}
+	}
+	if recent > 0 {
+		n := recent
+		if n > 10 {
+			n = 10
+		}
+		a.Score += w.FailPressure * float64(n)
+		a.Reasons = append(a.Reasons, fmt.Sprintf("%d recent failed attempts", recent))
+	}
+
+	switch {
+	case a.Score >= w.CriticalAt:
+		a.Level = Critical
+	case a.Score >= w.ElevatedAt:
+		a.Level = Elevated
+	}
+	return a
+}
+
+// RecordSuccess folds a successful login into the user's history.
+func (e *Engine) RecordSuccess(user string, ip net.IP, at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.state(user)
+	if len(s.networks) < 512 {
+		s.networks[slash24(ip)] = true
+	}
+	if e.Geo != nil {
+		if loc, err := e.Geo.Lookup(ip); err == nil {
+			s.countries[loc.Country] = true
+			s.lastLoc, s.hasLastLoc = loc, true
+		}
+	}
+	s.lastSeen = at
+	s.hours[at.UTC().Hour()]++
+	s.total++
+	s.fails = pruneFails(s.fails, at)
+}
+
+// RecordFailure folds a failed attempt into the user's history.
+func (e *Engine) RecordFailure(user string, ip net.IP, at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.state(user)
+	s.fails = append(pruneFails(s.fails, at), at)
+}
+
+func pruneFails(fails []time.Time, now time.Time) []time.Time {
+	kept := fails[:0]
+	for _, f := range fails {
+		if now.Sub(f) <= failWindow {
+			kept = append(kept, f)
+		}
+	}
+	// Bound the slice.
+	if len(kept) > 64 {
+		kept = kept[len(kept)-64:]
+	}
+	return kept
+}
+
+// Users reports how many accounts have history.
+func (e *Engine) Users() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.users)
+}

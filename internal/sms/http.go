@@ -1,0 +1,79 @@
+package sms
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// API exposes the gateway over a Twilio-shaped REST endpoint:
+//
+//	POST /2010-04-01/Accounts/{sid}/Messages.json
+//	  form: To, From, Body
+//	  auth: HTTP Basic, AccountSID:AuthToken
+//
+// The response mirrors Twilio's message resource (subset).
+type API struct {
+	Gateway *Gateway
+}
+
+type messageResource struct {
+	SID    string `json:"sid"`
+	To     string `json:"to"`
+	From   string `json:"from"`
+	Body   string `json:"body"`
+	Status string `json:"status"`
+}
+
+type apiError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{405, "method not allowed"})
+		return
+	}
+	sid, tok, ok := r.BasicAuth()
+	if !ok || sid != a.Gateway.AccountSID || tok != a.Gateway.AuthToken {
+		writeJSON(w, http.StatusUnauthorized, apiError{20003, "authenticate"})
+		return
+	}
+	want := "/2010-04-01/Accounts/" + a.Gateway.AccountSID + "/Messages.json"
+	if r.URL.Path != want {
+		writeJSON(w, http.StatusNotFound, apiError{20404, "resource not found"})
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{400, "bad form"})
+		return
+	}
+	to, from, body := r.PostForm.Get("To"), r.PostForm.Get("From"), r.PostForm.Get("Body")
+	if to == "" || body == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{21604, "'To' and 'Body' are required"})
+		return
+	}
+	m, err := a.Gateway.Send(to, from, body)
+	switch err {
+	case nil:
+	case ErrBadNumber:
+		writeJSON(w, http.StatusBadRequest, apiError{21211, "invalid 'To' phone number"})
+		return
+	case ErrUnknownNumber:
+		writeJSON(w, http.StatusBadRequest, apiError{30003, "unreachable destination handset"})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{500, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, messageResource{
+		SID: m.SID, To: m.To, From: m.From, Body: m.Body, Status: string(m.Status),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

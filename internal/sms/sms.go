@@ -1,0 +1,299 @@
+// Package sms simulates the Twilio SMS service the paper uses for its
+// "SMS token" option (§3.3): a REST gateway, a virtual phone network with a
+// carrier delivery model (latency, transient failures, retries), and cost
+// accounting at Twilio's published 2016 rates ($1 per month flat plus
+// $0.0075 per US-based message).
+//
+// The carrier model deliberately reproduces the paper's one operational
+// complaint (§5): "In a handful of cases, an SMS text message will arrive
+// delayed. Logs indicate that the user's network carrier had failed to
+// deliver the message until subsequent retries delivered the token code in
+// an expired state." Failure injection knobs let tests and the rollout
+// simulator recreate exactly that.
+package sms
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sync"
+	"time"
+
+	"openmfa/internal/clock"
+)
+
+// Per-message and subscription pricing (Twilio, 2016, per the paper).
+const (
+	MonthlyFeeCents     = 100 // $1 per month
+	PerMessageCentsX100 = 75  // $0.0075 per message = 75 hundredths of a cent
+)
+
+// Status describes where a message is in its lifecycle.
+type Status string
+
+// Message statuses.
+const (
+	StatusQueued    Status = "queued"
+	StatusSent      Status = "sent"
+	StatusDelivered Status = "delivered"
+	StatusFailed    Status = "failed"
+)
+
+// Message is one SMS.
+type Message struct {
+	SID         string
+	To          string
+	From        string
+	Body        string
+	Status      Status
+	QueuedAt    time.Time
+	DeliveredAt time.Time
+	Attempts    int
+}
+
+// CarrierModel controls delivery behaviour.
+type CarrierModel struct {
+	// BaseDelay is the normal queue→handset latency.
+	BaseDelay time.Duration
+	// Jitter adds up to this much uniform extra delay.
+	Jitter time.Duration
+	// FailureRate is the per-attempt probability a carrier attempt is
+	// lost and must be retried.
+	FailureRate float64
+	// RetryBackoff is the delay between redelivery attempts; the paper's
+	// delayed-token cases correspond to one or more retries pushing
+	// delivery past the 30-second code lifetime.
+	RetryBackoff time.Duration
+	// MaxAttempts bounds retries; the message fails permanently after.
+	MaxAttempts int
+}
+
+// DefaultCarrier is a well-behaved US carrier: ~2 s delivery, 1 in 200
+// attempts lost, 45 s retry backoff (long enough to expire a TOTP code).
+func DefaultCarrier() CarrierModel {
+	return CarrierModel{
+		BaseDelay:    2 * time.Second,
+		Jitter:       2 * time.Second,
+		FailureRate:  0.005,
+		RetryBackoff: 45 * time.Second,
+		MaxAttempts:  4,
+	}
+}
+
+// Phone is a virtual handset. Register one with the Network to receive
+// messages.
+type Phone struct {
+	Number string
+
+	mu    sync.Mutex
+	inbox []Message
+	waits []chan Message
+}
+
+// Inbox returns a copy of received messages, oldest first.
+func (p *Phone) Inbox() []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Message, len(p.inbox))
+	copy(out, p.inbox)
+	return out
+}
+
+// Latest returns the most recent message, if any.
+func (p *Phone) Latest() (Message, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.inbox) == 0 {
+		return Message{}, false
+	}
+	return p.inbox[len(p.inbox)-1], true
+}
+
+// Wait returns a channel that receives the next message delivered to this
+// phone (already-received messages do not count).
+func (p *Phone) Wait() <-chan Message {
+	ch := make(chan Message, 1)
+	p.mu.Lock()
+	p.waits = append(p.waits, ch)
+	p.mu.Unlock()
+	return ch
+}
+
+func (p *Phone) deliver(m Message) {
+	p.mu.Lock()
+	p.inbox = append(p.inbox, m)
+	waits := p.waits
+	p.waits = nil
+	p.mu.Unlock()
+	for _, ch := range waits {
+		ch <- m
+	}
+}
+
+// Gateway is the Twilio-substitute service.
+type Gateway struct {
+	AccountSID string
+	AuthToken  string
+
+	clk     clock.Sleeper
+	carrier CarrierModel
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	phones   map[string]*Phone
+	log      []*Message
+	sidSeq   int
+	months   int // billed subscription months
+	usCount  int // billed US messages
+	pending  sync.WaitGroup
+	maxDelay time.Duration
+}
+
+// NewGateway builds a gateway on the given clock with deterministic
+// randomness under seed.
+func NewGateway(clk clock.Sleeper, carrier CarrierModel, seed int64) *Gateway {
+	return &Gateway{
+		AccountSID: "AC" + fmt.Sprintf("%032x", seed),
+		AuthToken:  "tok-" + fmt.Sprintf("%08x", seed),
+		clk:        clk,
+		carrier:    carrier,
+		rng:        rand.New(rand.NewSource(seed)),
+		phones:     make(map[string]*Phone),
+	}
+}
+
+var usNumber = regexp.MustCompile(`^\+?1?[0-9]{10}$`)
+
+// ValidUSNumber reports whether n looks like the ten-digit US numbers the
+// portal accepts ("the user is prompted to enter a ten-digit, US-based
+// phone number", §3.5).
+func ValidUSNumber(n string) bool { return usNumber.MatchString(n) }
+
+// Register attaches a virtual phone to the network and returns it.
+func (g *Gateway) Register(number string) (*Phone, error) {
+	if !ValidUSNumber(number) {
+		return nil, fmt.Errorf("sms: %q is not a US number", number)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if p, ok := g.phones[number]; ok {
+		return p, nil
+	}
+	p := &Phone{Number: number}
+	g.phones[number] = p
+	return p, nil
+}
+
+// Send errors.
+var (
+	ErrUnknownNumber = errors.New("sms: number not in service")
+	ErrBadNumber     = errors.New("sms: invalid destination number")
+)
+
+// Send queues a message for asynchronous carrier delivery and returns a
+// snapshot of its record with status "queued", like the real API. Track
+// delivery through the destination Phone or Log, not the returned value.
+func (g *Gateway) Send(to, from, body string) (*Message, error) {
+	if !ValidUSNumber(to) {
+		return nil, ErrBadNumber
+	}
+	g.mu.Lock()
+	phone, ok := g.phones[to]
+	if !ok {
+		g.mu.Unlock()
+		return nil, ErrUnknownNumber
+	}
+	g.sidSeq++
+	m := &Message{
+		SID:      fmt.Sprintf("SM%030d", g.sidSeq),
+		To:       to,
+		From:     from,
+		Body:     body,
+		Status:   StatusQueued,
+		QueuedAt: g.clk.Now(),
+	}
+	g.log = append(g.log, m)
+	g.usCount++
+	delay := g.carrier.BaseDelay
+	if g.carrier.Jitter > 0 {
+		delay += time.Duration(g.rng.Int63n(int64(g.carrier.Jitter)))
+	}
+	attemptsLost := 0
+	for attemptsLost < g.carrier.MaxAttempts-1 && g.rng.Float64() < g.carrier.FailureRate {
+		attemptsLost++
+	}
+	snapshot := *m
+	g.mu.Unlock()
+
+	g.pending.Add(1)
+	go g.deliver(m, phone, delay, attemptsLost)
+	return &snapshot, nil
+}
+
+func (g *Gateway) deliver(m *Message, phone *Phone, delay time.Duration, attemptsLost int) {
+	defer g.pending.Done()
+	total := delay + time.Duration(attemptsLost)*g.carrier.RetryBackoff
+	g.clk.Sleep(total)
+	g.mu.Lock()
+	m.Attempts = attemptsLost + 1
+	if attemptsLost >= g.carrier.MaxAttempts {
+		m.Status = StatusFailed
+		g.mu.Unlock()
+		return
+	}
+	m.Status = StatusDelivered
+	m.DeliveredAt = g.clk.Now()
+	if total > g.maxDelay {
+		g.maxDelay = total
+	}
+	msg := *m
+	g.mu.Unlock()
+	phone.deliver(msg)
+}
+
+// Flush waits for all queued deliveries to finish. With a Sim clock the
+// caller must advance the clock far enough first.
+func (g *Gateway) Flush() { g.pending.Wait() }
+
+// Log returns copies of all message records.
+func (g *Gateway) Log() []Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Message, len(g.log))
+	for i, m := range g.log {
+		out[i] = *m
+	}
+	return out
+}
+
+// BillMonth records one month of subscription.
+func (g *Gateway) BillMonth() {
+	g.mu.Lock()
+	g.months++
+	g.mu.Unlock()
+}
+
+// Cost summarises charges.
+type Cost struct {
+	Months     int
+	Messages   int
+	TotalCents float64
+}
+
+// Cost returns the accumulated bill: months*$1 + messages*$0.0075.
+func (g *Gateway) Cost() Cost {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Cost{
+		Months:     g.months,
+		Messages:   g.usCount,
+		TotalCents: float64(g.months*MonthlyFeeCents) + float64(g.usCount*PerMessageCentsX100)/100,
+	}
+}
+
+// String formats the cost in dollars.
+func (c Cost) String() string {
+	return fmt.Sprintf("$%.4f (%d months @ $1.00 + %d msgs @ $0.0075)",
+		c.TotalCents/100, c.Months, c.Messages)
+}

@@ -1,0 +1,296 @@
+package sms
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+)
+
+var t0 = time.Date(2016, 9, 1, 9, 0, 0, 0, time.UTC)
+
+// instantCarrier delivers immediately and never fails.
+func instantCarrier() CarrierModel {
+	return CarrierModel{BaseDelay: 0, Jitter: 0, FailureRate: 0, RetryBackoff: 0, MaxAttempts: 1}
+}
+
+func TestValidUSNumber(t *testing.T) {
+	for n, want := range map[string]bool{
+		"5125551234":   true,
+		"15125551234":  true,
+		"+15125551234": true,
+		"512555123":    false,
+		"+445551234":   false,
+		"512-555-1234": false,
+		"":             false,
+	} {
+		if got := ValidUSNumber(n); got != want {
+			t.Errorf("ValidUSNumber(%q) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSendAndDeliver(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	phone, err := g.Register("5125551234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.Send("5125551234", "512000", "Your token code is 123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != StatusQueued {
+		t.Fatalf("initial status = %s", m.Status)
+	}
+	g.Flush()
+	got, ok := phone.Latest()
+	if !ok {
+		t.Fatal("no message delivered")
+	}
+	if got.Body != "Your token code is 123456" || got.Status != StatusDelivered {
+		t.Fatalf("delivered = %+v", got)
+	}
+	if len(phone.Inbox()) != 1 {
+		t.Fatal("inbox size wrong")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	if _, err := g.Send("bogus", "x", "y"); err != ErrBadNumber {
+		t.Fatalf("bad number: %v", err)
+	}
+	if _, err := g.Send("5125550000", "x", "y"); err != ErrUnknownNumber {
+		t.Fatalf("unknown number: %v", err)
+	}
+	if _, err := g.Register("nope"); err == nil {
+		t.Fatal("registered invalid number")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	a, _ := g.Register("5125551234")
+	b, _ := g.Register("5125551234")
+	if a != b {
+		t.Fatal("re-registration returned a different phone")
+	}
+}
+
+func TestWaitReceivesNextMessage(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	phone, _ := g.Register("5125551234")
+	ch := phone.Wait()
+	if _, err := g.Send("5125551234", "s", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m.Body != "hello" {
+			t.Fatalf("got %q", m.Body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never fired")
+	}
+}
+
+func TestCarrierDelayOnSimClock(t *testing.T) {
+	sim := clock.NewSim(t0)
+	carrier := CarrierModel{BaseDelay: 5 * time.Second, MaxAttempts: 1}
+	g := NewGateway(sim, carrier, 1)
+	phone, _ := g.Register("5125551234")
+	g.Send("5125551234", "s", "code")
+	// Nothing delivered until the clock advances.
+	if _, ok := phone.Latest(); ok {
+		t.Fatal("delivered before clock advanced")
+	}
+	waitSleepers(t, sim, 1)
+	sim.Advance(6 * time.Second)
+	g.Flush()
+	got, ok := phone.Latest()
+	if !ok {
+		t.Fatal("not delivered after advance")
+	}
+	if !got.DeliveredAt.Equal(t0.Add(6 * time.Second)) {
+		t.Fatalf("DeliveredAt = %v", got.DeliveredAt)
+	}
+}
+
+// The paper's delayed-SMS failure mode: a lost carrier attempt pushes
+// delivery past the 30-second code lifetime.
+func TestRetryDelaysPastTokenExpiry(t *testing.T) {
+	sim := clock.NewSim(t0)
+	carrier := CarrierModel{
+		BaseDelay: time.Second, FailureRate: 1.0, // always lose the first attempts
+		RetryBackoff: 45 * time.Second, MaxAttempts: 2,
+	}
+	g := NewGateway(sim, carrier, 7)
+	phone, _ := g.Register("5125551234")
+	g.Send("5125551234", "s", "123456")
+	waitSleepers(t, sim, 1)
+	sim.Advance(50 * time.Second)
+	g.Flush()
+	got, ok := phone.Latest()
+	if !ok {
+		t.Fatal("message never delivered")
+	}
+	if got.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", got.Attempts)
+	}
+	latency := got.DeliveredAt.Sub(got.QueuedAt)
+	if latency <= 30*time.Second {
+		t.Fatalf("latency %v should exceed the 30 s code lifetime", latency)
+	}
+}
+
+func waitSleepers(t *testing.T, sim *clock.Sim, n int) {
+	t.Helper()
+	for i := 0; i < 1000 && sim.Sleepers() < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if sim.Sleepers() < n {
+		t.Fatal("delivery goroutine never slept")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	g.Register("5125551234")
+	for i := 0; i < 1000; i++ {
+		if _, err := g.Send("5125551234", "s", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		g.BillMonth()
+	}
+	g.Flush()
+	c := g.Cost()
+	if c.Months != 6 || c.Messages != 1000 {
+		t.Fatalf("cost counters = %+v", c)
+	}
+	// 6*$1 + 1000*$0.0075 = $13.50
+	if math.Abs(c.TotalCents-1350) > 1e-9 {
+		t.Fatalf("total = %.4f cents, want 1350", c.TotalCents)
+	}
+	if !strings.Contains(c.String(), "$13.5000") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestLogRecordsEverything(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	g.Register("5125551234")
+	g.Send("5125551234", "s", "a")
+	g.Send("5125551234", "s", "b")
+	g.Flush()
+	log := g.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[0].SID == log[1].SID {
+		t.Fatal("SIDs not unique")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []Message {
+		sim := clock.NewSim(t0)
+		g := NewGateway(sim, DefaultCarrier(), 42)
+		g.Register("5125551234")
+		for i := 0; i < 50; i++ {
+			g.Send("5125551234", "s", "x")
+		}
+		for i := 0; i < 1000 && sim.Sleepers() < 50; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		sim.Advance(24 * time.Hour)
+		g.Flush()
+		return g.Log()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Attempts != b[i].Attempts || !a[i].DeliveredAt.Equal(b[i].DeliveredAt) {
+			t.Fatalf("run diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	g := NewGateway(clock.Real{}, instantCarrier(), 1)
+	phone, _ := g.Register("5125551234")
+	srv := httptest.NewServer(&API{Gateway: g})
+	defer srv.Close()
+
+	post := func(auth bool, path string, form url.Values) (*http.Response, map[string]any) {
+		req, _ := http.NewRequest("POST", srv.URL+path, strings.NewReader(form.Encode()))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		if auth {
+			req.SetBasicAuth(g.AccountSID, g.AuthToken)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp, body
+	}
+
+	path := "/2010-04-01/Accounts/" + g.AccountSID + "/Messages.json"
+	form := url.Values{"To": {"5125551234"}, "From": {"512000"}, "Body": {"Your code is 999111"}}
+
+	// Happy path.
+	resp, body := post(true, path, form)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body["status"] != "queued" || !strings.HasPrefix(body["sid"].(string), "SM") {
+		t.Fatalf("body = %v", body)
+	}
+	g.Flush()
+	if m, ok := phone.Latest(); !ok || m.Body != "Your code is 999111" {
+		t.Fatal("message not delivered through API")
+	}
+
+	// Auth required.
+	resp, _ = post(false, path, form)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no-auth status = %d", resp.StatusCode)
+	}
+	// Wrong account path.
+	resp, _ = post(true, "/2010-04-01/Accounts/ACother/Messages.json", form)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("wrong path status = %d", resp.StatusCode)
+	}
+	// Missing fields.
+	resp, _ = post(true, path, url.Values{"To": {"5125551234"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing body status = %d", resp.StatusCode)
+	}
+	// Invalid number.
+	resp, _ = post(true, path, url.Values{"To": {"banana"}, "Body": {"x"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad number status = %d", resp.StatusCode)
+	}
+	// GET not allowed.
+	r2, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", r2.StatusCode)
+	}
+}

@@ -1,0 +1,369 @@
+// Package sshd implements the login-node daemon: the SSH-substitute front
+// door that performs public-key first-factor verification, hands the rest
+// of the authentication decision to the PAM stack (Figure 1), writes the
+// auth log records that both the pubkey PAM module and the §4.1
+// information-gathering pipeline consume, enforces the password retry
+// budget, and supports connection multiplexing (§5: "Perhaps most popular
+// of all was the adoption of SSH multiplexing which allowed for one
+// connection to be established via MFA and subsequent connections to the
+// same host to utilize the already existing SSH connection").
+package sshd
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmfa/internal/authlog"
+	"openmfa/internal/clock"
+	"openmfa/internal/cryptoutil"
+	"openmfa/internal/idm"
+	"openmfa/internal/pam"
+	"openmfa/internal/risk"
+	"openmfa/internal/sshwire"
+)
+
+// DefaultMaxAuthTries mirrors OpenSSH's default of three interactive
+// attempts before disconnect ("up to a maximum of two more times", §3.4).
+const DefaultMaxAuthTries = 3
+
+// Server is a login node.
+type Server struct {
+	// IDM resolves accounts and authorized keys (required).
+	IDM *idm.IDM
+	// AuthLog receives auth events (required). It must be the same log
+	// the PAM pubkey module reads.
+	AuthLog *authlog.Log
+	// Stack is the PAM configuration (required).
+	Stack *pam.Stack
+	// Banner is shown before authentication (phase-3 deployments updated
+	// it with MFA instructions, §4.2).
+	Banner string
+	// MaxAuthTries bounds PAM stack restarts; zero means 3.
+	MaxAuthTries int
+	// Clock defaults to real time.
+	Clock clock.Clock
+	// Risk, when set, receives login outcomes so the dynamic-risk
+	// engine's history tracks reality (pair with NewSSHDStackWithRisk).
+	Risk *risk.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// Counters for tests and metrics.
+	accepted atomic.Int64
+	rejected atomic.Int64
+}
+
+func (s *Server) clk() clock.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return clock.Real{}
+}
+
+func (s *Server) maxTries() int {
+	if s.MaxAuthTries > 0 {
+		return s.MaxAuthTries
+	}
+	return DefaultMaxAuthTries
+}
+
+// Accepted reports successful logins since start.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
+
+// Rejected reports failed login attempts since start.
+func (s *Server) Rejected() int64 { return s.rejected.Load() }
+
+// ListenAndServe binds addr and serves until Close; it returns once bound.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("sshd: server closed")
+	}
+	s.ln = ln
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					s.mu.Lock()
+					delete(s.conns, conn)
+					s.mu.Unlock()
+				}()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, disconnects active sessions, and waits for
+// connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// remoteConv bridges the PAM conversation over the wire.
+type remoteConv struct {
+	wc *sshwire.Conn
+}
+
+func (r *remoteConv) Prompt(echo bool, msg string) (string, error) {
+	if err := r.wc.Send(&sshwire.Msg{T: sshwire.TPrompt, Msg: msg, Echo: echo}); err != nil {
+		return "", err
+	}
+	m, err := r.wc.Recv()
+	if err != nil {
+		return "", err
+	}
+	if m.T != sshwire.TAnswer {
+		return "", fmt.Errorf("sshd: expected answer, got %q", m.T)
+	}
+	return m.Value, nil
+}
+
+func (r *remoteConv) Info(msg string) error {
+	return r.wc.Send(&sshwire.Msg{T: sshwire.TInfo, Msg: msg})
+}
+
+func splitHostPort(addr net.Addr) (net.IP, int) {
+	host, portStr, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return nil, 0
+	}
+	port, _ := strconv.Atoi(portStr)
+	return net.ParseIP(host), port
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	defer raw.Close()
+	wc := sshwire.NewConn(raw)
+	ip, port := splitHostPort(raw.RemoteAddr())
+
+	hello, err := wc.Recv()
+	if err != nil || hello.T != sshwire.THello || hello.User == "" {
+		wc.Send(&sshwire.Msg{T: sshwire.TError, Msg: "expected hello"})
+		return
+	}
+	user := strings.ToLower(hello.User)
+
+	// Session nonce for pubkey proof; the banner rides along.
+	nonce := cryptoutil.RandomBytes(32)
+	if err := wc.Send(&sshwire.Msg{T: sshwire.TNonce, Nonce: nonce, Banner: s.Banner}); err != nil {
+		return
+	}
+
+	// Optional public-key phase: zero or more attempts, then the client
+	// proceeds (by answering prompts) — like ssh trying each identity.
+	m, err := wc.Recv()
+	if err != nil {
+		return
+	}
+	for m.T == sshwire.TPubkey {
+		if s.verifyPubkey(user, nonce, m.Pub, m.Sig) {
+			s.AuthLog.Append(authlog.Event{
+				Time: s.clk().Now(), Type: authlog.AcceptedPublickey,
+				User: user, Addr: ip.String(), Port: port,
+				TTY: hello.TTY, Shell: hello.Shell,
+				Detail: fmt.Sprintf("ED25519 %x", m.Pub[:8]),
+			})
+			if err := wc.Send(&sshwire.Msg{T: sshwire.TPubkeyOK}); err != nil {
+				return
+			}
+		} else {
+			if err := wc.Send(&sshwire.Msg{T: sshwire.TPubkeyNo}); err != nil {
+				return
+			}
+		}
+		// Client either tries another key or signals readiness for the
+		// PAM phase with an empty answer frame.
+		m, err = wc.Recv()
+		if err != nil {
+			return
+		}
+	}
+	if m.T != sshwire.TAnswer { // "ready" sentinel
+		wc.Send(&sshwire.Msg{T: sshwire.TError, Msg: "expected ready"})
+		return
+	}
+
+	// PAM phase with the retry budget: "the PAM stack is restarted and
+	// the user is prompted once again ... before SSH disconnect."
+	conv := &remoteConv{wc: wc}
+	var authErr error
+	for attempt := 0; attempt < s.maxTries(); attempt++ {
+		ctx := &pam.Context{
+			User: user, RemoteAddr: ip, Service: "sshd",
+			Conv: conv, Now: s.clk().Now,
+		}
+		authErr = s.Stack.Authenticate(ctx)
+		if authErr == nil {
+			break
+		}
+		if s.Risk != nil {
+			s.Risk.RecordFailure(user, ip, s.clk().Now())
+		}
+		s.AuthLog.Append(authlog.Event{
+			Time: s.clk().Now(), Type: authlog.FailedPassword,
+			User: user, Addr: ip.String(), Port: port,
+			TTY: hello.TTY, Shell: hello.Shell,
+		})
+	}
+	if authErr != nil {
+		s.rejected.Add(1)
+		wc.Send(&sshwire.Msg{T: sshwire.TResult, OK: false, Msg: "Permission denied"})
+		return
+	}
+	if s.Risk != nil {
+		s.Risk.RecordSuccess(user, ip, s.clk().Now())
+	}
+	s.accepted.Add(1)
+	s.AuthLog.Append(authlog.Event{
+		Time: s.clk().Now(), Type: authlog.SessionOpen,
+		User: user, Addr: ip.String(), Port: port,
+		TTY: hello.TTY, Shell: hello.Shell,
+	})
+	if err := wc.Send(&sshwire.Msg{T: sshwire.TResult, OK: true, Msg: "welcome"}); err != nil {
+		return
+	}
+
+	// Session phase: exec requests and multiplexed channels, none of
+	// which re-authenticate.
+	s.session(wc, user, ip, port, hello)
+}
+
+func (s *Server) verifyPubkey(user string, nonce, pub, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	keys, err := s.IDM.PublicKeys(user)
+	if err != nil {
+		return false
+	}
+	candidate := ed25519.PublicKey(pub)
+	authorized := false
+	for _, k := range keys {
+		if k.Equal(candidate) {
+			authorized = true
+			break
+		}
+	}
+	if !authorized {
+		return false
+	}
+	return ed25519.Verify(candidate, nonce, sig)
+}
+
+func (s *Server) session(wc *sshwire.Conn, user string, ip net.IP, port int, hello *sshwire.Msg) {
+	for {
+		m, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch m.T {
+		case sshwire.TExec:
+			out := s.exec(user, m.Cmd)
+			if err := wc.Send(&sshwire.Msg{T: sshwire.TExecOut, OK: true, Out: out}); err != nil {
+				return
+			}
+		case sshwire.TChannel:
+			// Multiplexing: a new channel on an authenticated
+			// connection opens a session without touching PAM.
+			s.AuthLog.Append(authlog.Event{
+				Time: s.clk().Now(), Type: authlog.SessionOpen,
+				User: user, Addr: ip.String(), Port: port,
+				TTY: hello.TTY, Shell: hello.Shell, Detail: "mux",
+			})
+			if err := wc.Send(&sshwire.Msg{T: sshwire.TChannelOK}); err != nil {
+				return
+			}
+		case sshwire.TBye:
+			s.AuthLog.Append(authlog.Event{
+				Time: s.clk().Now(), Type: authlog.SessionClose,
+				User: user, Addr: ip.String(), Port: port,
+			})
+			return
+		default:
+			wc.Send(&sshwire.Msg{T: sshwire.TError, Msg: "unexpected " + m.T})
+			return
+		}
+	}
+}
+
+// exec simulates a tiny command set so examples and the rollout simulator
+// can model data movement and job management.
+func (s *Server) exec(user, cmd string) string {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return ""
+	}
+	switch fields[0] {
+	case "hostname":
+		return "login1.hpc.example"
+	case "whoami":
+		return user
+	case "date":
+		return s.clk().Now().UTC().Format(time.RFC3339)
+	case "squeue":
+		return "JOBID PARTITION NAME USER ST\n123 normal job1 " + user + " R"
+	case "scp", "rsync", "sftp":
+		return "transfer complete"
+	default:
+		return "sh: " + fields[0] + ": command simulated"
+	}
+}

@@ -1,0 +1,110 @@
+package sshwire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+func pair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	client, server := pair(t)
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		client.Send(&Msg{T: THello, User: "alice", TTY: true, Shell: "/bin/bash"})
+	}()
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.T != THello || m.User != "alice" || !m.TTY || m.Shell != "/bin/bash" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestBinaryFieldsSurviveJSON(t *testing.T) {
+	client, server := pair(t)
+	defer client.Close()
+	defer server.Close()
+	nonce := []byte{0, 1, 2, 255, 254, 10, 13}
+	go func() {
+		server.Send(&Msg{T: TNonce, Nonce: nonce, Banner: "hi\nthere"})
+	}()
+	m, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Nonce) != string(nonce) {
+		t.Fatalf("nonce = %v", m.Nonce)
+	}
+	if m.Banner != "hi\nthere" {
+		t.Fatalf("banner = %q", m.Banner)
+	}
+}
+
+func TestRecvOnClosedConn(t *testing.T) {
+	client, server := pair(t)
+	server.Close()
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("Recv on closed peer succeeded")
+	}
+}
+
+func TestRecvMalformedFrame(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		a.Write([]byte("this is not json\n"))
+		a.Close()
+	}()
+	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSequencedConversation(t *testing.T) {
+	client, server := pair(t)
+	defer client.Close()
+	defer server.Close()
+	done := make(chan error, 1)
+	go func() {
+		// Server side: prompt, read answer, send result.
+		if err := server.Send(&Msg{T: TPrompt, Msg: "Token Code: ", Echo: false}); err != nil {
+			done <- err
+			return
+		}
+		m, err := server.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if m.T != TAnswer || m.Value != "123456" {
+			done <- fmt.Errorf("bad answer %+v", m)
+			return
+		}
+		done <- server.Send(&Msg{T: TResult, OK: true, Msg: "welcome"})
+	}()
+	m, err := client.Recv()
+	if err != nil || m.T != TPrompt || m.Echo {
+		t.Fatalf("prompt = %+v, %v", m, err)
+	}
+	if err := client.Send(&Msg{T: TAnswer, Value: "123456"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = client.Recv()
+	if err != nil || m.T != TResult || !m.OK {
+		t.Fatalf("result = %+v, %v", m, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

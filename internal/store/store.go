@@ -1,0 +1,363 @@
+// Package store implements the embedded key-value store that stands in for
+// the paper's MariaDB repository (§3.1): a strictly ordered in-memory map
+// backed by an append-only write-ahead log with snapshot compaction.
+//
+// The OTP back end keeps token records here (with secrets already sealed by
+// cryptoutil.Box before they arrive), the IDM keeps account records, and
+// the audit log keeps its HMAC chain head. The store offers the operations
+// those components need — Put/Get/Delete, prefix scans, and atomic batches
+// — with crash recovery via WAL replay.
+package store
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrClosed is returned by all operations after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Op is a single mutation inside a Batch.
+type Op struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// Store is a WAL-backed ordered KV store safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	dir    string // empty for pure in-memory stores
+	wal    *os.File
+	walBuf *bufio.Writer
+	walLen int // records since last snapshot
+	sync   bool
+	closed bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync forces an fsync after every committed record. Durable but
+	// slow; the rollout simulator runs with Sync off, matching a
+	// production database's group-commit behaviour.
+	Sync bool
+}
+
+// OpenMemory returns a volatile store with no backing files.
+func OpenMemory() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Open loads (or creates) a store in dir, replaying snapshot + WAL.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{data: make(map[string][]byte), dir: dir, sync: opts.Sync}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	s.walBuf = bufio.NewWriter(f)
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.kv") }
+
+func (s *Store) loadSnapshot() error {
+	f, err := os.Open(s.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return s.readRecords(f, false)
+}
+
+func (s *Store) replayWAL() error {
+	f, err := os.Open(s.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return s.readRecords(f, true)
+}
+
+// readRecords applies "P key value" / "D key" lines. A torn final line
+// (crash mid-append) is tolerated in WAL mode and truncated away logically.
+func (s *Store) readRecords(r io.Reader, tolerateTorn bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		rec := sc.Text()
+		if rec == "" {
+			continue
+		}
+		op, key, val, err := decodeRecord(rec)
+		if err != nil {
+			if tolerateTorn {
+				// Assume crash wrote a partial record; ignore the
+				// remainder of the log.
+				return nil
+			}
+			return fmt.Errorf("store: corrupt record at line %d: %w", line, err)
+		}
+		if op == 'D' {
+			delete(s.data, key)
+		} else {
+			s.data[key] = val
+		}
+		s.walLen++
+	}
+	return sc.Err()
+}
+
+func encodeRecord(op Op) string {
+	k := base64.RawStdEncoding.EncodeToString([]byte(op.Key))
+	if op.Delete {
+		return "D " + k
+	}
+	return "P " + k + " " + base64.RawStdEncoding.EncodeToString(op.Value)
+}
+
+func decodeRecord(rec string) (op byte, key string, val []byte, err error) {
+	parts := strings.Split(rec, " ")
+	switch {
+	case len(parts) == 2 && parts[0] == "D":
+		kb, err := base64.RawStdEncoding.DecodeString(parts[1])
+		if err != nil {
+			return 0, "", nil, err
+		}
+		return 'D', string(kb), nil, nil
+	case len(parts) == 3 && parts[0] == "P":
+		kb, err := base64.RawStdEncoding.DecodeString(parts[1])
+		if err != nil {
+			return 0, "", nil, err
+		}
+		vb, err := base64.RawStdEncoding.DecodeString(parts[2])
+		if err != nil {
+			return 0, "", nil, err
+		}
+		return 'P', string(kb), vb, nil
+	default:
+		return 0, "", nil, fmt.Errorf("bad record %q", rec)
+	}
+}
+
+// Get returns the value for key. The returned slice is a copy.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[key]
+	return ok
+}
+
+// Put stores value under key.
+func (s *Store) Put(key string, value []byte) error {
+	return s.Apply([]Op{{Key: key, Value: value}})
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (s *Store) Delete(key string) error {
+	return s.Apply([]Op{{Key: key, Delete: true}})
+}
+
+// Apply commits a batch of operations atomically: either every op is
+// visible and logged, or none is.
+func (s *Store) Apply(batch []Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walBuf != nil {
+		for _, op := range batch {
+			if _, err := s.walBuf.WriteString(encodeRecord(op) + "\n"); err != nil {
+				return fmt.Errorf("store: wal append: %w", err)
+			}
+		}
+		if err := s.walBuf.Flush(); err != nil {
+			return fmt.Errorf("store: wal flush: %w", err)
+		}
+		if s.sync {
+			if err := s.wal.Sync(); err != nil {
+				return fmt.Errorf("store: wal sync: %w", err)
+			}
+		}
+	}
+	for _, op := range batch {
+		if op.Delete {
+			delete(s.data, op.Key)
+		} else {
+			v := make([]byte, len(op.Value))
+			copy(v, op.Value)
+			s.data[op.Key] = v
+		}
+	}
+	s.walLen += len(batch)
+	return nil
+}
+
+// KV is a key-value pair returned by Scan.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns all pairs whose key starts with prefix, sorted by key.
+func (s *Store) Scan(prefix string) []KV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []KV
+	for k, v := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			val := make([]byte, len(v))
+			copy(val, v)
+			out = append(out, KV{Key: k, Value: val})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Count returns the number of keys with the given prefix.
+func (s *Store) Count(prefix string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// WALRecords reports the number of WAL records accumulated since the last
+// compaction; exposed for compaction policies and tests.
+func (s *Store) WALRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walLen
+}
+
+// Compact writes a fresh snapshot of the current state and truncates the
+// WAL. Readers and writers are blocked for the duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dir == "" {
+		return nil // in-memory: nothing to do
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := w.WriteString(encodeRecord(Op{Key: k, Value: s.data[k]}) + "\n"); err != nil {
+			f.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Truncate the WAL now that the snapshot covers it.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.walBuf.Reset(s.wal)
+	s.walLen = 0
+	return nil
+}
+
+// Close flushes and closes the WAL. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.walBuf != nil {
+		if err := s.walBuf.Flush(); err != nil {
+			return err
+		}
+		return s.wal.Close()
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryPutGetDelete(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); err != ErrNotFound {
+		t.Fatalf("after delete, err = %v, want ErrNotFound", err)
+	}
+	// Deleting absent key is fine.
+	if err := s.Delete("never"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := OpenMemory()
+	s.Put("k", []byte("orig"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "orig" {
+		t.Fatal("mutating returned slice corrupted stored value")
+	}
+	// Put must also copy its input.
+	in := []byte("abc")
+	s.Put("k2", in)
+	in[0] = 'Z'
+	v3, _ := s.Get("k2")
+	if string(v3) != "abc" {
+		t.Fatal("mutating input slice corrupted stored value")
+	}
+}
+
+func TestScanPrefixSorted(t *testing.T) {
+	s := OpenMemory()
+	for _, k := range []string{"tok/b", "tok/a", "tok/c", "acct/x"} {
+		s.Put(k, []byte(k))
+	}
+	got := s.Scan("tok/")
+	if len(got) != 3 {
+		t.Fatalf("Scan returned %d items", len(got))
+	}
+	want := []string{"tok/a", "tok/b", "tok/c"}
+	for i, kv := range got {
+		if kv.Key != want[i] {
+			t.Errorf("Scan[%d].Key = %q, want %q", i, kv.Key, want[i])
+		}
+	}
+	if s.Count("tok/") != 3 || s.Count("acct/") != 1 || s.Count("zzz") != 0 {
+		t.Fatal("Count wrong")
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("user/storm", []byte("sms"))
+	s.Put("user/proctor", []byte("soft"))
+	s.Delete("user/storm")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("user/storm"); err != ErrNotFound {
+		t.Fatal("deleted key resurrected after reopen")
+	}
+	v, err := s2.Get("user/proctor")
+	if err != nil || string(v) != "soft" {
+		t.Fatalf("Get after reopen = %q, %v", v, err)
+	}
+}
+
+func TestCompactionPreservesStateAndTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	for i := 0; i < 50; i++ {
+		s.Delete(fmt.Sprintf("k%03d", i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALRecords() != 0 {
+		t.Fatalf("WALRecords after compact = %d", s.WALRecords())
+	}
+	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("wal size after compact = %d", fi.Size())
+	}
+	s.Put("post", []byte("compact"))
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 51 {
+		t.Fatalf("Len after reopen = %d, want 51", s2.Len())
+	}
+	if _, err := s2.Get("k000"); err != ErrNotFound {
+		t.Fatal("deleted key present after compact+reopen")
+	}
+	if v, _ := s2.Get("post"); string(v) != "compact" {
+		t.Fatal("post-compact write lost")
+	}
+}
+
+func TestTornWALRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	s.Put("good", []byte("val"))
+	s.Close()
+	// Simulate a crash mid-append: garbage partial record at the end.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("P aGFsZi13cml0dGVu") // no value field, no newline guarantee
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn record failed: %v", err)
+	}
+	defer s2.Close()
+	if v, err := s2.Get("good"); err != nil || string(v) != "val" {
+		t.Fatalf("good record lost: %q, %v", v, err)
+	}
+}
+
+func TestBinaryKeysAndValues(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	key := string([]byte{0, 1, 2, ' ', '\n', 255})
+	val := []byte{0, 10, 13, 32, 255}
+	s.Put(key, val)
+	s.Close()
+	s2, _ := Open(dir, Options{})
+	defer s2.Close()
+	got, err := s2.Get(key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip failed: %v %v", got, err)
+	}
+}
+
+func TestApplyBatchAtomicVisibility(t *testing.T) {
+	s := OpenMemory()
+	err := s.Apply([]Op{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: []byte("2")},
+		{Key: "a", Delete: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); err != ErrNotFound {
+		t.Fatal("later delete in batch did not win")
+	}
+	if v, _ := s.Get("b"); string(v) != "2" {
+		t.Fatal("batch put lost")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	s.Close()
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := s.Get("k"); err != ErrClosed {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSyncModeWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The record must be on disk without Close.
+	b, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("sync mode left WAL empty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := OpenMemory()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d/k%d", g, i)
+				if err := s.Put(k, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Scan(fmt.Sprintf("g%d/", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", s.Len(), 8*200)
+	}
+}
+
+// Property: a sequence of random puts/deletes replayed through persistence
+// equals the in-memory result.
+func TestPersistenceEquivalenceProperty(t *testing.T) {
+	type step struct {
+		Key    string
+		Value  []byte
+		Delete bool
+	}
+	f := func(steps []step) bool {
+		dir, err := os.MkdirTemp("", "storeprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		mem := map[string][]byte{}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		for _, st := range steps {
+			if st.Delete {
+				s.Delete(st.Key)
+				delete(mem, st.Key)
+			} else {
+				s.Put(st.Key, st.Value)
+				v := make([]byte, len(st.Value))
+				copy(v, st.Value)
+				mem[st.Key] = v
+			}
+		}
+		s.Close()
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(mem) {
+			return false
+		}
+		for k, v := range mem {
+			got, err := s2.Get(k)
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutBuffered(b *testing.B) {
+	dir := b.TempDir()
+	s, _ := Open(dir, Options{})
+	defer s.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("0123456789abcdef"))
+	}
+}
+
+func BenchmarkPutSync(b *testing.B) {
+	dir := b.TempDir()
+	s, _ := Open(dir, Options{Sync: true})
+	defer s.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("0123456789abcdef"))
+	}
+}
