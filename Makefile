@@ -1,0 +1,34 @@
+# Tier-1 verification gate. `make verify` is what CI and pre-merge runs:
+# it must stay green on every commit.
+
+GO ?= go
+
+.PHONY: verify vet build test race bench-concurrency bench clean
+
+verify: vet build test race bench-concurrency
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The hot-path concurrency benchmarks: BenchmarkValidateParallel must not
+# collapse as GOMAXPROCS grows (per-user lock striping), and
+# BenchmarkRadiusRetransmitStorm must report handler-calls/op = 1
+# (exactly-once evaluation under retransmit storms).
+bench-concurrency:
+	$(GO) test -run xxx -bench 'BenchmarkValidateParallel|BenchmarkRadiusRetransmitStorm' -benchtime 0.5s -cpu 1,2,4 .
+
+# Full benchmark harness (figures, tables, ablations).
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"openmfa/internal/directory"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
+	"openmfa/internal/otp"
 	"openmfa/internal/otpd"
 	"openmfa/internal/pam"
 	"openmfa/internal/portal"
@@ -45,6 +46,18 @@ type Options struct {
 	// RadiusServers is the size of the RADIUS farm ("a handful of
 	// servers", §3.2); zero means 2.
 	RadiusServers int
+	// RadiusDedupWindow overrides each farm member's RFC 2865 §2
+	// duplicate-detection window; zero keeps the 5-second default.
+	RadiusDedupWindow time.Duration
+	// RadiusMaxDedupEntries caps each farm member's dedup cache; zero
+	// keeps radius.DefaultMaxDedupEntries, negative means unbounded.
+	RadiusMaxDedupEntries int
+	// LockoutThreshold overrides the otpd failure-deactivation
+	// threshold; zero keeps the paper's default of 20.
+	LockoutThreshold int
+	// OTP overrides the TOTP parameters; zero fields keep the
+	// deployment defaults (see otpd.Config.OTP).
+	OTP otp.TOTPOptions
 	// ExemptionRules is the initial accessctl configuration.
 	ExemptionRules string
 	// Mode is the initial token-module enforcement mode; empty means
@@ -163,10 +176,12 @@ func New(opts Options) (*Infrastructure, error) {
 	inf.SMS = sms.NewGateway(clk, carrier, opts.Seed)
 
 	inf.OTP, err = otpd.New(otpd.Config{
-		DB:            otpStore,
-		EncryptionKey: key,
-		Clock:         clk,
-		Issuer:        "HPC",
+		DB:               otpStore,
+		EncryptionKey:    key,
+		Clock:            clk,
+		Issuer:           "HPC",
+		LockoutThreshold: opts.LockoutThreshold,
+		OTP:              opts.OTP,
 		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
 			_, err := inf.SMS.Send(phone, "512000", body)
 			return err
@@ -195,7 +210,12 @@ func New(opts Options) (*Infrastructure, error) {
 	secret := cryptoutil.RandomBytes(16)
 	var addrs []string
 	for i := 0; i < n; i++ {
-		rs := &radius.Server{Secret: secret, Handler: &otpd.RadiusHandler{OTP: inf.OTP}}
+		rs := &radius.Server{
+			Secret:          secret,
+			Handler:         &otpd.RadiusHandler{OTP: inf.OTP},
+			DedupWindow:     opts.RadiusDedupWindow,
+			MaxDedupEntries: opts.RadiusMaxDedupEntries,
+		}
 		if err := rs.ListenAndServe("127.0.0.1:0"); err != nil {
 			inf.Close()
 			return nil, err

@@ -174,6 +174,34 @@ func TestTOTPInvalidPeriod(t *testing.T) {
 	}
 }
 
+// TestTOTPSubSecondPeriod is a regression test: a positive sub-second
+// period used to truncate to a zero divisor in Counter and panic with a
+// divide-by-zero instead of being rejected.
+func TestTOTPSubSecondPeriod(t *testing.T) {
+	now := time.Unix(1475000000, 0)
+	for _, period := range []time.Duration{time.Millisecond, 500 * time.Millisecond, time.Second - time.Nanosecond} {
+		o := TOTPOptions{Period: period, Digits: SixDigits, Skew: 300 * time.Second}
+		if _, ok := o.Counter(now); ok {
+			t.Errorf("Counter accepted period %v", period)
+		}
+		if _, err := TOTP([]byte("k"), now, o); err != ErrInvalidPeriod {
+			t.Errorf("TOTP(period=%v) err = %v, want ErrInvalidPeriod", period, err)
+		}
+		if c, ok := ValidateTOTP([]byte("k"), "000000", now, o); ok {
+			t.Errorf("ValidateTOTP(period=%v) accepted, counter %d", period, c)
+		}
+	}
+	// Whole-second periods still validate.
+	o := TOTPOptions{Period: time.Second, Digits: SixDigits}
+	code, err := TOTP([]byte("k"), now, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ValidateTOTP([]byte("k"), code, now, o); !ok {
+		t.Fatal("1s-period code rejected")
+	}
+}
+
 func TestResync(t *testing.T) {
 	secret := []byte("12345678901234567890")
 	o := DefaultTOTPOptions()

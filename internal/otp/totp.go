@@ -38,13 +38,17 @@ func DefaultTOTPOptions() TOTPOptions {
 	}
 }
 
-// ErrInvalidPeriod is returned when the period is not positive.
-var ErrInvalidPeriod = errors.New("otp: period must be positive")
+// ErrInvalidPeriod is returned when the period is shorter than one second.
+// Sub-second periods are rejected, not just non-positive ones: the counter
+// arithmetic works in whole seconds, so a 500 ms period would truncate to
+// a zero divisor.
+var ErrInvalidPeriod = errors.New("otp: period must be at least one second")
 
 // Counter returns the TOTP moving factor for time t: floor(unix(t)/period).
-// Times before the Unix epoch are rejected by returning (0, false).
+// Times before the Unix epoch and periods under one second are rejected by
+// returning (0, false).
 func (o TOTPOptions) Counter(t time.Time) (uint64, bool) {
-	if o.Period <= 0 {
+	if o.Period < time.Second {
 		return 0, false
 	}
 	u := t.Unix()
@@ -56,7 +60,7 @@ func (o TOTPOptions) Counter(t time.Time) (uint64, bool) {
 
 // skewSteps converts the Skew duration into a step count.
 func (o TOTPOptions) skewSteps() uint64 {
-	if o.Skew <= 0 || o.Period <= 0 {
+	if o.Skew <= 0 || o.Period < time.Second {
 		return 0
 	}
 	return uint64(o.Skew / o.Period)
@@ -64,7 +68,7 @@ func (o TOTPOptions) skewSteps() uint64 {
 
 // TOTP computes the RFC 6238 code for the secret at time t.
 func TOTP(secret []byte, t time.Time, o TOTPOptions) (string, error) {
-	if o.Period <= 0 {
+	if o.Period < time.Second {
 		return "", ErrInvalidPeriod
 	}
 	c, ok := o.Counter(t)

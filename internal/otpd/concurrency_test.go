@@ -1,0 +1,261 @@
+package otpd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/otp"
+	"openmfa/internal/store"
+)
+
+// TestConcurrentValidationIntegrity hammers Check for many users at once
+// (run under -race by the verify target). For each user it asserts the two
+// per-user invariants the lock striping must preserve:
+//
+//   - fail counter: N concurrent wrong guesses leave FailCount == N;
+//   - replay high-water mark: K concurrent submissions of the same valid
+//     code yield exactly one success ("the provided token code is
+//     nullified", §3.2).
+func TestConcurrentValidationIntegrity(t *testing.T) {
+	sim := clock.NewSim(t0)
+	sms := &capturedSMS{}
+	srv, err := New(Config{
+		DB:            store.OpenMemory(),
+		EncryptionKey: make([]byte, 32),
+		Clock:         sim,
+		SMS:           sms,
+		// High threshold so the wrong-guess storm never deactivates.
+		LockoutThreshold: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		users      = 16
+		wrongPer   = 25 // concurrent wrong guesses per user
+		replaysPer = 8  // concurrent submissions of the same valid code
+	)
+	secrets := make([][]byte, users)
+	for i := 0; i < users; i++ {
+		enr, err := srv.InitSoftToken(fmt.Sprintf("user%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		secrets[i] = enr.Secret
+	}
+
+	var wg sync.WaitGroup
+	successes := make([]int64, users)
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("user%02d", i)
+		code, err := otp.TOTP(secrets[i], sim.Now(), srv.OTPOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < wrongPer; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if res, _ := srv.Check(user, "000000"); res.OK {
+					t.Error("wrong code accepted")
+				}
+			}()
+		}
+		for g := 0; g < replaysPer; g++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := srv.Check(user, code)
+				if err != nil {
+					t.Errorf("%s: %v", user, err)
+					return
+				}
+				if res.OK {
+					atomic.AddInt64(&successes[i], 1)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("user%02d", i)
+		if got := atomic.LoadInt64(&successes[i]); got != 1 {
+			t.Errorf("%s: %d successes for one code, want exactly 1 (replay mark raced)", user, got)
+		}
+		ti, err := srv.Token(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The success resets FailCount, so the final count is the number
+		// of failed attempts ordered after the success: wrong guesses
+		// plus replays of the consumed code (at most replaysPer-1, since
+		// exactly one submission of the code wins). A double-counted or
+		// lost increment would break the bound.
+		if ti.FailCount < 0 || ti.FailCount > wrongPer+replaysPer-1 {
+			t.Errorf("%s: FailCount = %d, want 0..%d", user, ti.FailCount, wrongPer+replaysPer-1)
+		}
+		if !ti.Active {
+			t.Errorf("%s deactivated below threshold", user)
+		}
+	}
+}
+
+// TestConcurrentWrongGuessesCountExactly pins the fail counter precisely:
+// with no interleaved success, N concurrent failures must count to N —
+// not fewer (lost read-modify-write) and not more.
+func TestConcurrentWrongGuessesCountExactly(t *testing.T) {
+	sim := clock.NewSim(t0)
+	srv, err := New(Config{
+		DB:               store.OpenMemory(),
+		EncryptionKey:    make([]byte, 32),
+		Clock:            sim,
+		LockoutThreshold: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users, guesses = 8, 40
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("victim%d", i)
+		if _, err := srv.InitSoftToken(user); err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < guesses; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.Check(user, "999999")
+			}()
+		}
+	}
+	wg.Wait()
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("victim%d", i)
+		ti, err := srv.Token(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ti.FailCount != guesses {
+			t.Errorf("%s: FailCount = %d, want %d", user, ti.FailCount, guesses)
+		}
+	}
+}
+
+// TestConcurrentEnrollmentSingleWinner: concurrent InitSoftToken calls for
+// the same user must produce exactly one token (the Has/save pair is a
+// read-modify-write under the user stripe).
+func TestConcurrentEnrollmentSingleWinner(t *testing.T) {
+	srv, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 16
+	var wg sync.WaitGroup
+	var wins int64
+	for g := 0; g < attempts; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.InitSoftToken("newbie"); err == nil {
+				atomic.AddInt64(&wins, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("%d enrollments succeeded, want 1", wins)
+	}
+}
+
+// TestConcurrentHardTokenAssignment: one fob, many claimants — exactly one
+// assignment may win, and the inventory entry must be consumed once.
+func TestConcurrentHardTokenAssignment(t *testing.T) {
+	srv, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ImportHardToken("F-001", []byte("fob-secret-20-bytes!")); err != nil {
+		t.Fatal(err)
+	}
+	const claimants = 12
+	var wg sync.WaitGroup
+	var wins int64
+	for g := 0; g < claimants; g++ {
+		user := fmt.Sprintf("claimant%d", g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.AssignHardToken(user, "F-001"); err == nil {
+				atomic.AddInt64(&wins, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("%d assignments succeeded, want 1", wins)
+	}
+	if n := srv.HardInventoryCount(); n != 0 {
+		t.Fatalf("inventory count = %d, want 0", n)
+	}
+}
+
+// TestParallelUsersDoNotSerialise is a smoke check that two different
+// users' validations can overlap in time: user A's Check blocks inside the
+// SMS sender while user B's Check completes. Under the old process-wide
+// mutex B would deadlock behind A.
+func TestParallelUsersDoNotSerialise(t *testing.T) {
+	sim := clock.NewSim(t0)
+	inA := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := New(Config{
+		DB:            store.OpenMemory(),
+		EncryptionKey: make([]byte, 32),
+		Clock:         sim,
+		SMS: SMSSenderFunc(func(phone, body string) error {
+			close(inA)
+			<-release
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.InitSMSToken("slow", "+15125550100"); err != nil {
+		t.Fatal(err)
+	}
+	enr, err := srv.InitSoftToken("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.TriggerSMS("slow") // holds "slow"'s stripe inside the sender
+	}()
+	<-inA
+
+	code, _ := otp.TOTP(enr.Secret, sim.Now(), srv.OTPOptions())
+	checked := make(chan CheckResult, 1)
+	go func() {
+		res, _ := srv.Check("fast", code)
+		checked <- res
+	}()
+	select {
+	case res := <-checked:
+		if !res.OK {
+			t.Fatalf("fast user's check failed: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast user's validation blocked behind slow user's lock")
+	}
+	close(release)
+	<-done
+}

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/otp"
 	"openmfa/internal/store"
+	"openmfa/internal/syncutil"
 )
 
 // SMSSender delivers a token code out of band. The production wiring uses
@@ -39,9 +39,13 @@ type Config struct {
 	// SMS delivers SMS codes; required only if SMS tokens are used.
 	SMS SMSSender
 	// LockoutThreshold defaults to DefaultLockoutThreshold (20).
+	// Negative values are rejected by New.
 	LockoutThreshold int
-	// OTP holds the TOTP parameters; defaults to the deployment
-	// defaults (6 digits / 30 s / SHA-1 / ±300 s).
+	// OTP holds the TOTP parameters. Zero fields are filled
+	// individually from the deployment defaults (6 digits / 30 s /
+	// SHA-1 / ±300 s); explicitly set fields are kept. A negative Skew
+	// is normalised to zero (no drift tolerance); a period under one
+	// second or an out-of-range digit count or algorithm is rejected.
 	OTP otp.TOTPOptions
 	// Issuer labels otpauth URIs; defaults to "HPC".
 	Issuer string
@@ -58,9 +62,16 @@ type Server struct {
 	threshold int
 	audit     *Audit
 
-	// userMu serialises per-user validation so concurrent guesses
-	// cannot race the fail counter.
-	userMu sync.Mutex
+	// users serialises per-user state transitions (fail counter,
+	// replay high-water mark, SMS activity, enrolment) without
+	// serialising distinct users behind one mutex: the table is striped
+	// by a hash of the lowercased username, so validations for
+	// different users proceed in parallel across cores.
+	users *syncutil.StripedMutex
+	// serials guards the hard-token inventory the same way, keyed by
+	// fob serial (AssignHardToken races ImportHardToken and other
+	// assignments for the same serial).
+	serials *syncutil.StripedMutex
 }
 
 // New builds a Server from cfg.
@@ -76,9 +87,12 @@ func New(cfg Config) (*Server, error) {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	opts := cfg.OTP
-	if opts.Period == 0 {
-		opts = otp.DefaultTOTPOptions()
+	opts, err := normalizeOTPOptions(cfg.OTP)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LockoutThreshold < 0 {
+		return nil, fmt.Errorf("otpd: negative LockoutThreshold %d", cfg.LockoutThreshold)
 	}
 	threshold := cfg.LockoutThreshold
 	if threshold == 0 {
@@ -95,8 +109,41 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		db: cfg.DB, box: box, clk: clk, sms: cfg.SMS, opts: opts,
 		issuer: issuer, threshold: threshold,
-		audit: NewAudit(auditKey, clk.Now),
+		audit:   NewAudit(auditKey, clk.Now),
+		users:   syncutil.NewStriped(0),
+		serials: syncutil.NewStriped(0),
 	}, nil
+}
+
+// normalizeOTPOptions fills zero fields with the deployment defaults —
+// field by field, so a caller who sets only Digits still gets the default
+// period and drift window — and rejects values the validation path cannot
+// run with.
+func normalizeOTPOptions(o otp.TOTPOptions) (otp.TOTPOptions, error) {
+	def := otp.DefaultTOTPOptions()
+	if o.Period == 0 {
+		o.Period = def.Period
+	}
+	if o.Period < time.Second {
+		return o, fmt.Errorf("otpd: OTP period %v must be at least 1s", o.Period)
+	}
+	if o.Digits == 0 {
+		o.Digits = def.Digits
+	}
+	if !o.Digits.Valid() {
+		return o, fmt.Errorf("otpd: %w (got %d)", otp.ErrInvalidDigits, int(o.Digits))
+	}
+	switch o.Algorithm {
+	case otp.SHA1, otp.SHA256, otp.SHA512:
+	default:
+		return o, fmt.Errorf("otpd: unknown OTP algorithm %v", o.Algorithm)
+	}
+	if o.Skew == 0 {
+		o.Skew = def.Skew
+	} else if o.Skew < 0 {
+		o.Skew = 0 // explicit "no drift tolerance"
+	}
+	return o, nil
 }
 
 // Audit exposes the audit log.
@@ -135,6 +182,8 @@ func (s *Server) initGenerated(user string, typ TokenType, phone, serial string)
 	if user == "" {
 		return nil, errors.New("otpd: empty user")
 	}
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 	if s.db.Has(tokenKey(user)) {
 		return nil, ErrHasToken
 	}
@@ -156,6 +205,12 @@ func (s *Server) initGenerated(user string, typ TokenType, phone, serial string)
 // AssignHardToken pairs an inventory fob (by serial) to user.
 func (s *Server) AssignHardToken(user, serial string) (*Enrollment, error) {
 	user = strings.ToLower(user)
+	// Lock order: user stripe, then serial stripe (ImportHardToken takes
+	// only the serial stripe, so the order is never inverted).
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
+	s.serials.Lock(serial)
+	defer s.serials.Unlock(serial)
 	if s.db.Has(tokenKey(user)) {
 		return nil, ErrHasToken
 	}
@@ -198,6 +253,8 @@ func (s *Server) SetStaticToken(user, code string) error {
 	if len(code) != 6 || strings.TrimLeft(code, "0123456789") != "" {
 		return ErrBadStatic
 	}
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 	r, err := s.loadRecord(user)
 	if errors.Is(err, ErrNoToken) {
 		r = &record{User: user, Type: TokenTraining, Active: true, CreatedUnix: s.clk.Now().Unix()}
@@ -221,6 +278,8 @@ func (s *Server) SetStaticToken(user, code string) error {
 // RemoveToken unpairs user's token.
 func (s *Server) RemoveToken(user string) error {
 	user = strings.ToLower(user)
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 	if !s.db.Has(tokenKey(user)) {
 		return ErrNoToken
 	}
@@ -276,8 +335,8 @@ type CheckResult struct {
 //     the counter.
 func (s *Server) Check(user, code string) (CheckResult, error) {
 	user = strings.ToLower(user)
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 
 	r, err := s.loadRecord(user)
 	if err != nil {
@@ -365,8 +424,8 @@ func (s *Server) smsValidity() time.Duration {
 // is still active. It returns (sent, userMessage).
 func (s *Server) TriggerSMS(user string) (bool, string, error) {
 	user = strings.ToLower(user)
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 
 	r, err := s.loadRecord(user)
 	if err != nil {
@@ -409,8 +468,8 @@ func (s *Server) TriggerSMS(user string) (bool, string, error) {
 // operation, §3.1).
 func (s *Server) Resync(user, code1, code2 string) error {
 	user = strings.ToLower(user)
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 	r, err := s.loadRecord(user)
 	if err != nil {
 		return err
@@ -442,8 +501,8 @@ func (s *Server) Resync(user, code1, code2 string) error {
 // log in attempts", §3.1).
 func (s *Server) ResetFailures(user string) error {
 	user = strings.ToLower(user)
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
+	s.users.Lock(user)
+	defer s.users.Unlock(user)
 	r, err := s.loadRecord(user)
 	if err != nil {
 		return err

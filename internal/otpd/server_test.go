@@ -58,6 +58,73 @@ func TestNewConfigValidation(t *testing.T) {
 	}
 }
 
+func validConfig() Config {
+	return Config{DB: store.OpenMemory(), EncryptionKey: bytes.Repeat([]byte{0x42}, 32)}
+}
+
+func TestNewRejectsNegativeLockoutThreshold(t *testing.T) {
+	cfg := validConfig()
+	cfg.LockoutThreshold = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative LockoutThreshold accepted")
+	}
+}
+
+// TestNewFillsOTPOptionsPerField is a regression test: setting any OTP
+// field while leaving Period zero used to silently discard the caller's
+// other fields in favour of the full defaults.
+func TestNewFillsOTPOptionsPerField(t *testing.T) {
+	cfg := validConfig()
+	cfg.OTP = otp.TOTPOptions{Digits: otp.EightDigits}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := otp.DefaultTOTPOptions()
+	got := s.OTPOptions()
+	if got.Digits != otp.EightDigits {
+		t.Fatalf("Digits = %d, want 8 (caller's choice discarded)", got.Digits)
+	}
+	if got.Period != def.Period || got.Skew != def.Skew || got.Algorithm != def.Algorithm {
+		t.Fatalf("unset fields not defaulted: %+v", got)
+	}
+
+	// A fully zero OTP config still yields the full defaults.
+	s2, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.OTPOptions() != def {
+		t.Fatalf("zero OTP = %+v, want defaults %+v", s2.OTPOptions(), def)
+	}
+
+	// Negative skew means "no drift tolerance", not an error.
+	cfg = validConfig()
+	cfg.OTP = otp.TOTPOptions{Skew: -1}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.OTPOptions().Skew != 0 {
+		t.Fatalf("Skew = %v, want 0", s3.OTPOptions().Skew)
+	}
+}
+
+func TestNewRejectsBadOTPOptions(t *testing.T) {
+	for name, o := range map[string]otp.TOTPOptions{
+		"sub-second period": {Period: 500 * time.Millisecond},
+		"negative period":   {Period: -time.Second},
+		"bad digits":        {Digits: 5},
+		"bad algorithm":     {Algorithm: otp.Algorithm(99)},
+	} {
+		cfg := validConfig()
+		cfg.OTP = o
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
 func TestSoftTokenLifecycle(t *testing.T) {
 	sim := clock.NewSim(t0)
 	s, _ := newServer(t, sim)

@@ -144,6 +144,8 @@ func (s *Server) ImportHardToken(serial string, secret []byte) error {
 	if serial == "" || len(secret) == 0 {
 		return errors.New("otpd: serial and secret required")
 	}
+	s.serials.Lock(serial)
+	defer s.serials.Unlock(serial)
 	if s.db.Has(hardInvKey(serial)) {
 		return fmt.Errorf("otpd: serial %s already imported", serial)
 	}

@@ -1,0 +1,131 @@
+package radius
+
+import (
+	"sync"
+	"time"
+)
+
+// dedupKey identifies a request for RFC 2865 §2 duplicate detection: a
+// retransmission reuses the source endpoint, the Identifier, and the
+// Request Authenticator.
+type dedupKey struct {
+	src  string
+	id   byte
+	auth [16]byte
+}
+
+// dedupEntry tracks one request from the moment it is accepted for
+// handling. It is inserted *before* the handler runs ("reserve before
+// handle"): a retransmission that arrives while the original is still in
+// flight finds the entry, waits on done, and replays the cached reply —
+// it never reaches the handler, so an Access-Request is evaluated exactly
+// once no matter how many copies the NAS sends.
+type dedupEntry struct {
+	done  chan struct{} // closed once reply is valid
+	reply []byte        // nil if the handler dropped the request
+	at    time.Time     // reservation time; expiry = at + window
+}
+
+// expired reports whether the entry has aged out at time now.
+func (e *dedupEntry) expired(now time.Time, window time.Duration) bool {
+	return now.Sub(e.at) >= window
+}
+
+// dedupTable is the duplicate-detection cache. Expiry is O(1) amortised:
+// every entry lives for the same window, so insertion order is expiry
+// order and a FIFO queue replaces the old full-map scan that ran inside
+// the lock on every packet. The table is also bounded: maxEntries caps
+// memory against spoofed-source floods, evicting the oldest reservation
+// when full (the oldest is the one a legitimate retransmission is least
+// likely to still reference).
+type dedupTable struct {
+	mu      sync.Mutex
+	entries map[dedupKey]*dedupEntry
+	queue   []dedupRecord // FIFO of live reservations, oldest first
+	window  time.Duration
+	max     int
+	now     func() time.Time
+}
+
+// dedupRecord pins the queue slot to a specific entry: after an eviction
+// the same key can be re-reserved, and the stale record must not purge the
+// new entry.
+type dedupRecord struct {
+	key   dedupKey
+	entry *dedupEntry
+}
+
+func newDedupTable(window time.Duration, maxEntries int, now func() time.Time) *dedupTable {
+	return &dedupTable{
+		entries: make(map[dedupKey]*dedupEntry),
+		window:  window,
+		max:     maxEntries,
+		now:     now,
+	}
+}
+
+// reserve claims key for handling. isNew reports whether the caller owns
+// the request: it must run the handler and call finish exactly once. When
+// isNew is false the returned entry belongs to an earlier packet — wait on
+// entry.done and replay entry.reply.
+func (t *dedupTable) reserve(key dedupKey) (entry *dedupEntry, isNew bool) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.purgeLocked(now)
+	if e, ok := t.entries[key]; ok {
+		return e, false
+	}
+	if t.max > 0 {
+		for len(t.entries) >= t.max && len(t.queue) > 0 {
+			t.evictOldestLocked()
+		}
+	}
+	e := &dedupEntry{done: make(chan struct{}), at: now}
+	t.entries[key] = e
+	t.queue = append(t.queue, dedupRecord{key: key, entry: e})
+	return e, true
+}
+
+// finish publishes the reply for a reservation and wakes every waiting
+// retransmission. reply nil means the handler dropped the request; late
+// duplicates are then dropped too. Callers must invoke finish on every
+// reservation, including error paths, or duplicates block until expiry.
+func (t *dedupTable) finish(e *dedupEntry, reply []byte) {
+	e.reply = reply // happens-before the close synchronises this write
+	close(e.done)
+}
+
+// purgeLocked drops expired reservations from the front of the queue.
+func (t *dedupTable) purgeLocked(now time.Time) {
+	i := 0
+	for ; i < len(t.queue); i++ {
+		rec := t.queue[i]
+		if !rec.entry.expired(now, t.window) {
+			break
+		}
+		if cur, ok := t.entries[rec.key]; ok && cur == rec.entry {
+			delete(t.entries, rec.key)
+		}
+	}
+	if i > 0 {
+		t.queue = append(t.queue[:0], t.queue[i:]...)
+	}
+}
+
+// evictOldestLocked removes the oldest live reservation (capacity
+// pressure, not expiry).
+func (t *dedupTable) evictOldestLocked() {
+	rec := t.queue[0]
+	t.queue = t.queue[1:]
+	if cur, ok := t.entries[rec.key]; ok && cur == rec.entry {
+		delete(t.entries, rec.key)
+	}
+}
+
+// len reports the live entry count (test hook).
+func (t *dedupTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

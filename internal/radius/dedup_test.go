@@ -1,0 +1,234 @@
+package radius
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func dkey(src string, id byte) dedupKey {
+	var auth [16]byte
+	auth[0] = id
+	return dedupKey{src: src, id: id, auth: auth}
+}
+
+func TestDedupReserveThenDuplicate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newDedupTable(5*time.Second, 0, func() time.Time { return now })
+	e, isNew := tab.reserve(dkey("1.2.3.4:1812", 1))
+	if !isNew {
+		t.Fatal("first reserve not new")
+	}
+	dup, isNew := tab.reserve(dkey("1.2.3.4:1812", 1))
+	if isNew {
+		t.Fatal("duplicate reserve treated as new")
+	}
+	if dup != e {
+		t.Fatal("duplicate got a different entry")
+	}
+	select {
+	case <-dup.done:
+		t.Fatal("done closed before finish")
+	default:
+	}
+	tab.finish(e, []byte("reply"))
+	<-dup.done
+	if string(dup.reply) != "reply" {
+		t.Fatalf("reply = %q", dup.reply)
+	}
+}
+
+func TestDedupExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newDedupTable(5*time.Second, 0, func() time.Time { return now })
+	e, _ := tab.reserve(dkey("a", 1))
+	tab.finish(e, []byte("r"))
+	now = now.Add(6 * time.Second)
+	if _, isNew := tab.reserve(dkey("a", 1)); !isNew {
+		t.Fatal("expired entry still deduplicated")
+	}
+	if tab.len() != 1 {
+		t.Fatalf("len = %d, want 1 (expired entry purged)", tab.len())
+	}
+}
+
+func TestDedupHardCap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newDedupTable(time.Hour, 100, func() time.Time { return now })
+	// A spoofed-source flood: every packet a distinct key, none expiring.
+	for i := 0; i < 1000; i++ {
+		e, isNew := tab.reserve(dkey(fmt.Sprintf("10.0.%d.%d:1812", i/256, i%256), byte(i)))
+		if !isNew {
+			t.Fatalf("packet %d misdetected as duplicate", i)
+		}
+		tab.finish(e, nil)
+	}
+	if tab.len() != 100 {
+		t.Fatalf("len = %d, want hard cap 100", tab.len())
+	}
+	// The newest entry survived; the oldest was evicted.
+	if _, isNew := tab.reserve(dkey("10.0.3.231:1812", byte(999%256))); isNew {
+		t.Fatal("newest entry evicted")
+	}
+	if _, isNew := tab.reserve(dkey("10.0.0.0:1812", 0)); !isNew {
+		t.Fatal("oldest entry not evicted")
+	}
+}
+
+// TestDedupEvictionThenReinsertKeepsNewEntry guards the ABA case: a key is
+// evicted, re-reserved, and the stale queue record must not purge the new
+// entry when the old record's expiry passes.
+func TestDedupEvictionThenReinsertKeepsNewEntry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newDedupTable(5*time.Second, 2, func() time.Time { return now })
+	eA, _ := tab.reserve(dkey("a", 1))
+	tab.finish(eA, nil)
+	eB, _ := tab.reserve(dkey("b", 2))
+	tab.finish(eB, nil)
+	// Cap pressure evicts "a"...
+	eC, _ := tab.reserve(dkey("c", 3))
+	tab.finish(eC, nil)
+	// ...and "a" is re-reserved with a fresh entry.
+	now = now.Add(4 * time.Second)
+	eA2, isNew := tab.reserve(dkey("a", 1))
+	if !isNew {
+		t.Fatal("evicted key not re-reservable")
+	}
+	tab.finish(eA2, []byte("fresh"))
+	// When the ORIGINAL "a" record's expiry passes, the fresh entry must
+	// survive (it expires later).
+	now = now.Add(2 * time.Second)
+	dup, isNew := tab.reserve(dkey("a", 1))
+	if isNew {
+		t.Fatal("fresh entry purged by stale queue record")
+	}
+	if string(dup.reply) != "fresh" {
+		t.Fatalf("reply = %q", dup.reply)
+	}
+}
+
+// TestRetransmitStormHandlerRunsOnce fires many identical copies of one
+// Access-Request concurrently from the same source socket and asserts the
+// handler ran exactly once: the reserve-before-handle protocol must hold
+// even while the original is still inside the handler. Before the fix the
+// dedup entry was recorded only after the handler returned, so concurrent
+// retransmissions consumed the user's OTP twice and could answer the pair
+// with Accept+Reject.
+func TestRetransmitStormHandlerRunsOnce(t *testing.T) {
+	secret := []byte("storm-secret")
+	var handled int32
+	srv := &Server{
+		Secret: secret,
+		Handler: HandlerFunc(func(req *Request) *Packet {
+			atomic.AddInt32(&handled, 1)
+			time.Sleep(50 * time.Millisecond) // keep the original in flight
+			out := &Packet{Code: AccessAccept}
+			out.AddString(AttrReplyMessage, "once")
+			return out
+		}),
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req := NewRequest(0)
+	buildReq("stormuser", "123456", secret)(req)
+	if err := AddMessageAuthenticator(req, secret); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const copies = 32
+	var wg sync.WaitGroup
+	for i := 0; i < copies; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn.Write(wire)
+		}()
+	}
+	wg.Wait()
+
+	// Every copy (original + retransmissions) is answered with the same
+	// cached Accept once the handler finishes.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, MaxPacketLen)
+	replies := 0
+	for replies < copies {
+		n, err := conn.Read(buf)
+		if err != nil {
+			break // deadline: UDP may drop some, that's fine
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Code != AccessAccept {
+			t.Fatalf("reply %d: code = %v, want Access-Accept", replies, resp.Code)
+		}
+		replies++
+	}
+	if replies == 0 {
+		t.Fatal("no replies received")
+	}
+	if got := atomic.LoadInt32(&handled); got != 1 {
+		t.Fatalf("handler ran %d times for %d identical packets, want exactly 1", got, copies)
+	}
+}
+
+// TestRetransmitAfterReplyReplaysCachedResponse covers the classic
+// (non-concurrent) retransmission: the reply is served from cache and the
+// handler is not re-invoked.
+func TestRetransmitAfterReplyReplaysCachedResponse(t *testing.T) {
+	secret := []byte("replay-secret")
+	var handled int32
+	srv := &Server{
+		Secret: secret,
+		Handler: HandlerFunc(func(req *Request) *Packet {
+			atomic.AddInt32(&handled, 1)
+			return &Packet{Code: AccessReject}
+		}),
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req := NewRequest(0)
+	buildReq("u", "x", secret)(req)
+	if err := AddMessageAuthenticator(req, secret); err != nil {
+		t.Fatal(err)
+	}
+	wire, _ := req.Encode()
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, MaxPacketLen)
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadInt32(&handled); got != 1 {
+		t.Fatalf("handler ran %d times, want 1", got)
+	}
+}

@@ -58,28 +58,31 @@ type Server struct {
 	// DedupWindow bounds the duplicate-detection cache. Retransmitted
 	// requests (same source, identifier, and authenticator) within the
 	// window receive the cached reply instead of a second evaluation,
-	// matching RFC 2865 §2 duplicate handling. Zero means 5 seconds.
+	// matching RFC 2865 §2 duplicate handling. A duplicate that arrives
+	// while the original is still being handled waits for that reply
+	// instead of triggering a second evaluation, so the handler runs
+	// exactly once per request. Zero means 5 seconds.
 	DedupWindow time.Duration
+	// MaxDedupEntries caps the duplicate-detection cache so spoofed
+	// source addresses cannot grow it without bound. When full, the
+	// oldest reservation is evicted. Zero means DefaultMaxDedupEntries;
+	// negative means unbounded.
+	MaxDedupEntries int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 
 	mu     sync.Mutex
 	conn   *net.UDPConn
 	closed bool
-	dedup  map[dedupKey]dedupEntry
+	dedup  *dedupTable
 	wg     sync.WaitGroup
 }
 
-type dedupKey struct {
-	src  string
-	id   byte
-	auth [16]byte
-}
-
-type dedupEntry struct {
-	at    time.Time
-	reply []byte
-}
+// DefaultMaxDedupEntries bounds the dedup cache when MaxDedupEntries is
+// zero. At ~60 bytes of bookkeeping per entry this is a few MiB worst
+// case, while comfortably covering every outstanding request a farm
+// member sees within one 5-second window.
+const DefaultMaxDedupEntries = 65536
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -106,7 +109,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		return errors.New("radius: server closed")
 	}
 	s.conn = conn
-	s.dedup = make(map[dedupKey]dedupEntry)
+	s.dedup = newDedupTable(s.dedupWindow(), s.maxDedupEntries(), time.Now)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.serve(conn)
@@ -128,6 +131,16 @@ func (s *Server) dedupWindow() time.Duration {
 		return s.DedupWindow
 	}
 	return 5 * time.Second
+}
+
+func (s *Server) maxDedupEntries() int {
+	switch {
+	case s.MaxDedupEntries > 0:
+		return s.MaxDedupEntries
+	case s.MaxDedupEntries < 0:
+		return 0 // unbounded
+	}
+	return DefaultMaxDedupEntries
 }
 
 func (s *Server) serve(conn *net.UDPConn) {
@@ -164,55 +177,62 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 	}
 
 	key := dedupKey{src: src.String(), id: req.Identifier, auth: req.Authenticator}
-	s.mu.Lock()
-	if e, ok := s.dedup[key]; ok && time.Since(e.at) < s.dedupWindow() {
-		reply := e.reply
-		s.mu.Unlock()
-		if reply != nil {
-			conn.WriteToUDP(reply, src)
+	entry, isNew := s.dedup.reserve(key)
+	if !isNew {
+		// Retransmission. The original reservation may still be in the
+		// handler: wait for its reply rather than evaluating the request
+		// a second time (which would consume the user's OTP twice and
+		// answer one retransmission pair with Accept+Reject). If the
+		// original never finishes within the window, drop silently —
+		// the NAS will retransmit again.
+		select {
+		case <-entry.done:
+			if entry.reply != nil {
+				conn.WriteToUDP(entry.reply, src)
+			}
+		case <-time.After(s.dedupWindow()):
 		}
 		return
 	}
-	// GC old entries opportunistically.
-	for k, e := range s.dedup {
-		if time.Since(e.at) > s.dedupWindow() {
-			delete(s.dedup, k)
-		}
-	}
-	s.mu.Unlock()
-
-	resp := s.Handler.ServeRADIUS(&Request{Packet: req, Addr: src, secret: s.Secret})
-	var replyWire []byte
-	if resp != nil {
-		resp.Identifier = req.Identifier
-		// Responses carry a Message-Authenticator when the request did.
-		if _, hadMA := req.Get(AttrMessageAuthenticator); hadMA {
-			save := resp.Authenticator
-			resp.Authenticator = req.Authenticator
-			if err := AddMessageAuthenticator(resp, s.Secret); err != nil {
-				s.logf("radius: sign response: %v", err)
-				return
-			}
-			resp.Authenticator = save
-		}
-		if err := SignResponse(resp, req.Authenticator, s.Secret); err != nil {
-			s.logf("radius: sign response: %v", err)
-			return
-		}
-		replyWire, err = resp.Encode()
-		if err != nil {
-			s.logf("radius: encode response: %v", err)
-			return
-		}
-	}
-	s.mu.Lock()
-	s.dedup[key] = dedupEntry{at: time.Now(), reply: replyWire}
-	s.mu.Unlock()
+	// We own the reservation: evaluate once and publish the reply (nil on
+	// drop/error) so concurrent duplicates unblock.
+	replyWire := s.respond(req, src)
+	s.dedup.finish(entry, replyWire)
 	if replyWire != nil {
 		if _, err := conn.WriteToUDP(replyWire, src); err != nil {
 			s.logf("radius: write to %s: %v", src, err)
 		}
 	}
+}
+
+// respond runs the handler and returns the signed, encoded reply, or nil
+// if the request is dropped or the reply cannot be built.
+func (s *Server) respond(req *Packet, src *net.UDPAddr) []byte {
+	resp := s.Handler.ServeRADIUS(&Request{Packet: req, Addr: src, secret: s.Secret})
+	if resp == nil {
+		return nil
+	}
+	resp.Identifier = req.Identifier
+	// Responses carry a Message-Authenticator when the request did.
+	if _, hadMA := req.Get(AttrMessageAuthenticator); hadMA {
+		save := resp.Authenticator
+		resp.Authenticator = req.Authenticator
+		if err := AddMessageAuthenticator(resp, s.Secret); err != nil {
+			s.logf("radius: sign response: %v", err)
+			return nil
+		}
+		resp.Authenticator = save
+	}
+	if err := SignResponse(resp, req.Authenticator, s.Secret); err != nil {
+		s.logf("radius: sign response: %v", err)
+		return nil
+	}
+	replyWire, err := resp.Encode()
+	if err != nil {
+		s.logf("radius: encode response: %v", err)
+		return nil
+	}
+	return replyWire
 }
 
 // Close stops the server and waits for in-flight handlers.
