@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race bench-concurrency bench clean
+.PHONY: verify vet build test race bench-concurrency bench-obs bench clean
 
-verify: vet build test race bench-concurrency
+verify: vet build test race bench-concurrency bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,13 @@ race:
 # (exactly-once evaluation under retransmit storms).
 bench-concurrency:
 	$(GO) test -run xxx -bench 'BenchmarkValidateParallel|BenchmarkRadiusRetransmitStorm' -benchtime 0.5s -cpu 1,2,4 .
+
+# Observability overhead gate: vet the obs package and prove that the
+# instrumented otpd.Check hot path stays within 5% of the uninstrumented
+# one (interleaved min-of-trials comparison; see TestObsOverheadGate).
+bench-obs:
+	$(GO) vet ./internal/obs/
+	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run TestObsOverheadGate -count 1 -v
 
 # Full benchmark harness (figures, tables, ablations).
 bench:

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"openmfa/internal/httpdigest"
+	"openmfa/internal/obs"
 	"openmfa/internal/otpd"
 	"openmfa/internal/radius"
 	"openmfa/internal/store"
@@ -55,8 +56,12 @@ func main() {
 	}
 	defer db.Close()
 
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+
 	srv, err := otpd.New(otpd.Config{
 		DB: db, EncryptionKey: key, Issuer: *issuer,
+		Obs: reg, Logger: logger,
 	})
 	if err != nil {
 		log.Fatalf("otpd: %v", err)
@@ -66,6 +71,8 @@ func main() {
 		Secret:  []byte(*secret),
 		Handler: &otpd.RadiusHandler{OTP: srv},
 		Logf:    log.Printf,
+		Obs:     reg,
+		Logger:  logger,
 	}
 	if err := rsrv.ListenAndServe(*radiusAddr); err != nil {
 		log.Fatalf("otpd: radius: %v", err)
@@ -80,9 +87,14 @@ func main() {
 			*adminUser: httpdigest.HA1(*adminUser, "otpd-admin", *adminPass),
 		},
 	}
+	// Ops endpoints ride on the admin listener: /metrics, /healthz, and
+	// /debug/pprof next to the digest-authenticated admin routes.
+	mux := http.NewServeMux()
+	obs.Mount(mux, reg)
+	mux.Handle("/", api.Handler())
 	go func() {
-		log.Printf("otpd: admin API on %s", *httpAddr)
-		if err := http.ListenAndServe(*httpAddr, api.Handler()); err != nil {
+		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof)", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 			log.Fatalf("otpd: http: %v", err)
 		}
 	}()

@@ -17,6 +17,7 @@ import (
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
 	"openmfa/internal/idm"
+	"openmfa/internal/obs"
 	"openmfa/internal/otpd"
 	"openmfa/internal/portal"
 	"openmfa/internal/store"
@@ -69,11 +70,12 @@ func main() {
 		}),
 		SessionKey: cryptoutil.RandomBytes(32),
 		BaseURL:    base,
+		Obs:        obs.NewRegistry(),
 	})
 	if err != nil {
 		log.Fatalf("portald: %v", err)
 	}
-	fmt.Printf("portald: serving on %s (otpd at %s)\n", *httpAddr, *otpdURL)
+	fmt.Printf("portald: serving on %s (otpd at %s; /metrics, /healthz, /debug/pprof mounted)\n", *httpAddr, *otpdURL)
 	if err := http.ListenAndServe(*httpAddr, p.Handler()); err != nil {
 		log.Fatalf("portald: %v", err)
 	}

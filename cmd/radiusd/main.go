@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"openmfa/internal/obs"
 	"openmfa/internal/radius"
 )
 
@@ -26,18 +28,30 @@ func main() {
 		upstream       = flag.String("upstream", "", "upstream RADIUS server address (required)")
 		upstreamSecret = flag.String("upstream-secret", "", "shared secret with upstream (required)")
 		timeout        = flag.Duration("timeout", 2*time.Second, "upstream per-attempt timeout")
+		obsAddr        = flag.String("obs-addr", "", "ops HTTP listen address (/metrics, /healthz, /debug/pprof); empty = disabled")
 	)
 	flag.Parse()
 	if *secret == "" || *upstream == "" || *upstreamSecret == "" {
 		log.Fatal("radiusd: -secret, -upstream and -upstream-secret are required")
 	}
 
+	reg := obs.NewRegistry()
 	srv := &radius.Server{
 		Secret: []byte(*secret),
 		Handler: &radius.Proxy{Upstream: &radius.Client{
 			Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
 		}},
-		Logf: log.Printf,
+		Logf:   log.Printf,
+		Obs:    reg,
+		Logger: obs.NewLogger(os.Stderr, obs.LevelInfo),
+	}
+	if *obsAddr != "" {
+		go func() {
+			log.Printf("radiusd: ops endpoints on %s", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, obs.Handler(reg)); err != nil {
+				log.Fatalf("radiusd: obs: %v", err)
+			}
+		}()
 	}
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatalf("radiusd: %v", err)

@@ -56,6 +56,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rollout: simulation finished in %s\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, res.ObservabilityReport())
+	}
 	if *all {
 		fmt.Println(res.Summary())
 		fmt.Println(res.Figure3())

@@ -24,6 +24,7 @@ import (
 	"openmfa/internal/directory"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
+	"openmfa/internal/obs"
 	"openmfa/internal/otp"
 	"openmfa/internal/otpd"
 	"openmfa/internal/pam"
@@ -74,6 +75,13 @@ type Options struct {
 	Seed int64
 	// Email captures portal out-of-band mail; nil discards it.
 	Email portal.EmailSender
+	// Obs, when set, is the shared metrics registry every layer records
+	// into (sshd, PAM, RADIUS server/client, otpd, portal). nil disables
+	// metrics at a cost of one pointer test per site.
+	Obs *obs.Registry
+	// Logger, when set, receives structured trace-tagged log lines from
+	// every layer.
+	Logger *obs.Logger
 }
 
 // ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
@@ -120,6 +128,8 @@ type Infrastructure struct {
 	Portal  *portal.Portal
 	Mode    *ModeSwitch
 	Admin   *otpd.AdminClient
+	// Obs is the shared registry (Options.Obs, or the nil no-op).
+	Obs *obs.Registry
 
 	radiusServers []*radius.Server
 	dirServer     *directory.Server
@@ -140,7 +150,7 @@ func New(opts Options) (*Infrastructure, error) {
 	if key == nil {
 		key = cryptoutil.RandomBytes(32)
 	}
-	inf := &Infrastructure{Clock: clk}
+	inf := &Infrastructure{Clock: clk, Obs: opts.Obs}
 
 	newStore := func(name string) (*store.Store, error) {
 		if opts.DataDir == "" {
@@ -182,6 +192,8 @@ func New(opts Options) (*Infrastructure, error) {
 		Issuer:           "HPC",
 		LockoutThreshold: opts.LockoutThreshold,
 		OTP:              opts.OTP,
+		Obs:              opts.Obs,
+		Logger:           opts.Logger,
 		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
 			_, err := inf.SMS.Send(phone, "512000", body)
 			return err
@@ -215,6 +227,8 @@ func New(opts Options) (*Infrastructure, error) {
 			Handler:         &otpd.RadiusHandler{OTP: inf.OTP},
 			DedupWindow:     opts.RadiusDedupWindow,
 			MaxDedupEntries: opts.RadiusMaxDedupEntries,
+			Obs:             opts.Obs,
+			Logger:          opts.Logger,
 		}
 		if err := rs.ListenAndServe("127.0.0.1:0"); err != nil {
 			inf.Close()
@@ -224,6 +238,7 @@ func New(opts Options) (*Infrastructure, error) {
 		addrs = append(addrs, rs.Addr().String())
 	}
 	inf.Pool = radius.NewPool(addrs, secret, 2*time.Second, 1)
+	inf.Pool.Obs = opts.Obs
 
 	// Directory service (network form, for components that want it).
 	inf.dirServer = directory.NewServer(inf.Dir)
@@ -252,6 +267,7 @@ func New(opts Options) (*Infrastructure, error) {
 	inf.SSHD = &sshd.Server{
 		IDM: inf.IDM, AuthLog: inf.AuthLog, Stack: inf.Stack,
 		Clock: clk, Banner: opts.Banner,
+		Obs: opts.Obs, Logger: opts.Logger,
 	}
 	if err := inf.SSHD.ListenAndServe("127.0.0.1:0"); err != nil {
 		inf.Close()
@@ -294,6 +310,7 @@ func New(opts Options) (*Infrastructure, error) {
 		Clock:      clk,
 		SessionKey: cryptoutil.RandomBytes(32),
 		BaseURL:    "", // filled after listen
+		Obs:        opts.Obs,
 	})
 	if err != nil {
 		inf.Close()

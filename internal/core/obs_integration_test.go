@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/idm"
+	"openmfa/internal/obs"
+	"openmfa/internal/otp"
+	"openmfa/internal/sshd"
+)
+
+// syncBuf is a goroutine-safe log sink the test can read back.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestObservabilityAcrossStack drives one real authentication through
+// sshd → PAM → RADIUS → otpd and asserts the tentpole's two end-to-end
+// properties: every layer logs the same trace ID, and the shared registry
+// records per-stage latency and outcome counters for the login.
+func TestObservabilityAcrossStack(t *testing.T) {
+	reg := obs.NewRegistry()
+	logs := &syncBuf{}
+	inf := newInfra(t, Options{
+		Obs:    reg,
+		Logger: obs.NewLogger(logs, obs.LevelInfo),
+	})
+	sim := inf.Clock.(*clock.Sim)
+	if _, err := inf.CreateUser("alice", "alice@x", "pw", idm.ClassUser); err != nil {
+		t.Fatal(err)
+	}
+	enr, err := inf.PairSoft("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	login := func() {
+		t.Helper()
+		r := &sshd.FuncResponder{}
+		r.Fn = func(echo bool, prompt string) (string, error) {
+			if strings.Contains(prompt, "Password") {
+				return "pw", nil
+			}
+			code, _ := otp.TOTP(enr.Secret, sim.Now(), inf.OTP.OTPOptions())
+			return code, nil
+		}
+		c, err := sshd.Dial(inf.SSHAddr(), DialOpts("alice", r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	login()
+
+	// (a) One trace ID ties together the log lines of all four layers.
+	out := logs.String()
+	m := regexp.MustCompile(`component=sshd trace=([0-9a-f]{16})`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no sshd trace line in logs:\n%s", out)
+	}
+	trace := m[1]
+	for _, component := range []string{"sshd", "pam", "radius", "otpd"} {
+		want := fmt.Sprintf("component=%s trace=%s", component, trace)
+		if !strings.Contains(out, want) {
+			t.Errorf("no %s log line with trace %s:\n%s", component, trace, out)
+		}
+	}
+
+	// (b) The shared registry saw the login at every stage.
+	type histCheck struct {
+		name   string
+		labels []string
+	}
+	for _, h := range []histCheck{
+		{"sshd_auth_duration_seconds", nil},
+		{"pam_module_duration_seconds", []string{"module", "pam_mfa_token"}},
+		{"radius_request_duration_seconds", nil},
+		{"radius_client_exchange_duration_seconds", nil},
+		{"otpd_check_duration_seconds", []string{"result", "ok"}},
+	} {
+		if n := reg.Histogram(h.name, nil, h.labels...).Count(); n == 0 {
+			t.Errorf("histogram %s %v: count = 0, want > 0", h.name, h.labels)
+		}
+	}
+	counters := map[string]*obs.Counter{
+		"sshd accept":   reg.Counter("sshd_auth_total", "result", "accept"),
+		"pam granted":   reg.Counter("pam_stack_total", "service", "sshd", "outcome", "granted"),
+		"radius accept": reg.Counter("radius_requests_total", "result", "accept"),
+		"otpd ok":       reg.Counter("otpd_check_total", "result", "ok"),
+	}
+	for name, c := range counters {
+		if c.Value() != 1 {
+			t.Errorf("%s counter = %d after first login, want 1", name, c.Value())
+		}
+	}
+
+	// A second login moves every accept counter by exactly one. The sim
+	// clock must leave the first login's TOTP step (success consumed it).
+	sim.Set(sim.Now().Add(31 * time.Second))
+	login()
+	for name, c := range counters {
+		if c.Value() != 2 {
+			t.Errorf("%s counter = %d after second login, want 2", name, c.Value())
+		}
+	}
+
+	// (c) The portal serves the shared registry over HTTP.
+	resp, err := http.Get(inf.PortalURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`sshd_auth_total{result="accept"} 2`,
+		`radius_requests_total{result="accept"} 2`,
+		"sshd_auth_duration_seconds_count",
+		"otpd_check_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("portal /metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get(inf.PortalURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+}

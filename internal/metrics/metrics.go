@@ -222,7 +222,15 @@ func NewBreakdown(title string, counts map[string]int) Breakdown {
 		}
 		b.Rows = append(b.Rows, BreakdownRow{Label: label, Percent: pct})
 	}
-	sort.Slice(b.Rows, func(i, j int) bool { return b.Rows[i].Percent > b.Rows[j].Percent })
+	// Equal percentages tie-break by label: map iteration order would
+	// otherwise make the row order (and every rendered table) flap
+	// between runs.
+	sort.Slice(b.Rows, func(i, j int) bool {
+		if b.Rows[i].Percent != b.Rows[j].Percent {
+			return b.Rows[i].Percent > b.Rows[j].Percent
+		}
+		return b.Rows[i].Label < b.Rows[j].Label
+	})
 	return b
 }
 

@@ -186,3 +186,30 @@ func TestBreakdownTotalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: equal-percentage rows used to inherit map iteration order,
+// so the same counts could render Table 1 differently between runs.
+func TestBreakdownTieBreakDeterministic(t *testing.T) {
+	counts := map[string]int{"delta": 10, "alpha": 10, "charlie": 10, "bravo": 10, "top": 60}
+	want := []string{"top", "alpha", "bravo", "charlie", "delta"}
+	for i := 0; i < 50; i++ {
+		b := NewBreakdown("tie", counts)
+		for j, row := range b.Rows {
+			if row.Label != want[j] {
+				t.Fatalf("run %d: row %d = %q, want %q (rows %+v)", i, j, row.Label, want[j], b.Rows)
+			}
+		}
+	}
+}
+
+// Regression: Chart must tolerate non-positive dimensions (a caller sizing
+// from a terminal can hand it 0 or negative values).
+func TestChartNonPositiveDimensions(t *testing.T) {
+	d := NewDaily(start, end)
+	d.Set(start, "v", 3)
+	for _, dim := range [][2]int{{0, 5}, {5, 0}, {0, 0}, {-3, 4}, {4, -2}, {-1, -1}} {
+		if out := d.Chart("v", dim[0], dim[1]); out != "" {
+			t.Fatalf("Chart(%d, %d) = %q, want empty", dim[0], dim[1], out)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildSample populates a registry with one of everything, deterministic
+// values, so the rendered exposition can be compared byte-for-byte.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("auth_total", "result", "accept").Add(42)
+	r.Counter("auth_total", "result", "reject").Add(7)
+	r.Gauge("drift_ratio").Set(0.25)
+	r.Gauge("open_connections").Set(3)
+	h := r.Histogram("check_duration_seconds", []float64{0.001, 0.01, 0.1, 1}, "result", "ok")
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	r.Counter("label_escape_total", "path", "a\"b\\c\n").Inc()
+	return r
+}
+
+// TestExpositionGolden pins the exact /metrics bytes. Regenerate with
+//
+//	OBS_GOLDEN_UPDATE=1 go test ./internal/obs -run TestExpositionGolden
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if update() {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func update() bool { return os.Getenv("OBS_GOLDEN_UPDATE") != "" }
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition is a strict parser for the subset of the Prometheus text
+// format WritePrometheus emits: `# TYPE name kind` headers and
+// `name[{k="v",...}] value` samples.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []sample) {
+	t.Helper()
+	types = make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE header %q", ln+1, line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		labels := map[string]string{}
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label block: %q", ln+1, line)
+			}
+			for _, kv := range splitLabels(t, line[i+1:j]) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, kv)
+				}
+				labels[k] = v[1 : len(v)-1]
+			}
+			line = name + line[j+1:]
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("line %d: want `name value`, got %q", ln+1, line)
+		}
+		v, err := parseValue(f[1])
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, f[1], err)
+		}
+		samples = append(samples, sample{name: f[0], labels: labels, value: v})
+	}
+	return types, samples
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteByte(c)
+		case c == '\\' && inQuote:
+			escaped = true
+			cur.WriteByte(c)
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		t.Fatalf("unterminated quote in label block %q", s)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	if s == "+Inf" {
+		return 0, fmt.Errorf("+Inf sample value outside le label")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestExpositionParses validates the format invariants the scrape side
+// depends on: every sample belongs to a typed family, histogram buckets
+// are cumulative and monotonic, the +Inf bucket equals _count, and _sum is
+// consistent with the observations.
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, buf.String())
+
+	if len(types) == 0 || len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+	baseName := func(n string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(n, suf); ok {
+				if types[b] == "histogram" {
+					return b
+				}
+			}
+		}
+		return n
+	}
+	for _, s := range samples {
+		if _, ok := types[baseName(s.name)]; !ok {
+			t.Fatalf("sample %q has no TYPE header", s.name)
+		}
+	}
+
+	// Group histogram series by base name + labels (minus le).
+	type key struct{ name, labels string }
+	buckets := map[key][]sample{}
+	sums := map[key]float64{}
+	counts := map[key]float64{}
+	for _, s := range samples {
+		b := baseName(s.name)
+		if types[b] != "histogram" {
+			continue
+		}
+		lbl := make([]string, 0, len(s.labels))
+		for k, v := range s.labels {
+			if k == "le" {
+				continue
+			}
+			lbl = append(lbl, k+"="+v)
+		}
+		sort.Strings(lbl)
+		k := key{b, strings.Join(lbl, ",")}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[k] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			counts[k] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series found")
+	}
+	for k, bs := range buckets {
+		// Buckets are emitted in ascending le order; verify cumulative
+		// monotonicity and the +Inf terminal.
+		prev := -1.0
+		var inf float64
+		sawInf := false
+		for _, b := range bs {
+			le := b.labels["le"]
+			if le == "" {
+				t.Fatalf("%v: bucket without le label", k)
+			}
+			if b.value < prev {
+				t.Fatalf("%v: bucket le=%s count %g < previous %g (not monotonic)", k, le, b.value, prev)
+			}
+			prev = b.value
+			if le == "+Inf" {
+				inf, sawInf = b.value, true
+			}
+		}
+		if !sawInf {
+			t.Fatalf("%v: no +Inf bucket", k)
+		}
+		if inf != counts[k] {
+			t.Fatalf("%v: +Inf bucket %g != _count %g", k, inf, counts[k])
+		}
+		if counts[k] > 0 && sums[k] <= 0 {
+			t.Fatalf("%v: _count %g but _sum %g", k, counts[k], sums[k])
+		}
+	}
+}

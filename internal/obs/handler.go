@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// processStart anchors the /healthz uptime report.
+var processStart = time.Now()
+
+// Mount registers the operational endpoints on mux:
+//
+//	GET /metrics        Prometheus text exposition of reg
+//	GET /healthz        liveness: "ok" plus uptime
+//	    /debug/pprof/*  the standard net/http/pprof profiles
+//
+// Servers that already own a mux (the otpd admin API, the portal) mount
+// these alongside their application routes; standalone daemons serve
+// Handler on a dedicated -obs-addr listener.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(processStart).Round(time.Second))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone handler serving the Mount endpoints.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	return mux
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int32(l))
+	}
+}
+
+// Logger is a leveled structured logger emitting one `key=value` line per
+// event:
+//
+//	2016-10-04T08:00:00.000Z INFO msg=auth component=sshd trace=4fca... user=alice result=accept
+//
+// A nil *Logger discards everything, so call sites never need a nil check.
+// Loggers derived with With share the parent's writer and mutex, making
+// concurrent use from every layer safe.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	now    func() time.Time
+	prefix string // preformatted " key=value ..." appended after msg
+}
+
+// NewLogger writes events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a derived logger whose events carry the given key/value
+// pairs. Nil-safe.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.prefix = l.prefix + renderKV(kv)
+	return &d
+}
+
+// Enabled reports whether events at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// Debug logs at DEBUG. kv are key/value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at INFO.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at WARN.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at ERROR.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteByte(' ')
+	sb.WriteString(lv.String())
+	sb.WriteString(" msg=")
+	sb.WriteString(quoteValue(msg))
+	sb.WriteString(l.prefix)
+	sb.WriteString(renderKV(kv))
+	sb.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, sb.String())
+	l.mu.Unlock()
+}
+
+// renderKV formats key/value pairs as " k=v k2=v2". An odd trailing key is
+// rendered with the value "(MISSING)" rather than dropped.
+func renderKV(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		sb.WriteString(fmt.Sprint(kv[i]))
+		sb.WriteByte('=')
+		if i+1 < len(kv) {
+			sb.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+		} else {
+			sb.WriteString("(MISSING)")
+		}
+	}
+	return sb.String()
+}
+
+func quoteValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}

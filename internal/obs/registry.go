@@ -1,0 +1,463 @@
+// Package obs is the runtime observability layer for the auth stack: a
+// concurrent metrics registry with Prometheus text-format exposition, a
+// leveled structured logger, and context-propagated trace IDs.
+//
+// The paper's evaluation (§5, Figures 3–6) is built entirely from
+// operational telemetry; this package gives the *live* sshd → PAM →
+// RADIUS → otpd chain the same visibility: every layer counts outcomes,
+// histograms latency, and tags log lines with a per-connection trace ID so
+// one authentication can be followed end to end.
+//
+// Everything is stdlib-only and nil-safe: a nil *Registry, nil *Counter,
+// nil *Gauge, nil *Histogram, or nil *Logger is a no-op, so instrumented
+// hot paths cost a pointer test when observability is disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricKind discriminates the exposition family types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// DefBuckets returns the default latency buckets (seconds), spanning the
+// 100 µs in-process validations up to multi-second RADIUS failover chains.
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Registry is a concurrent metric registry. Metric handles are resolved
+// once (get-or-create keyed by name + label set) and then operated on with
+// atomics, so the hot path never takes the registry lock.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	kind    metricKind
+	buckets []float64 // histograms only
+	series  map[string]any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for name and the given label pairs
+// (key1, value1, key2, value2, ...), creating it on first use.
+// A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindCounter, nil, labels)
+	return m.(*Counter)
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindGauge, nil, labels)
+	return m.(*Gauge)
+}
+
+// Histogram returns the histogram for name and labels, creating it on
+// first use. buckets are ascending upper bounds in seconds (or whatever
+// unit the metric uses); nil means DefBuckets. The bucket layout is fixed
+// by the first call for a name; later calls may pass nil.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindHistogram, buckets, labels)
+	return m.(*Histogram)
+}
+
+func (r *Registry) metric(name string, kind metricKind, buckets []float64, labels []string) any {
+	if !validName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	key := labelKey(labels)
+	r.mu.RLock()
+	fam := r.families[name]
+	if fam != nil {
+		if m, ok := fam.series[key]; ok {
+			kindGot := fam.kind
+			r.mu.RUnlock()
+			if kindGot != kind {
+				panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, kindGot, kind))
+			}
+			return m
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam = r.families[name]
+	if fam == nil {
+		if kind == kindHistogram {
+			if buckets == nil {
+				buckets = DefBuckets()
+			}
+			for i := 1; i < len(buckets); i++ {
+				if buckets[i] <= buckets[i-1] {
+					panic("obs: histogram buckets for " + name + " must be ascending")
+				}
+			}
+			if len(buckets) == 0 {
+				panic("obs: histogram " + name + " needs at least one bucket")
+			}
+		}
+		fam = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	if m, ok := fam.series[key]; ok {
+		return m
+	}
+	var m any
+	switch kind {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	case kindHistogram:
+		h := &Histogram{upper: fam.buckets}
+		h.counts = make([]atomic.Uint64, len(fam.buckets))
+		m = h
+	}
+	fam.series[key] = m
+	return m
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders label pairs into the canonical `k="v",k2="v2"` form,
+// sorted by key, which doubles as the exposition label block.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list (want key, value pairs)")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta. Nil-safe.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets hold
+// non-cumulative per-bucket counts; exposition renders them cumulatively
+// with the implicit +Inf bucket equal to the total observation count.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0. Nil-safe.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count is the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum is the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing the target rank. Observations beyond the
+// last bucket clamp to its upper bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, ub := range h.upper {
+		c := h.counts[i].Load()
+		if c == 0 {
+			lower = ub
+			continue
+		}
+		if float64(cum+c) >= rank {
+			// Interpolate within [lower, ub].
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+		lower = ub
+	}
+	// Target rank is in the +Inf bucket: report the last finite bound.
+	return h.upper[len(h.upper)-1]
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (families sorted by name, series sorted by label block), suitable
+// for a /metrics endpoint. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot the family/series structure under the lock; atomic values
+	// are read afterwards (they are safe without the lock).
+	type seriesSnap struct {
+		labels string
+		metric any
+	}
+	type famSnap struct {
+		name    string
+		kind    metricKind
+		buckets []float64
+		series  []seriesSnap
+	}
+	fams := make([]famSnap, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fs := famSnap{name: n, kind: f.kind, buckets: f.buckets}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fs.series = append(fs.series, seriesSnap{labels: k, metric: f.series[k]})
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, block(s.labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, block(s.labels), formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, ub := range m.upper {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, bucketBlock(s.labels, formatFloat(ub)), cum)
+				}
+				count := m.Count()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, bucketBlock(s.labels, "+Inf"), count)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, block(s.labels), formatFloat(m.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, block(s.labels), count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func block(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func bucketBlock(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

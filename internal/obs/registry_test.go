@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "result", "ok")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels resolves to the same handle.
+	if r.Counter("requests_total", "result", "ok") != c {
+		t.Fatal("counter handle not stable across lookups")
+	}
+	// Label order must not matter.
+	a := r.Counter("multi_total", "a", "1", "b", "2")
+	b := r.Counter("multi_total", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order changed metric identity")
+	}
+
+	g := r.Gauge("open_conns")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1}, "stage", "check")
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Quantiles: p25 falls in the first bucket, p100 clamps to the last
+	// finite bound (the 5s observation lives in +Inf).
+	if q := h.Quantile(0.25); q <= 0 || q > 0.01 {
+		t.Fatalf("p25 = %g, want within (0, 0.01]", q)
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("p99 = %g, want clamp to 1", q)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("auto_seconds", nil)
+	h.Observe(0.003)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if len(h.upper) != len(DefBuckets()) {
+		t.Fatalf("bucket count = %d, want %d", len(h.upper), len(DefBuckets()))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("x_seconds", nil)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, %v", sb.String(), err)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter re-registered as gauge")
+		}
+	}()
+	r.Gauge("thing_total")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	r.Counter("bad-name")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd label list")
+		}
+	}()
+	r.Counter("x_total", "only_key")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines mixing
+// handle resolution, operations, and exposition — run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results := []string{"ok", "fail"}
+			for i := 0; i < 500; i++ {
+				res := results[i%2]
+				r.Counter("conc_total", "result", res).Inc()
+				r.Gauge("conc_gauge").Add(1)
+				r.Histogram("conc_seconds", nil, "result", res).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := r.Counter("conc_total", "result", "ok").Value() +
+		r.Counter("conc_total", "result", "fail").Value()
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+	hc := r.Histogram("conc_seconds", nil, "result", "ok").Count() +
+		r.Histogram("conc_seconds", nil, "result", "fail").Count()
+	if hc != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", hc, 8*500)
+	}
+	if g := r.Gauge("conc_gauge").Value(); g != 8*500 {
+		t.Fatalf("gauge = %g, want %d", g, 8*500)
+	}
+}

@@ -1,0 +1,112 @@
+package otpd
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"openmfa/internal/obs"
+	"openmfa/internal/store"
+)
+
+// newBenchServer builds an otpd with one paired soft token. A huge lockout
+// threshold keeps the deterministic-failure hot path open for the whole
+// run (a five-digit code can never match a six-digit TOTP, so Check always
+// takes the failure branch and never consumes a code).
+func newBenchServer(tb testing.TB, reg *obs.Registry) *Server {
+	tb.Helper()
+	srv, err := New(Config{
+		DB:               store.OpenMemory(),
+		EncryptionKey:    make([]byte, 32),
+		LockoutThreshold: 1 << 30,
+		Obs:              reg,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := srv.InitSoftToken("bench"); err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
+func benchCheck(b *testing.B, reg *obs.Registry) {
+	srv := newBenchServer(b, reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := srv.Check("bench", "00000"); err != nil || res.OK {
+			b.Fatalf("check = %+v, %v (want deterministic failure)", res, err)
+		}
+	}
+}
+
+// BenchmarkObsOverhead compares otpd.Check with and without the metrics
+// registry attached. The instrumented path must stay within 5% of the
+// uninstrumented one (pre-resolved handles, atomic-only hot path); the
+// enforced comparison lives in TestObsOverheadGate.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("uninstrumented", func(b *testing.B) { benchCheck(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { benchCheck(b, obs.NewRegistry()) })
+}
+
+// TestObsOverheadGate enforces the 5% budget. It is env-gated so plain
+// `go test ./...` (and -race runs) stay fast and timing-noise-free:
+//
+//	OBS_OVERHEAD_GATE=1 go test ./internal/otpd -run TestObsOverheadGate
+//
+// which is what `make bench-obs` runs. The two arms are ABBA-interleaved
+// so machine-wide drift (frequency scaling, noisy neighbors) hits both
+// equally, each arm is summarized by the minimum of its trials — the
+// least-noise estimator of true cost — and a measurement that lands over
+// budget is repeated: only a regression that exceeds the budget on every
+// attempt fails the gate. The true instrumentation cost is a couple of
+// map lookups plus atomics (~1% of a ~30µs Check), so a real >5% reading
+// reproduces; a noise spike does not.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 (make bench-obs) to run the overhead gate")
+	}
+	const (
+		trials   = 5
+		attempts = 3
+		budget   = 0.05
+	)
+	srvBase := newBenchServer(t, nil)
+	srvInst := newBenchServer(t, obs.NewRegistry())
+	run := func(srv *Server) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				srv.Check("bench", "00000")
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	run(srvBase) // warm-up: page in both paths before timing
+	run(srvInst)
+	measure := func() (base, inst float64) {
+		base, inst = math.Inf(1), math.Inf(1)
+		for i := 0; i < trials; i++ {
+			if i%2 == 0 {
+				base = math.Min(base, run(srvBase))
+				inst = math.Min(inst, run(srvInst))
+			} else {
+				inst = math.Min(inst, run(srvInst))
+				base = math.Min(base, run(srvBase))
+			}
+		}
+		return base, inst
+	}
+	overhead := 0.0
+	for attempt := 1; attempt <= attempts; attempt++ {
+		base, inst := measure()
+		overhead = (inst - base) / base
+		t.Logf("attempt %d: uninstrumented %.0f ns/op, instrumented %.0f ns/op, overhead %.2f%%",
+			attempt, base, inst, 100*overhead)
+		if overhead <= budget {
+			return
+		}
+	}
+	t.Errorf("instrumented Check stayed more than %.0f%% slower than uninstrumented across %d measurements (last: %.2f%%)",
+		100*budget, attempts, 100*overhead)
+}

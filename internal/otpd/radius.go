@@ -1,8 +1,10 @@
 package otpd
 
 import (
+	"context"
 	"errors"
 
+	"openmfa/internal/obs"
 	"openmfa/internal/radius"
 )
 
@@ -33,10 +35,13 @@ func (h *RadiusHandler) ServeRADIUS(req *radius.Request) *radius.Packet {
 	if err != nil {
 		return reject("undecodable password attribute")
 	}
+	// The NAS's trace ID rides in on Proxy-State; rehydrate it into a
+	// context so otpd's log lines join the same trace.
+	ctx := obs.WithTrace(context.Background(), req.Trace())
 
 	if code == "" {
 		// Null request: SMS trigger (§3.4 Figure 2).
-		sent, msg, err := h.OTP.TriggerSMS(user)
+		sent, msg, err := h.OTP.TriggerSMSCtx(ctx, user)
 		switch {
 		case errors.Is(err, ErrNotSMS), errors.Is(err, ErrNoToken):
 			// Not an SMS user: prompt for the device code directly.
@@ -50,7 +55,7 @@ func (h *RadiusHandler) ServeRADIUS(req *radius.Request) *radius.Packet {
 		return challenge(msg)
 	}
 
-	res, err := h.OTP.Check(user, code)
+	res, err := h.OTP.CheckCtx(ctx, user, code)
 	switch {
 	case errors.Is(err, ErrNoToken):
 		return reject("no token paired")

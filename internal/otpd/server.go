@@ -1,6 +1,7 @@
 package otpd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
+	"openmfa/internal/obs"
 	"openmfa/internal/otp"
 	"openmfa/internal/store"
 	"openmfa/internal/syncutil"
@@ -49,6 +51,13 @@ type Config struct {
 	OTP otp.TOTPOptions
 	// Issuer labels otpauth URIs; defaults to "HPC".
 	Issuer string
+	// Obs, when set, receives validation/SMS counters and latency
+	// histograms. Handles are resolved once in New so the Check hot path
+	// costs only atomic operations.
+	Obs *obs.Registry
+	// Logger, when set, receives a structured line per validation
+	// (component=otpd) carrying the trace ID from the request context.
+	Logger *obs.Logger
 }
 
 // Server is the OTP platform.
@@ -72,6 +81,43 @@ type Server struct {
 	// fob serial (AssignHardToken races ImportHardToken and other
 	// assignments for the same serial).
 	serials *syncutil.StripedMutex
+
+	met    otpdMetrics
+	logger *obs.Logger
+}
+
+// otpdMetrics holds pre-resolved handles so the validation hot path never
+// takes the registry's lookup lock. All fields are nil (no-op) when no
+// registry is configured.
+type otpdMetrics struct {
+	checkDur map[string]*obs.Histogram // by result class
+	checkTot map[string]*obs.Counter
+	lockouts *obs.Counter
+	smsDur   *obs.Histogram
+	smsTot   map[string]*obs.Counter
+}
+
+// checkResultClasses are the label values otpd_check_* metrics use.
+var checkResultClasses = []string{"ok", "invalid", "locked_out", "error"}
+
+func newOtpdMetrics(reg *obs.Registry) otpdMetrics {
+	var m otpdMetrics
+	if reg == nil {
+		return m
+	}
+	m.checkDur = make(map[string]*obs.Histogram)
+	m.checkTot = make(map[string]*obs.Counter)
+	for _, res := range checkResultClasses {
+		m.checkDur[res] = reg.Histogram("otpd_check_duration_seconds", nil, "result", res)
+		m.checkTot[res] = reg.Counter("otpd_check_total", "result", res)
+	}
+	m.lockouts = reg.Counter("otpd_lockouts_total")
+	m.smsDur = reg.Histogram("otpd_sms_duration_seconds", nil)
+	m.smsTot = make(map[string]*obs.Counter)
+	for _, res := range []string{"sent", "suppressed", "error"} {
+		m.smsTot[res] = reg.Counter("otpd_sms_total", "result", res)
+	}
+	return m
 }
 
 // New builds a Server from cfg.
@@ -112,6 +158,8 @@ func New(cfg Config) (*Server, error) {
 		audit:   NewAudit(auditKey, clk.Now),
 		users:   syncutil.NewStriped(0),
 		serials: syncutil.NewStriped(0),
+		met:     newOtpdMetrics(cfg.Obs),
+		logger:  cfg.Logger,
 	}, nil
 }
 
@@ -334,6 +382,45 @@ type CheckResult struct {
 //   - 20 consecutive failures deactivate the token (§3.1); successes reset
 //     the counter.
 func (s *Server) Check(user, code string) (CheckResult, error) {
+	return s.CheckCtx(context.Background(), user, code)
+}
+
+// CheckCtx is Check with a request context; the context's trace ID
+// (obs.WithTrace) tags the structured log line so one login can be
+// followed from sshd all the way into the validation back end.
+func (s *Server) CheckCtx(ctx context.Context, user, code string) (CheckResult, error) {
+	start := time.Now()
+	res, err := s.check(user, code)
+	class := checkClass(res, err)
+	if s.met.checkTot != nil {
+		s.met.checkTot[class].Inc()
+		s.met.checkDur[class].ObserveSince(start)
+		if res.LockedOut && err == nil {
+			// This attempt tripped the lockout (later attempts against a
+			// locked token return ErrLockedOut instead).
+			s.met.lockouts.Inc()
+		}
+	}
+	s.logger.Info("check", "component", "otpd", "trace", obs.TraceID(ctx),
+		"user", strings.ToLower(user), "result", class)
+	return res, err
+}
+
+// checkClass maps a validation outcome onto the metric result classes.
+func checkClass(res CheckResult, err error) string {
+	switch {
+	case err == nil && res.OK:
+		return "ok"
+	case errors.Is(err, ErrLockedOut) || (err == nil && res.LockedOut):
+		return "locked_out"
+	case err == nil:
+		return "invalid"
+	default:
+		return "error"
+	}
+}
+
+func (s *Server) check(user, code string) (CheckResult, error) {
 	user = strings.ToLower(user)
 	s.users.Lock(user)
 	defer s.users.Unlock(user)
@@ -423,6 +510,30 @@ func (s *Server) smsValidity() time.Duration {
 // TriggerSMS sends the current token code to user's phone, unless a code
 // is still active. It returns (sent, userMessage).
 func (s *Server) TriggerSMS(user string) (bool, string, error) {
+	return s.TriggerSMSCtx(context.Background(), user)
+}
+
+// TriggerSMSCtx is TriggerSMS with a request context carrying the trace ID.
+func (s *Server) TriggerSMSCtx(ctx context.Context, user string) (bool, string, error) {
+	start := time.Now()
+	sent, msg, err := s.triggerSMS(user)
+	class := "error"
+	switch {
+	case sent:
+		class = "sent"
+	case err == nil:
+		class = "suppressed"
+	}
+	if s.met.smsTot != nil {
+		s.met.smsTot[class].Inc()
+		s.met.smsDur.ObserveSince(start)
+	}
+	s.logger.Info("sms trigger", "component", "otpd", "trace", obs.TraceID(ctx),
+		"user", strings.ToLower(user), "result", class)
+	return sent, msg, err
+}
+
+func (s *Server) triggerSMS(user string) (bool, string, error) {
 	user = strings.ToLower(user)
 	s.users.Lock(user)
 	defer s.users.Unlock(user)

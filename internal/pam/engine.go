@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"openmfa/internal/obs"
 )
 
 // Result is a module's verdict, a compact subset of PAM return codes.
@@ -144,6 +146,18 @@ type Context struct {
 
 	// Log, when set, receives a line per module decision.
 	Log func(format string, args ...any)
+
+	// Trace is the connection's trace ID (assigned by sshd). It tags
+	// every structured log line this attempt produces and rides to the
+	// RADIUS back end inside a Proxy-State attribute so one login can be
+	// followed across all four layers.
+	Trace string
+	// Metrics, when set, receives per-module outcome counters and
+	// latency histograms plus a per-stack outcome counter.
+	Metrics *obs.Registry
+	// Logger, when set, receives a structured line per module decision
+	// (component=pam), carrying Trace.
+	Logger *obs.Logger
 }
 
 func (ctx *Context) logf(format string, args ...any) {
@@ -187,6 +201,23 @@ var (
 
 // Authenticate runs the stack. nil means entry is granted.
 func (s *Stack) Authenticate(ctx *Context) error {
+	err := s.run(ctx)
+	if ctx.Metrics != nil {
+		outcome := "granted"
+		switch {
+		case errors.Is(err, ErrAuthFailed):
+			outcome = "denied"
+		case errors.Is(err, ErrEmptyStack):
+			outcome = "empty"
+		case err != nil:
+			outcome = "error"
+		}
+		ctx.Metrics.Counter("pam_stack_total", "service", s.Service, "outcome", outcome).Inc()
+	}
+	return err
+}
+
+func (s *Stack) run(ctx *Context) error {
 	if ctx.Data == nil {
 		ctx.Data = make(map[string]any)
 	}
@@ -214,9 +245,19 @@ func (s *Stack) Authenticate(ctx *Context) error {
 
 	for i := 0; i < len(s.Entries); i++ {
 		e := s.Entries[i]
+		start := time.Now()
 		res := e.Module.Authenticate(ctx)
 		act := e.Control.action(res)
 		ctx.logf("pam(%s): %s -> %s", s.Service, e.Module.Name(), res)
+		if ctx.Metrics != nil {
+			ctx.Metrics.Counter("pam_module_result_total",
+				"module", e.Module.Name(), "result", res.String()).Inc()
+			ctx.Metrics.Histogram("pam_module_duration_seconds", nil,
+				"module", e.Module.Name()).ObserveSince(start)
+		}
+		ctx.Logger.Info("module decision", "component", "pam", "trace", ctx.Trace,
+			"service", s.Service, "module", e.Module.Name(), "result", res.String(),
+			"user", ctx.User)
 		switch {
 		case act == ActionIgnore:
 			// nothing

@@ -271,7 +271,7 @@ func (m *Token) challenge(ctx *Context, pairing string) Result {
 	if pairing == "sms" {
 		// "a null request is first sent to the LinOTP back end to
 		// initiate a text message."
-		resp, err := m.exchange(ctx.User, "", nil)
+		resp, err := m.exchange(ctx, ctx.User, "", nil)
 		if err != nil {
 			ctx.logf("pam_mfa_token: sms trigger failed: %v", err)
 			return SystemErr
@@ -297,7 +297,7 @@ func (m *Token) challenge(ctx *Context, pairing string) Result {
 	if err != nil {
 		return SystemErr
 	}
-	resp, err := m.exchange(ctx.User, code, state)
+	resp, err := m.exchange(ctx, ctx.User, code, state)
 	if err != nil {
 		ctx.logf("pam_mfa_token: radius exchange failed: %v", err)
 		return SystemErr
@@ -313,7 +313,7 @@ func (m *Token) challenge(ctx *Context, pairing string) Result {
 	}
 }
 
-func (m *Token) exchange(user, code string, state []byte) (*radius.Packet, error) {
+func (m *Token) exchange(ctx *Context, user, code string, state []byte) (*radius.Packet, error) {
 	return m.Radius.Exchange(func(req *radius.Packet) {
 		req.AddString(radius.AttrUserName, user)
 		hidden, err := radius.HidePassword(code, m.Radius.Secret(), req.Authenticator)
@@ -322,6 +322,12 @@ func (m *Token) exchange(user, code string, state []byte) (*radius.Packet, error
 		}
 		if state != nil {
 			req.Add(radius.AttrState, state)
+		}
+		// Carry the connection's trace ID to the back end. Proxy-State
+		// is opaque to RADIUS semantics and echoed in replies (RFC 2865
+		// §5.33), which makes it a free trace-propagation channel.
+		if ctx.Trace != "" {
+			req.AddString(radius.AttrProxyState, ctx.Trace)
 		}
 	})
 }

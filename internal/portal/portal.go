@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/idm"
+	"openmfa/internal/obs"
 	"openmfa/internal/otpd"
 	"openmfa/internal/qr"
 	"openmfa/internal/sms"
@@ -56,6 +58,9 @@ type Config struct {
 	BaseURL string
 	// SessionTTL defaults to 12 hours.
 	SessionTTL time.Duration
+	// Obs, when set, mounts /metrics, /healthz, and /debug/pprof on the
+	// portal mux and counts requests per route and status class.
+	Obs *obs.Registry
 }
 
 // Portal is the web application.
@@ -67,6 +72,7 @@ type Portal struct {
 	signer *cryptoutil.Signer
 	base   string
 	ttl    time.Duration
+	obs    *obs.Registry
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -112,24 +118,58 @@ func New(cfg Config) (*Portal, error) {
 		signer:   cryptoutil.NewSigner(cfg.SessionKey),
 		base:     strings.TrimSuffix(cfg.BaseURL, "/"),
 		ttl:      ttl,
+		obs:      cfg.Obs,
 		sessions: make(map[string]*session),
 	}, nil
 }
 
-// Handler returns the portal's HTTP mux.
+// Handler returns the portal's HTTP mux. With Config.Obs set, the ops
+// endpoints (/metrics, /healthz, /debug/pprof) are mounted alongside the
+// application routes and every application request increments
+// portal_http_requests_total{route,code}.
 func (p *Portal) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /login", p.handleLogin)
-	mux.HandleFunc("POST /logout", p.handleLogout)
-	mux.HandleFunc("GET /home", p.auth(p.handleHome))
-	mux.HandleFunc("GET /splash", p.auth(p.handleSplash))
-	mux.HandleFunc("GET /pair", p.auth(p.handlePairPage))
-	mux.HandleFunc("POST /pair/start", p.auth(p.handlePairStart))
-	mux.HandleFunc("POST /pair/confirm", p.auth(p.handlePairConfirm))
-	mux.HandleFunc("POST /unpair/confirm", p.auth(p.handleUnpairConfirm))
-	mux.HandleFunc("POST /unpair/email", p.auth(p.handleUnpairEmail))
-	mux.HandleFunc("GET /unpair/oob", p.handleUnpairOOB)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, p.counted(pattern, h))
+	}
+	handle("POST /login", p.handleLogin)
+	handle("POST /logout", p.handleLogout)
+	handle("GET /home", p.auth(p.handleHome))
+	handle("GET /splash", p.auth(p.handleSplash))
+	handle("GET /pair", p.auth(p.handlePairPage))
+	handle("POST /pair/start", p.auth(p.handlePairStart))
+	handle("POST /pair/confirm", p.auth(p.handlePairConfirm))
+	handle("POST /unpair/confirm", p.auth(p.handleUnpairConfirm))
+	handle("POST /unpair/email", p.auth(p.handleUnpairEmail))
+	handle("GET /unpair/oob", p.handleUnpairOOB)
+	if p.obs != nil {
+		obs.Mount(mux, p.obs)
+	}
 	return mux
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps h with per-route, per-status-class request counting.
+func (p *Portal) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	if p.obs == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		p.obs.Counter("portal_http_requests_total",
+			"route", route, "code", strconv.Itoa(rec.code)).Inc()
+	}
 }
 
 const cookieName = "portal_session"

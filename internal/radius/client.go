@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"openmfa/internal/obs"
 )
 
 // Client exchange errors.
@@ -124,6 +126,9 @@ type Pool struct {
 	// Cooldown is how long a failed server is skipped before being
 	// retried; zero means 30 seconds.
 	Cooldown time.Duration
+	// Obs, when set, receives per-exchange outcome counters, latency
+	// histograms, and a failover counter.
+	Obs *obs.Registry
 
 	secret  []byte
 	mu      sync.Mutex
@@ -192,6 +197,20 @@ func (p *Pool) markDown(idx int, now time.Time) {
 // the authenticator. rebuild is called with a fresh request skeleton
 // (Code/Authenticator set) and must populate attributes.
 func (p *Pool) Exchange(rebuild func(req *Packet)) (*Packet, error) {
+	start := time.Now()
+	resp, err := p.exchange(rebuild)
+	if p.Obs != nil {
+		result := "ok"
+		if err != nil {
+			result = "error"
+		}
+		p.Obs.Counter("radius_client_exchange_total", "result", result).Inc()
+		p.Obs.Histogram("radius_client_exchange_duration_seconds", nil).ObserveSince(start)
+	}
+	return resp, err
+}
+
+func (p *Pool) exchange(rebuild func(req *Packet)) (*Packet, error) {
 	now := time.Now()
 	n := len(p.clients)
 	if n == 0 {
@@ -214,6 +233,9 @@ func (p *Pool) Exchange(rebuild func(req *Packet)) (*Packet, error) {
 		}
 		lastErr = err
 		p.markDown(idx, now)
+		if p.Obs != nil {
+			p.Obs.Counter("radius_client_failover_total").Inc()
+		}
 	}
 	return nil, lastErr
 }

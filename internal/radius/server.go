@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"openmfa/internal/obs"
 )
 
 // Handler processes a decoded Access-Request and returns a reply packet
@@ -48,6 +50,18 @@ func (r *Request) State() []byte {
 	return v
 }
 
+// Trace returns the trace ID the NAS attached via Proxy-State, or "".
+// Proxy hops append their own (binary) Proxy-State values, so only the
+// first value that looks like a trace ID counts.
+func (r *Request) Trace() string {
+	for _, v := range r.Packet.GetAll(AttrProxyState) {
+		if s := string(v); obs.ValidTraceID(s) {
+			return s
+		}
+	}
+	return ""
+}
+
 // Server is a UDP RADIUS server.
 type Server struct {
 	// Secret is the shared secret for all clients (per-client secrets
@@ -70,12 +84,24 @@ type Server struct {
 	MaxDedupEntries int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives request/outcome counters and per-exchange
+	// latency histograms.
+	Obs *obs.Registry
+	// Logger, when set, receives a structured line per request
+	// (component=radius) carrying the propagated trace ID.
+	Logger *obs.Logger
 
 	mu     sync.Mutex
 	conn   *net.UDPConn
 	closed bool
 	dedup  *dedupTable
 	wg     sync.WaitGroup
+
+	// Metric handles, resolved once in ListenAndServe so the per-packet
+	// path never touches the registry map.
+	mReplays  *obs.Counter
+	mDuration *obs.Histogram
+	mResults  map[string]*obs.Counter
 }
 
 // DefaultMaxDedupEntries bounds the dedup cache when MaxDedupEntries is
@@ -110,6 +136,14 @@ func (s *Server) ListenAndServe(addr string) error {
 	}
 	s.conn = conn
 	s.dedup = newDedupTable(s.dedupWindow(), s.maxDedupEntries(), time.Now)
+	if s.Obs != nil {
+		s.mReplays = s.Obs.Counter("radius_retransmit_replays_total")
+		s.mDuration = s.Obs.Histogram("radius_request_duration_seconds", nil)
+		s.mResults = make(map[string]*obs.Counter)
+		for _, res := range []string{"accept", "reject", "challenge", "drop"} {
+			s.mResults[res] = s.Obs.Counter("radius_requests_total", "result", res)
+		}
+	}
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.serve(conn)
@@ -179,6 +213,7 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 	key := dedupKey{src: src.String(), id: req.Identifier, auth: req.Authenticator}
 	entry, isNew := s.dedup.reserve(key)
 	if !isNew {
+		s.mReplays.Inc()
 		// Retransmission. The original reservation may still be in the
 		// handler: wait for its reply rather than evaluating the request
 		// a second time (which would consume the user's OTP twice and
@@ -196,7 +231,14 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 	}
 	// We own the reservation: evaluate once and publish the reply (nil on
 	// drop/error) so concurrent duplicates unblock.
-	replyWire := s.respond(req, src)
+	start := time.Now()
+	replyWire, result, trace := s.respond(req, src)
+	s.mDuration.ObserveSince(start)
+	if c, ok := s.mResults[result]; ok {
+		c.Inc()
+	}
+	s.Logger.Info("request", "component", "radius", "trace", trace,
+		"user", req.GetString(AttrUserName), "result", result)
 	s.dedup.finish(entry, replyWire)
 	if replyWire != nil {
 		if _, err := conn.WriteToUDP(replyWire, src); err != nil {
@@ -205,34 +247,50 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 	}
 }
 
-// respond runs the handler and returns the signed, encoded reply, or nil
-// if the request is dropped or the reply cannot be built.
-func (s *Server) respond(req *Packet, src *net.UDPAddr) []byte {
-	resp := s.Handler.ServeRADIUS(&Request{Packet: req, Addr: src, secret: s.Secret})
+// respond runs the handler and returns the signed, encoded reply (nil if
+// the request is dropped or the reply cannot be built), the outcome class
+// for metrics, and the request's trace ID for logging.
+func (s *Server) respond(req *Packet, src *net.UDPAddr) (wire []byte, result, trace string) {
+	r := &Request{Packet: req, Addr: src, secret: s.Secret}
+	trace = r.Trace()
+	resp := s.Handler.ServeRADIUS(r)
 	if resp == nil {
-		return nil
+		return nil, "drop", trace
+	}
+	switch resp.Code {
+	case AccessAccept:
+		result = "accept"
+	case AccessChallenge:
+		result = "challenge"
+	default:
+		result = "reject"
 	}
 	resp.Identifier = req.Identifier
+	// RFC 2865 §5.33: Proxy-State attributes from the request are copied
+	// unmodified into the reply. This also returns the trace ID to the NAS.
+	for _, v := range req.GetAll(AttrProxyState) {
+		resp.Add(AttrProxyState, v)
+	}
 	// Responses carry a Message-Authenticator when the request did.
 	if _, hadMA := req.Get(AttrMessageAuthenticator); hadMA {
 		save := resp.Authenticator
 		resp.Authenticator = req.Authenticator
 		if err := AddMessageAuthenticator(resp, s.Secret); err != nil {
 			s.logf("radius: sign response: %v", err)
-			return nil
+			return nil, "drop", trace
 		}
 		resp.Authenticator = save
 	}
 	if err := SignResponse(resp, req.Authenticator, s.Secret); err != nil {
 		s.logf("radius: sign response: %v", err)
-		return nil
+		return nil, "drop", trace
 	}
 	replyWire, err := resp.Encode()
 	if err != nil {
 		s.logf("radius: encode response: %v", err)
-		return nil
+		return nil, "drop", trace
 	}
-	return replyWire
+	return replyWire, result, trace
 }
 
 // Close stops the server and waits for in-flight handlers.

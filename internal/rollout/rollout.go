@@ -17,6 +17,7 @@ import (
 	"openmfa/internal/idm"
 	"openmfa/internal/loganalysis"
 	"openmfa/internal/metrics"
+	"openmfa/internal/obs"
 	"openmfa/internal/otp"
 	"openmfa/internal/otpd"
 	"openmfa/internal/pam"
@@ -38,6 +39,31 @@ type Result struct {
 	// successful log ins" in the paper's production year).
 	MFALogins   int
 	TotalLogins int
+	// Obs is the run's metrics registry: every simulated login records
+	// per-stage counters plus an end-to-end wall-clock auth latency
+	// histogram (rollout_auth_duration_seconds).
+	Obs *obs.Registry
+}
+
+// ObservabilityReport summarises the run's end-to-end authentication
+// latency percentiles and RADIUS outcome counts for the experiment logs.
+func (r *Result) ObservabilityReport() string {
+	if r.Obs == nil {
+		return ""
+	}
+	h := r.Obs.Histogram("rollout_auth_duration_seconds", nil)
+	if h.Count() == 0 {
+		return "observability: no authentications recorded"
+	}
+	dur := func(q float64) time.Duration {
+		return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf(
+		"observability: auth latency n=%d p50=%s p90=%s p99=%s; radius accept=%d reject=%d challenge=%d",
+		h.Count(), dur(0.5), dur(0.9), dur(0.99),
+		int(r.Obs.Counter("radius_requests_total", "result", "accept").Value()),
+		int(r.Obs.Counter("radius_requests_total", "result", "reject").Value()),
+		int(r.Obs.Counter("radius_requests_total", "result", "challenge").Value()))
 }
 
 // sim is the running simulation.
@@ -46,6 +72,8 @@ type sim struct {
 	rng     *rand.Rand
 	clk     *clock.Sim
 	metrics *metrics.Daily
+	obs     *obs.Registry
+	authDur *obs.Histogram
 	people  []*person
 
 	idm   *idm.IDM
@@ -99,9 +127,14 @@ func Run(cfg Config) (*Result, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		clk:       clock.NewSim(cfg.Start),
 		metrics:   metrics.NewDaily(cfg.Start, cfg.End),
+		obs:       obs.NewRegistry(),
 		smsCodes:  make(map[string]string),
 		lastLogin: make(map[string]time.Time),
 	}
+	// End-to-end latency is wall-clock (the sim clock jumps days at a
+	// time); the histogram answers "how long does one login actually take
+	// through the full PAM → RADIUS → otpd path".
+	s.authDur = s.obs.Histogram("rollout_auth_duration_seconds", nil)
 	if err := s.build(); err != nil {
 		return nil, err
 	}
@@ -132,6 +165,7 @@ func (s *sim) build() error {
 		EncryptionKey: cryptoutil.RandomBytes(32),
 		Clock:         s.clk,
 		Issuer:        "HPC",
+		Obs:           s.obs,
 		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
 			s.smsMu.Lock()
 			f := strings.Fields(body)
@@ -159,7 +193,7 @@ func (s *sim) build() error {
 	secret := cryptoutil.RandomBytes(16)
 	var addrs []string
 	for i := 0; i < 2; i++ {
-		rs := &radius.Server{Secret: secret, Handler: &otpd.RadiusHandler{OTP: s.otp}}
+		rs := &radius.Server{Secret: secret, Handler: &otpd.RadiusHandler{OTP: s.otp}, Obs: s.obs}
 		if err := rs.ListenAndServe("127.0.0.1:0"); err != nil {
 			return err
 		}
@@ -167,6 +201,7 @@ func (s *sim) build() error {
 		addrs = append(addrs, rs.Addr().String())
 	}
 	s.pool = radius.NewPool(addrs, secret, 2*time.Second, 1)
+	s.pool.Obs = s.obs
 
 	s.mode = &modeSwitch{}
 	s.mode.set(pam.TokenConfig{Mode: pam.ModePaired})
@@ -389,8 +424,11 @@ func (s *sim) doLogin(p *person, date time.Time, offset time.Duration, internal 
 	ctx := &pam.Context{
 		User: p.name, RemoteAddr: ip, Service: "sshd",
 		Conv: conv, Now: s.clk.Now,
+		Trace: obs.NewTraceID(), Metrics: s.obs,
 	}
+	start := time.Now()
 	err := s.stack.Authenticate(ctx)
+	s.authDur.ObserveSince(start)
 	if err != nil {
 		return false, false
 	}
@@ -513,5 +551,6 @@ func (s *sim) assemble() *Result {
 		Analysis:    analysis,
 		MFALogins:   s.mfaLogins,
 		TotalLogins: s.totalLogins,
+		Obs:         s.obs,
 	}
 }

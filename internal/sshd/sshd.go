@@ -23,6 +23,7 @@ import (
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/idm"
+	"openmfa/internal/obs"
 	"openmfa/internal/pam"
 	"openmfa/internal/risk"
 	"openmfa/internal/sshwire"
@@ -51,6 +52,12 @@ type Server struct {
 	// Risk, when set, receives login outcomes so the dynamic-risk
 	// engine's history tracks reality (pair with NewSSHDStackWithRisk).
 	Risk *risk.Engine
+	// Obs, when set, receives connection and auth-outcome metrics; it is
+	// also handed to the PAM stack via the per-attempt Context.
+	Obs *obs.Registry
+	// Logger, when set, receives structured auth-outcome lines
+	// (component=sshd) carrying the per-connection trace ID.
+	Logger *obs.Logger
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -192,6 +199,16 @@ func splitHostPort(addr net.Addr) (net.IP, int) {
 
 func (s *Server) serveConn(raw net.Conn) {
 	defer raw.Close()
+	// Every connection gets a trace ID; it tags this layer's log lines,
+	// rides into the PAM stack, and crosses the RADIUS wire inside a
+	// Proxy-State attribute so the back end's lines join the same trace.
+	trace := obs.NewTraceID()
+	if s.Obs != nil {
+		s.Obs.Counter("sshd_connections_total").Inc()
+		open := s.Obs.Gauge("sshd_open_connections")
+		open.Add(1)
+		defer open.Add(-1)
+	}
 	wc := sshwire.NewConn(raw)
 	ip, port := splitHostPort(raw.RemoteAddr())
 
@@ -245,11 +262,13 @@ func (s *Server) serveConn(raw net.Conn) {
 	// PAM phase with the retry budget: "the PAM stack is restarted and
 	// the user is prompted once again ... before SSH disconnect."
 	conv := &remoteConv{wc: wc}
+	authStart := time.Now()
 	var authErr error
 	for attempt := 0; attempt < s.maxTries(); attempt++ {
 		ctx := &pam.Context{
 			User: user, RemoteAddr: ip, Service: "sshd",
 			Conv: conv, Now: s.clk().Now,
+			Trace: trace, Metrics: s.Obs, Logger: s.Logger,
 		}
 		authErr = s.Stack.Authenticate(ctx)
 		if authErr == nil {
@@ -264,6 +283,16 @@ func (s *Server) serveConn(raw net.Conn) {
 			TTY: hello.TTY, Shell: hello.Shell,
 		})
 	}
+	result := "accept"
+	if authErr != nil {
+		result = "reject"
+	}
+	if s.Obs != nil {
+		s.Obs.Histogram("sshd_auth_duration_seconds", nil).ObserveSince(authStart)
+		s.Obs.Counter("sshd_auth_total", "result", result).Inc()
+	}
+	s.Logger.Info("auth", "component", "sshd", "trace", trace,
+		"user", user, "addr", ip.String(), "result", result)
 	if authErr != nil {
 		s.rejected.Add(1)
 		wc.Send(&sshwire.Msg{T: sshwire.TResult, OK: false, Msg: "Permission denied"})
