@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race bench-concurrency bench-obs bench clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench clean
 
-verify: vet build test race bench-concurrency bench-obs
+verify: vet build test race chaos bench-concurrency bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Degraded-network gate, seeded and deterministic: the full login storm
+# under 30% datagram loss, 2x duplication, and a partitioned RADIUS
+# backend (TestAuthUnderChaos), plus the per-layer fault regressions
+# (spoofed-datagram discard, faultnet self-tests, directory fail-closed),
+# all with the race detector watching.
+chaos:
+	$(GO) test -race -count 1 -run 'TestAuthUnderChaos' ./internal/core
+	$(GO) test -race -count 1 ./internal/faultnet ./internal/leakcheck
+	$(GO) test -race -count 1 -run 'TestSpoofedResponseSilentlyDiscarded|TestDeadServerRetransmitBackoff|TestPool' ./internal/radius
+	$(GO) test -race -count 1 -run 'TestClientThroughFaultNet' ./internal/directory
 
 # The hot-path concurrency benchmarks: BenchmarkValidateParallel must not
 # collapse as GOMAXPROCS grows (per-user lock striping), and

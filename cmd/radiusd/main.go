@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"openmfa/internal/faultnet"
 	"openmfa/internal/obs"
 	"openmfa/internal/radius"
 )
@@ -29,6 +30,16 @@ func main() {
 		upstreamSecret = flag.String("upstream-secret", "", "shared secret with upstream (required)")
 		timeout        = flag.Duration("timeout", 2*time.Second, "upstream per-attempt timeout")
 		obsAddr        = flag.String("obs-addr", "", "ops HTTP listen address (/metrics, /healthz, /debug/pprof); empty = disabled")
+
+		// Fault injection (staging/chaos drills only): interposes the
+		// faultnet layer on both the NAS-facing socket and the upstream
+		// client so a single proxy can rehearse a degraded network.
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injection RNG seed")
+		faultDrop    = flag.Float64("fault-drop", 0, "probability each datagram is silently dropped")
+		faultDup     = flag.Float64("fault-dup", 0, "probability each datagram is sent twice")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "probability one byte of each datagram is flipped")
+		faultDelay   = flag.Duration("fault-delay", 0, "base injected latency per send")
+		faultJitter  = flag.Duration("fault-jitter", 0, "uniform extra injected latency per send")
 	)
 	flag.Parse()
 	if *secret == "" || *upstream == "" || *upstreamSecret == "" {
@@ -36,14 +47,31 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	upstreamClient := &radius.Client{
+		Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
+	}
 	srv := &radius.Server{
-		Secret: []byte(*secret),
-		Handler: &radius.Proxy{Upstream: &radius.Client{
-			Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
-		}},
-		Logf:   log.Printf,
-		Obs:    reg,
-		Logger: obs.NewLogger(os.Stderr, obs.LevelInfo),
+		Secret:  []byte(*secret),
+		Handler: &radius.Proxy{Upstream: upstreamClient},
+		Logf:    log.Printf,
+		Obs:     reg,
+		Logger:  obs.NewLogger(os.Stderr, obs.LevelInfo),
+	}
+	if *faultDrop > 0 || *faultDup > 0 || *faultCorrupt > 0 || *faultDelay > 0 || *faultJitter > 0 {
+		fn := faultnet.New(faultnet.Config{
+			Seed:        *faultSeed,
+			Obs:         reg,
+			DropRate:    *faultDrop,
+			DupRate:     *faultDup,
+			CorruptRate: *faultCorrupt,
+			Delay:       *faultDelay,
+			Jitter:      *faultJitter,
+		})
+		srv.ListenPacket = fn.ListenPacket
+		upstreamClient.Dial = fn.Dial
+		upstreamClient.Obs = reg
+		log.Printf("radiusd: FAULT INJECTION ACTIVE (seed=%d drop=%.2f dup=%.2f corrupt=%.2f delay=%s jitter=%s)",
+			*faultSeed, *faultDrop, *faultDup, *faultCorrupt, *faultDelay, *faultJitter)
 	}
 	if *obsAddr != "" {
 		go func() {

@@ -22,6 +22,7 @@ import (
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
+	"openmfa/internal/faultnet"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
@@ -82,6 +83,24 @@ type Options struct {
 	// Logger, when set, receives structured trace-tagged log lines from
 	// every layer.
 	Logger *obs.Logger
+	// FaultNet, when set, routes every network hop through the fault
+	// injection layer: RADIUS datagrams (client dials and server sockets)
+	// and the login node's TCP listener. Chaos tests use it to model
+	// degraded networks; nil means the real network.
+	FaultNet *faultnet.Network
+	// RadiusTimeout is each pool member's per-attempt timeout; zero
+	// means 2 seconds.
+	RadiusTimeout time.Duration
+	// RadiusRetries is each member's retransmit budget, with
+	// radius.Client sentinel semantics (zero keeps 1 retry here,
+	// radius.NoRetry means single-shot).
+	RadiusRetries int
+	// SSHAuthTimeout / SSHIdleTimeout / SSHMaxConns pass through to the
+	// login node (sshd.Server sentinel semantics; zero keeps its
+	// defaults).
+	SSHAuthTimeout time.Duration
+	SSHIdleTimeout time.Duration
+	SSHMaxConns    int
 }
 
 // ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
@@ -230,6 +249,9 @@ func New(opts Options) (*Infrastructure, error) {
 			Obs:             opts.Obs,
 			Logger:          opts.Logger,
 		}
+		if opts.FaultNet != nil {
+			rs.ListenPacket = opts.FaultNet.ListenPacket
+		}
 		if err := rs.ListenAndServe("127.0.0.1:0"); err != nil {
 			inf.Close()
 			return nil, err
@@ -237,8 +259,20 @@ func New(opts Options) (*Infrastructure, error) {
 		inf.radiusServers = append(inf.radiusServers, rs)
 		addrs = append(addrs, rs.Addr().String())
 	}
-	inf.Pool = radius.NewPool(addrs, secret, 2*time.Second, 1)
-	inf.Pool.Obs = opts.Obs
+	radiusTimeout := opts.RadiusTimeout
+	if radiusTimeout == 0 {
+		radiusTimeout = 2 * time.Second
+	}
+	radiusRetries := opts.RadiusRetries
+	if radiusRetries == 0 {
+		radiusRetries = 1
+	}
+	inf.Pool = radius.NewPool(addrs, secret, radiusTimeout, radiusRetries)
+	inf.Pool.Clock = clk
+	inf.Pool.SetObs(opts.Obs)
+	if opts.FaultNet != nil {
+		inf.Pool.SetDial(opts.FaultNet.Dial)
+	}
 
 	// Directory service (network form, for components that want it).
 	inf.dirServer = directory.NewServer(inf.Dir)
@@ -268,6 +302,12 @@ func New(opts Options) (*Infrastructure, error) {
 		IDM: inf.IDM, AuthLog: inf.AuthLog, Stack: inf.Stack,
 		Clock: clk, Banner: opts.Banner,
 		Obs: opts.Obs, Logger: opts.Logger,
+		AuthTimeout: opts.SSHAuthTimeout,
+		IdleTimeout: opts.SSHIdleTimeout,
+		MaxConns:    opts.SSHMaxConns,
+	}
+	if opts.FaultNet != nil {
+		inf.SSHD.Listen = opts.FaultNet.Listen
 	}
 	if err := inf.SSHD.ListenAndServe("127.0.0.1:0"); err != nil {
 		inf.Close()

@@ -1,0 +1,60 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"openmfa/internal/faultnet"
+	"openmfa/internal/leakcheck"
+)
+
+// TestClientThroughFaultNet drives the directory protocol through the
+// fault-injection layer: dial failures surface as dial errors, injected
+// byte corruption makes the JSON parser fail closed, and a healthy wrapped
+// path still works.
+func TestClientThroughFaultNet(t *testing.T) {
+	leakcheck.Check(t)
+	d := seed(t)
+	srv := NewServer(d)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Clean fault layer: everything works through the hook.
+	clean := faultnet.New(faultnet.Config{Seed: 1})
+	c := &Client{Addr: srv.Addr().String(), Timeout: 2 * time.Second, Dial: clean.Dial}
+	if e, err := c.Lookup(UserDN("hanlon")); err != nil || e.Get("mfaPairing") != "hard" {
+		t.Fatalf("lookup through clean fault layer: %v, %v", e, err)
+	}
+
+	// Injected dial failure is an error, not a hang.
+	failing := faultnet.New(faultnet.Config{Seed: 1, DialFailRate: 1})
+	c.Dial = failing.Dial
+	if _, err := c.Lookup(UserDN("hanlon")); !errors.Is(err, faultnet.ErrDialFault) {
+		t.Fatalf("err = %v, want ErrDialFault", err)
+	}
+
+	// Corrupted request bytes: the server cannot parse the JSON frame and
+	// the call fails closed within the deadline instead of succeeding on
+	// garbage.
+	corrupting := faultnet.New(faultnet.Config{Seed: 1, CorruptRate: 1})
+	c.Dial = corrupting.Dial
+	c.Timeout = 500 * time.Millisecond
+	start := time.Now()
+	if _, err := c.Lookup(UserDN("hanlon")); err == nil {
+		t.Fatal("corrupted round-trip succeeded")
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("corrupted call took %v; deadline not enforced", took)
+	}
+
+	// A partitioned directory server fails closed too.
+	parted := faultnet.New(faultnet.Config{Seed: 1})
+	parted.Partition(srv.Addr().String())
+	c.Dial = parted.Dial
+	if _, err := c.Lookup(UserDN("hanlon")); !errors.Is(err, faultnet.ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+}

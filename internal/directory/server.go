@@ -150,6 +150,10 @@ func (s *Server) handle(req *request) reply {
 type Client struct {
 	Addr    string
 	Timeout time.Duration // per-call; zero means 2s
+	// Dial overrides the TCP dial; nil means net.DialTimeout semantics.
+	// Chaos tests inject a faultnet dialer here. The per-call deadline
+	// still applies to the resulting connection either way.
+	Dial func(network, addr string) (net.Conn, error)
 }
 
 func (c *Client) timeout() time.Duration {
@@ -163,7 +167,13 @@ func (c *Client) timeout() time.Duration {
 var ErrServer = errors.New("directory: server error")
 
 func (c *Client) roundTrip(req *request) (*reply, error) {
-	conn, err := net.DialTimeout("tcp", c.Addr, c.timeout())
+	var conn net.Conn
+	var err error
+	if c.Dial != nil {
+		conn, err = c.Dial("tcp", c.Addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", c.Addr, c.timeout())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("directory: %w", err)
 	}

@@ -1,0 +1,319 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/leakcheck"
+	"openmfa/internal/obs"
+)
+
+// udpPair returns a raw listening socket and a faultnet-dialed conn to it.
+func udpPair(t *testing.T, n *Network) (net.PacketConn, net.Conn) {
+	t.Helper()
+	srv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := n.Dial("udp", srv.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// recvAll drains datagrams until the socket is quiet for 100 ms.
+func recvAll(t *testing.T, pc net.PacketConn) [][]byte {
+	t.Helper()
+	var out [][]byte
+	buf := make([]byte, 2048)
+	for {
+		pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		nr, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return out
+		}
+		b := make([]byte, nr)
+		copy(b, buf[:nr])
+		out = append(out, b)
+	}
+}
+
+func TestDatagramDropAll(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	n := New(Config{Seed: 1, DropRate: 1, Obs: reg})
+	srv, c := udpPair(t, n)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err) // loss is silent: writes succeed
+		}
+	}
+	if got := recvAll(t, srv); len(got) != 0 {
+		t.Fatalf("received %d datagrams through DropRate=1", len(got))
+	}
+	if v := reg.Counter("faultnet_injected_total", "kind", "drop").Value(); v != 5 {
+		t.Fatalf("drop counter = %d, want 5", v)
+	}
+}
+
+func TestDatagramDuplication(t *testing.T) {
+	leakcheck.Check(t)
+	n := New(Config{Seed: 1, DupRate: 1})
+	srv, c := udpPair(t, n)
+	for i := 0; i < 3; i++ {
+		c.Write([]byte{byte(i)})
+	}
+	got := recvAll(t, srv)
+	if len(got) != 6 {
+		t.Fatalf("received %d datagrams, want 6 (every send duplicated)", len(got))
+	}
+}
+
+func TestDatagramCorruption(t *testing.T) {
+	leakcheck.Check(t)
+	n := New(Config{Seed: 1, CorruptRate: 1})
+	srv, c := udpPair(t, n)
+	payload := []byte("authenticator-protected-payload")
+	orig := append([]byte(nil), payload...)
+	c.Write(payload)
+	got := recvAll(t, srv)
+	if len(got) != 1 {
+		t.Fatalf("received %d datagrams", len(got))
+	}
+	if len(got[0]) != len(orig) {
+		t.Fatalf("corrupted length %d != %d", len(got[0]), len(orig))
+	}
+	if bytes.Equal(got[0], orig) {
+		t.Fatal("datagram not corrupted")
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	// Exactly one byte differs.
+	diff := 0
+	for i := range orig {
+		if got[0][i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want 1", diff)
+	}
+}
+
+func TestDatagramReorder(t *testing.T) {
+	leakcheck.Check(t)
+	// Seed 6: first draw 0.358 (< 0.5: hold A), second 0.845 (>= 0.5:
+	// send B, then release A) — verified deterministic for math/rand.
+	n := New(Config{Seed: 6, ReorderRate: 0.5})
+	srv, c := udpPair(t, n)
+	c.Write([]byte("A"))
+	c.Write([]byte("B"))
+	got := recvAll(t, srv)
+	if len(got) != 2 || string(got[0]) != "B" || string(got[1]) != "A" {
+		t.Fatalf("order = %q, want [B A]", got)
+	}
+}
+
+func TestPartitionBlackholesBothDirections(t *testing.T) {
+	leakcheck.Check(t)
+	n := New(Config{Seed: 1})
+	srv, c := udpPair(t, n)
+	peer := srv.LocalAddr().String()
+
+	// Healthy first; learn the client's address from the datagram.
+	c.Write([]byte("hello"))
+	buf := make([]byte, 64)
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	nr, clientAddr, err := srv.ReadFrom(buf)
+	if err != nil || string(buf[:nr]) != "hello" {
+		t.Fatalf("pre-partition delivery failed: %q, %v", buf[:nr], err)
+	}
+
+	n.Partition(peer)
+	c.Write([]byte("lost"))
+	if got := recvAll(t, srv); len(got) != 0 {
+		t.Fatal("datagram crossed a partition")
+	}
+	// Reverse direction: the server answers, the client must not see it.
+	srv.WriteTo([]byte("reply"), clientAddr)
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 64)); err == nil {
+		t.Fatal("read from partitioned peer succeeded")
+	}
+
+	n.Heal(peer)
+	c.Write([]byte("back"))
+	if got := recvAll(t, srv); len(got) != 1 || string(got[0]) != "back" {
+		t.Fatalf("post-heal delivery = %q", got)
+	}
+	srv.WriteTo([]byte("again"), clientAddr)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	nr, err = c.Read(buf)
+	if err != nil || string(buf[:nr]) != "again" {
+		t.Fatalf("post-heal reverse delivery = %q, %v", buf[:nr], err)
+	}
+}
+
+func TestStreamDialFailureAndReset(t *testing.T) {
+	leakcheck.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	nFail := New(Config{Seed: 1, DialFailRate: 1})
+	if _, err := nFail.Dial("tcp", ln.Addr().String()); !errors.Is(err, ErrDialFault) {
+		t.Fatalf("dial err = %v, want ErrDialFault", err)
+	}
+
+	nReset := New(Config{Seed: 1, ResetRate: 1})
+	c, err := nReset.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write err = %v, want ErrReset", err)
+	}
+}
+
+func TestStreamPartitionErrorsWrites(t *testing.T) {
+	leakcheck.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	n := New(Config{Seed: 1})
+	c, err := n.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	n.Partition(ln.Addr().String())
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write err = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	leakcheck.Check(t)
+	run := func() []int64 {
+		reg := obs.NewRegistry()
+		n := New(Config{Seed: 42, DropRate: 0.3, DupRate: 0.2, CorruptRate: 0.1, Obs: reg})
+		srv, c := udpPair(t, n)
+		for i := 0; i < 200; i++ {
+			c.Write([]byte{byte(i)})
+		}
+		recvAll(t, srv)
+		return []int64{
+			reg.Counter("faultnet_injected_total", "kind", "drop").Value(),
+			reg.Counter("faultnet_injected_total", "kind", "dup").Value(),
+			reg.Counter("faultnet_injected_total", "kind", "corrupt").Value(),
+		}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged under the same seed: %v vs %v", a, b)
+		}
+	}
+	if a[0] == 0 {
+		t.Fatal("DropRate=0.3 over 200 sends injected nothing")
+	}
+}
+
+func TestDelayRunsOnSimulatedClock(t *testing.T) {
+	leakcheck.Check(t)
+	sim := clock.NewSim(time.Date(2016, 10, 10, 9, 0, 0, 0, time.UTC))
+	n := New(Config{Seed: 1, Delay: 5 * time.Second, Clock: sim})
+	srv, c := udpPair(t, n)
+
+	done := make(chan struct{})
+	go func() {
+		c.Write([]byte("delayed"))
+		close(done)
+	}()
+	// The writer must be parked in Sim.Sleep, not delivering.
+	waitFor(t, func() bool { return sim.Sleepers() == 1 })
+	select {
+	case <-done:
+		t.Fatal("write completed before the simulated delay elapsed")
+	default:
+	}
+	sim.Advance(5 * time.Second)
+	<-done
+	if got := recvAll(t, srv); len(got) != 1 || string(got[0]) != "delayed" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	n := New(Config{Seed: 1, ResetRate: 1, Obs: reg})
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("x")) // injected reset closes the conn
+		c.Close()
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 16)); err == nil {
+		t.Fatal("expected the server-side injected reset to surface as a read error")
+	}
+	if v := reg.Counter("faultnet_injected_total", "kind", "reset").Value(); v != 1 {
+		t.Fatalf("reset counter = %d", v)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -3,20 +3,34 @@ package radius
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"openmfa/internal/clock"
 	"openmfa/internal/obs"
 )
 
 // Client exchange errors.
 var (
-	ErrTimeout     = errors.New("radius: timeout waiting for response")
-	ErrBadResponse = errors.New("radius: response failed verification")
-	ErrAllDown     = errors.New("radius: all servers unavailable")
+	ErrTimeout = errors.New("radius: timeout waiting for response")
+	ErrAllDown = errors.New("radius: all servers unavailable")
+	ErrConfig  = errors.New("radius: invalid client configuration")
 )
+
+// NoRetry disables retransmission entirely: the client sends the request
+// once and waits one timeout. Retries: 0 keeps the default budget.
+const NoRetry = -1
+
+// DefaultBackoff is the base retransmit pause after an attempt that failed
+// early (see Client.Backoff).
+const DefaultBackoff = 50 * time.Millisecond
+
+// maxBackoff caps exponential growth so a long retry budget against a dead
+// server does not sleep for minutes.
+const maxBackoff = 2 * time.Second
 
 // Client sends Access-Requests to a single RADIUS server with
 // retransmission, and verifies response authenticators.
@@ -25,11 +39,30 @@ type Client struct {
 	Addr string
 	// Secret is the shared secret.
 	Secret []byte
-	// Timeout is the per-attempt wait; zero means 1 second.
+	// Timeout is the per-attempt wait for a verified response. Zero means
+	// the 1-second default; negative is rejected with ErrConfig.
 	Timeout time.Duration
-	// Retries is the number of retransmissions after the first attempt;
-	// zero means 2 (3 attempts total).
+	// Retries is the number of retransmissions after the first attempt.
+	// Zero means the default of 2 (three attempts total); NoRetry (-1)
+	// means a single attempt with no retransmission; anything below
+	// NoRetry is rejected with ErrConfig.
 	Retries int
+	// Backoff is the base pause before retransmitting after an attempt
+	// that failed early — a dead server answers ECONNREFUSED immediately,
+	// and without a pause the whole retry budget burns in microseconds.
+	// The pause doubles per attempt (capped) with ±50% jitter so a farm
+	// of clients retrying a rebooted server does not synchronise. Zero
+	// means DefaultBackoff; negative disables the pause. Attempts that
+	// consumed their full Timeout are already paced and never sleep.
+	Backoff time.Duration
+	// Clock paces backoff sleeps; nil means the real clock.
+	Clock clock.Sleeper
+	// Dial opens the UDP conversation; nil means net.Dial. Chaos tests
+	// inject a faultnet dialer here.
+	Dial func(network, addr string) (net.Conn, error)
+	// Obs, when set, counts silently discarded datagrams in
+	// radius_client_discards_total{reason=...}.
+	Obs *obs.Registry
 
 	idCounter uint32
 }
@@ -42,10 +75,56 @@ func (c *Client) timeout() time.Duration {
 }
 
 func (c *Client) retries() int {
-	if c.Retries > 0 {
+	switch {
+	case c.Retries > 0:
 		return c.Retries
+	case c.Retries == NoRetry:
+		return 0
 	}
 	return 2
+}
+
+// validate rejects configurations whose zero-value defaulting would
+// otherwise mask a caller bug (Retries: -3 used to mean "never send and
+// report ErrTimeout").
+func (c *Client) validate() error {
+	if c.Timeout < 0 {
+		return fmt.Errorf("%w: negative Timeout %v", ErrConfig, c.Timeout)
+	}
+	if c.Retries < NoRetry {
+		return fmt.Errorf("%w: Retries %d below NoRetry (-1)", ErrConfig, c.Retries)
+	}
+	return nil
+}
+
+func (c *Client) sleeper() clock.Sleeper {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
+}
+
+// backoffFor returns the pause before retransmission number attempt+1.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	base := c.Backoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = DefaultBackoff
+	}
+	d := base << uint(attempt)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// discard counts a datagram dropped without aborting the exchange.
+func (c *Client) discard(reason string) {
+	if c.Obs != nil {
+		c.Obs.Counter("radius_client_discards_total", "reason", reason).Inc()
+	}
 }
 
 // nextID allocates request identifiers round-robin per client.
@@ -57,7 +136,15 @@ func (c *Client) nextID() byte {
 // Identifier is assigned automatically and a Message-Authenticator is
 // added. The same wire bytes are retransmitted on timeout so the server's
 // duplicate cache works as intended.
+//
+// Responses that fail to decode, carry the wrong Identifier, or fail
+// authenticator verification are silently discarded and the client keeps
+// waiting out the attempt deadline, per RFC 2865 §3 — a forged datagram
+// must not abort an exchange the genuine server is about to answer.
 func (c *Client) Exchange(req *Packet) (*Packet, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
 	req.Identifier = c.nextID()
 	if err := AddMessageAuthenticator(req, c.Secret); err != nil {
 		return nil, err
@@ -66,11 +153,11 @@ func (c *Client) Exchange(req *Packet) (*Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	raddr, err := net.ResolveUDPAddr("udp", c.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("radius: %w", err)
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	conn, err := dial("udp", c.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("radius: %w", err)
 	}
@@ -78,31 +165,58 @@ func (c *Client) Exchange(req *Packet) (*Packet, error) {
 
 	buf := make([]byte, MaxPacketLen)
 	attempts := 1 + c.retries()
+	var lastErr error
 	for a := 0; a < attempts; a++ {
+		earlyFail := false
 		if _, err := conn.Write(wire); err != nil {
-			return nil, fmt.Errorf("radius: %w", err)
+			// Dead-server fast failure (ECONNREFUSED): pace the retry
+			// instead of hot-looping through the budget.
+			lastErr = fmt.Errorf("radius: %w", err)
+			earlyFail = true
+		} else {
+			// Deadlines are wall-clock by contract of net.Conn, so this
+			// uses time.Now even when backoff runs on an injected clock.
+			deadline := time.Now().Add(c.timeout())
+			for {
+				if err := conn.SetReadDeadline(deadline); err != nil {
+					return nil, err
+				}
+				n, err := conn.Read(buf)
+				if err != nil {
+					if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+						earlyFail = true
+						lastErr = fmt.Errorf("radius: %w", err)
+					}
+					break // retransmit
+				}
+				resp, err := Decode(buf[:n])
+				if err != nil {
+					c.discard("malformed")
+					continue
+				}
+				if resp.Identifier != req.Identifier {
+					c.discard("id_mismatch")
+					continue
+				}
+				if !VerifyResponse(resp, req.Authenticator, c.Secret) {
+					c.discard("bad_authenticator")
+					continue
+				}
+				if !c.verifyRespMA(resp, req.Authenticator) {
+					c.discard("bad_message_authenticator")
+					continue
+				}
+				return resp, nil
+			}
 		}
-		deadline := time.Now().Add(c.timeout())
-		for {
-			if err := conn.SetReadDeadline(deadline); err != nil {
-				return nil, err
+		if earlyFail && a < attempts-1 {
+			if d := c.backoffFor(a); d > 0 {
+				c.sleeper().Sleep(d)
 			}
-			n, err := conn.Read(buf)
-			if err != nil {
-				break // timeout: retransmit
-			}
-			resp, err := Decode(buf[:n])
-			if err != nil || resp.Identifier != req.Identifier {
-				continue // stray packet; keep waiting
-			}
-			if !VerifyResponse(resp, req.Authenticator, c.Secret) {
-				return nil, ErrBadResponse
-			}
-			if !c.verifyRespMA(resp, req.Authenticator) {
-				return nil, ErrBadResponse
-			}
-			return resp, nil
 		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
 	}
 	return nil, ErrTimeout
 }
@@ -127,8 +241,12 @@ type Pool struct {
 	// retried; zero means 30 seconds.
 	Cooldown time.Duration
 	// Obs, when set, receives per-exchange outcome counters, latency
-	// histograms, and a failover counter.
+	// histograms, and a failover counter. Use SetObs to also wire the
+	// member clients' discard counters.
 	Obs *obs.Registry
+	// Clock supplies the time for cooldown bookkeeping; nil means the
+	// real clock.
+	Clock clock.Clock
 
 	secret  []byte
 	mu      sync.Mutex
@@ -138,7 +256,8 @@ type Pool struct {
 }
 
 // NewPool builds a pool of clients sharing one secret. Each address gets
-// the provided per-attempt timeout and retry budget.
+// the provided per-attempt timeout and retry budget (Client sentinel
+// semantics: retries 0 means the default, NoRetry means single-shot).
 func NewPool(addrs []string, secret []byte, timeout time.Duration, retries int) *Pool {
 	p := &Pool{secret: append([]byte(nil), secret...)}
 	for _, a := range addrs {
@@ -153,6 +272,13 @@ func (p *Pool) cooldown() time.Duration {
 		return p.Cooldown
 	}
 	return 30 * time.Second
+}
+
+func (p *Pool) now() time.Time {
+	if p.Clock != nil {
+		return p.Clock.Now()
+	}
+	return time.Now()
 }
 
 // Secret returns the shared secret, which callers need to hide
@@ -170,6 +296,23 @@ func (p *Pool) Servers() []string {
 	return out
 }
 
+// SetDial installs a dial hook on every member client (chaos tests inject
+// a faultnet dialer). Call before Exchange traffic starts.
+func (p *Pool) SetDial(dial func(network, addr string) (net.Conn, error)) {
+	for _, c := range p.clients {
+		c.Dial = dial
+	}
+}
+
+// SetObs attaches a registry to the pool and to every member client, so
+// exchange outcomes and silent discards land in the same place.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	p.Obs = reg
+	for _, c := range p.clients {
+		c.Obs = reg
+	}
+}
+
 // pick returns the next candidate client honouring cooldowns, or -1.
 func (p *Pool) pick(now time.Time) int {
 	p.mu.Lock()
@@ -185,9 +328,9 @@ func (p *Pool) pick(now time.Time) int {
 	return -1
 }
 
-func (p *Pool) markDown(idx int, now time.Time) {
+func (p *Pool) markDown(idx int) {
 	p.mu.Lock()
-	p.downTil[idx] = now.Add(p.cooldown())
+	p.downTil[idx] = p.now().Add(p.cooldown())
 	p.mu.Unlock()
 }
 
@@ -211,19 +354,26 @@ func (p *Pool) Exchange(rebuild func(req *Packet)) (*Packet, error) {
 }
 
 func (p *Pool) exchange(rebuild func(req *Packet)) (*Packet, error) {
-	now := time.Now()
 	n := len(p.clients)
 	if n == 0 {
 		return nil, ErrAllDown
 	}
 	var lastErr error = ErrAllDown
+	lastFailed := -1
 	for attempt := 0; attempt < n; attempt++ {
-		idx := p.pick(now)
+		// Re-read the clock every attempt: the previous attempt may have
+		// burned seconds of timeout, during which another server's
+		// cooldown expired.
+		idx := p.pick(p.now())
 		if idx < 0 {
-			// Everything is cooling down; desperate fallback to
-			// plain round-robin so logins do not hard-fail while a
-			// single server flaps (resiliency over strictness).
+			// Everything is cooling down; desperate fallback to plain
+			// round-robin so logins do not hard-fail while a single
+			// server flaps (resiliency over strictness) — but never
+			// straight back to the server that just failed.
 			idx = attempt % n
+			if idx == lastFailed && n > 1 {
+				idx = (idx + 1) % n
+			}
 		}
 		req := NewRequest(0)
 		rebuild(req)
@@ -232,7 +382,8 @@ func (p *Pool) exchange(rebuild func(req *Packet)) (*Packet, error) {
 			return resp, nil
 		}
 		lastErr = err
-		p.markDown(idx, now)
+		lastFailed = idx
+		p.markDown(idx)
 		if p.Obs != nil {
 			p.Obs.Counter("radius_client_failover_total").Inc()
 		}

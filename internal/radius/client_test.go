@@ -1,0 +1,251 @@
+package radius
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openmfa/internal/leakcheck"
+	"openmfa/internal/obs"
+)
+
+// deadAddr binds a UDP port and immediately closes it, yielding an address
+// that answers ECONNREFUSED (via ICMP port-unreachable on loopback).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.LocalAddr().String()
+	c.Close()
+	return addr
+}
+
+// silentAddr binds a UDP socket that receives but never answers, counting
+// the datagrams it swallows — a black-holed server.
+func silentAddr(t *testing.T) (string, *int32) {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	got := new(int32)
+	go func() {
+		buf := make([]byte, MaxPacketLen)
+		for {
+			if _, _, err := c.ReadFromUDP(buf); err != nil {
+				return
+			}
+			atomic.AddInt32(got, 1)
+		}
+	}()
+	return c.LocalAddr().String(), got
+}
+
+// TestSpoofedResponseSilentlyDiscarded is the regression test for the
+// RFC 2865 §3 violation: a forged datagram used to abort the exchange with
+// a verification error even though the genuine server's signed reply was
+// already in flight.
+func TestSpoofedResponseSilentlyDiscarded(t *testing.T) {
+	leakcheck.Check(t)
+	secret := []byte("s")
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{Addr: srv.LocalAddr().String(), Secret: secret,
+		Timeout: 2 * time.Second, Retries: NoRetry, Obs: reg}
+
+	// Fake server: first a forged response (right Identifier, garbage
+	// authenticator — what an off-path attacker who guessed the ID can
+	// send), then the genuine, correctly signed Access-Accept.
+	go func() {
+		buf := make([]byte, MaxPacketLen)
+		srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, client, err := srv.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		req, err := Decode(buf[:n])
+		if err != nil {
+			return
+		}
+
+		forged := &Packet{Code: AccessAccept, Identifier: req.Identifier}
+		copy(forged.Authenticator[:], []byte("not-a-real-authentic"))
+		forgedWire, _ := forged.Encode()
+		srv.WriteToUDP(forgedWire, client)
+
+		genuine := &Packet{Code: AccessAccept, Identifier: req.Identifier,
+			Authenticator: req.Authenticator}
+		genuine.AddString(AttrReplyMessage, "ok")
+		if err := AddMessageAuthenticator(genuine, secret); err != nil {
+			return
+		}
+		genuine.Authenticator = [16]byte{}
+		if err := SignResponse(genuine, req.Authenticator, secret); err != nil {
+			return
+		}
+		wire, _ := genuine.Encode()
+		srv.WriteToUDP(wire, client)
+	}()
+
+	req := NewRequest(0)
+	req.AddString(AttrUserName, "u")
+	resp, err := c.Exchange(req)
+	if err != nil {
+		t.Fatalf("exchange aborted by spoofed datagram: %v", err)
+	}
+	if resp.Code != AccessAccept || resp.GetString(AttrReplyMessage) != "ok" {
+		t.Fatalf("got %v %q, want genuine Access-Accept", resp.Code, resp.GetString(AttrReplyMessage))
+	}
+	if v := reg.Counter("radius_client_discards_total", "reason", "bad_authenticator").Value(); v != 1 {
+		t.Fatalf("bad_authenticator discards = %d, want 1", v)
+	}
+}
+
+// TestDeadServerRetransmitBackoff is the regression test for the hot loop:
+// against a dead server every attempt fails with ECONNREFUSED in
+// microseconds, so the whole retry budget used to burn instantly.
+func TestDeadServerRetransmitBackoff(t *testing.T) {
+	leakcheck.Check(t)
+	c := &Client{Addr: deadAddr(t), Secret: []byte("s"),
+		Timeout: 300 * time.Millisecond, Retries: 1}
+	req := NewRequest(0)
+	req.AddString(AttrUserName, "u")
+	start := time.Now()
+	if _, err := c.Exchange(req); err == nil {
+		t.Fatal("exchange against dead server succeeded")
+	}
+	// One backoff pause between the two attempts: >= base/2 with jitter.
+	if took := time.Since(start); took < DefaultBackoff/2 {
+		t.Fatalf("retry budget burned in %v; no backoff between attempts", took)
+	}
+}
+
+func TestBackoffSkippedOnPureTimeout(t *testing.T) {
+	leakcheck.Check(t)
+	addr, _ := silentAddr(t)
+	c := &Client{Addr: addr, Secret: []byte("s"),
+		Timeout: 50 * time.Millisecond, Retries: 2}
+	req := NewRequest(0)
+	req.AddString(AttrUserName, "u")
+	start := time.Now()
+	if _, err := c.Exchange(req); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Three timeout-paced attempts and nothing else: no extra sleeps.
+	if took := time.Since(start); took > 400*time.Millisecond {
+		t.Fatalf("timeout-paced attempts took %v; backoff added on top of timeouts", took)
+	}
+}
+
+// TestConfigValidation is the regression test for the sentinel semantics:
+// Retries: -1 used to mean zero attempts returning ErrTimeout without a
+// single datagram leaving the host.
+func TestConfigValidation(t *testing.T) {
+	leakcheck.Check(t)
+	req := func() *Packet {
+		r := NewRequest(0)
+		r.AddString(AttrUserName, "u")
+		return r
+	}
+
+	c := &Client{Addr: "127.0.0.1:1", Secret: []byte("s"), Timeout: -time.Second}
+	if _, err := c.Exchange(req()); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative Timeout err = %v, want ErrConfig", err)
+	}
+	c = &Client{Addr: "127.0.0.1:1", Secret: []byte("s"), Retries: -2}
+	if _, err := c.Exchange(req()); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Retries -2 err = %v, want ErrConfig", err)
+	}
+
+	// NoRetry means exactly one datagram on the wire.
+	addr, got := silentAddr(t)
+	c = &Client{Addr: addr, Secret: []byte("s"),
+		Timeout: 100 * time.Millisecond, Retries: NoRetry}
+	if _, err := c.Exchange(req()); err != ErrTimeout {
+		t.Fatalf("single-shot err = %v, want ErrTimeout", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := atomic.LoadInt32(got); n != 1 {
+		t.Fatalf("NoRetry sent %d datagrams, want exactly 1", n)
+	}
+}
+
+// TestPoolCooldownExpiresMidExchange is the regression test for the stale
+// clock in Pool.exchange: `now` was captured once, so a cooldown expiring
+// while an earlier attempt burned its timeout was never noticed and the
+// exchange hard-failed with a healthy server available.
+func TestPoolCooldownExpiresMidExchange(t *testing.T) {
+	leakcheck.Check(t)
+	secret := []byte("s")
+	live := &Server{Secret: secret, Handler: HandlerFunc(func(*Request) *Packet {
+		return &Packet{Code: AccessAccept}
+	})}
+	if err := live.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	silentA, _ := silentAddr(t)
+	silentB, _ := silentAddr(t)
+	// Order matters: A is picked first, the live server is cooling until
+	// shortly before A's timeout expires, B is the stale-clock victim.
+	pool := NewPool([]string{silentA, live.Addr().String(), silentB},
+		secret, 400*time.Millisecond, NoRetry)
+	pool.Cooldown = 5 * time.Second
+	pool.mu.Lock()
+	pool.downTil[1] = time.Now().Add(300 * time.Millisecond)
+	pool.mu.Unlock()
+
+	resp, err := pool.Exchange(buildReq("u", "123456", secret))
+	if err != nil {
+		t.Fatalf("exchange failed despite the live server's cooldown expiring mid-exchange: %v", err)
+	}
+	if resp.Code != AccessAccept {
+		t.Fatalf("code = %v", resp.Code)
+	}
+}
+
+// TestPoolFallbackSkipsJustFailedServer is the regression test for the
+// desperate fallback re-picking the server that just failed: with every
+// server cooling down, attempt%n could land on the index the previous
+// attempt already proved dead, while a live server sat idle.
+func TestPoolFallbackSkipsJustFailedServer(t *testing.T) {
+	leakcheck.Check(t)
+	secret := []byte("s")
+	live := &Server{Secret: secret, Handler: HandlerFunc(func(*Request) *Packet {
+		return &Packet{Code: AccessAccept}
+	})}
+	if err := live.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	pool := NewPool([]string{live.Addr().String(), deadAddr(t)},
+		secret, 200*time.Millisecond, NoRetry)
+	pool.Cooldown = time.Hour
+	// Force the flap state: the live server (idx 0) is cooling, so pick
+	// starts at the dead idx 1; after it fails, every later attempt falls
+	// back to round-robin and must not re-pick idx 1.
+	pool.mu.Lock()
+	pool.downTil[0] = time.Now().Add(time.Hour)
+	pool.next = 1
+	pool.mu.Unlock()
+
+	resp, err := pool.Exchange(buildReq("u", "123456", secret))
+	if err != nil {
+		t.Fatalf("fallback re-picked the just-failed server: %v", err)
+	}
+	if resp.Code != AccessAccept {
+		t.Fatalf("code = %v", resp.Code)
+	}
+}

@@ -90,9 +90,13 @@ type Server struct {
 	// Logger, when set, receives a structured line per request
 	// (component=radius) carrying the propagated trace ID.
 	Logger *obs.Logger
+	// ListenPacket binds the server socket; nil means net.ListenPacket.
+	// Chaos tests inject a faultnet binder here so the farm side of the
+	// exchange sees the same degraded network as the client side.
+	ListenPacket func(network, addr string) (net.PacketConn, error)
 
 	mu     sync.Mutex
-	conn   *net.UDPConn
+	conn   net.PacketConn
 	closed bool
 	dedup  *dedupTable
 	wg     sync.WaitGroup
@@ -120,11 +124,11 @@ func (s *Server) logf(format string, args ...any) {
 // It returns once the listener is bound; serving continues in background
 // goroutines.
 func (s *Server) ListenAndServe(addr string) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return err
+	listen := s.ListenPacket
+	if listen == nil {
+		listen = net.ListenPacket
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
+	conn, err := listen("udp", addr)
 	if err != nil {
 		return err
 	}
@@ -177,25 +181,25 @@ func (s *Server) maxDedupEntries() int {
 	return DefaultMaxDedupEntries
 }
 
-func (s *Server) serve(conn *net.UDPConn) {
+func (s *Server) serve(conn net.PacketConn) {
 	defer s.wg.Done()
 	buf := make([]byte, MaxPacketLen)
 	for {
-		n, src, err := conn.ReadFromUDP(buf)
+		n, src, err := conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		s.wg.Add(1)
-		go func(pkt []byte, src *net.UDPAddr) {
+		go func(pkt []byte, src net.Addr) {
 			defer s.wg.Done()
 			s.handlePacket(conn, pkt, src)
 		}(pkt, src)
 	}
 }
 
-func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) {
+func (s *Server) handlePacket(conn net.PacketConn, wire []byte, src net.Addr) {
 	req, err := Decode(wire)
 	if err != nil {
 		s.logf("radius: drop malformed packet from %s: %v", src, err)
@@ -223,7 +227,7 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 		select {
 		case <-entry.done:
 			if entry.reply != nil {
-				conn.WriteToUDP(entry.reply, src)
+				conn.WriteTo(entry.reply, src)
 			}
 		case <-time.After(s.dedupWindow()):
 		}
@@ -241,7 +245,7 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 		"user", req.GetString(AttrUserName), "result", result)
 	s.dedup.finish(entry, replyWire)
 	if replyWire != nil {
-		if _, err := conn.WriteToUDP(replyWire, src); err != nil {
+		if _, err := conn.WriteTo(replyWire, src); err != nil {
 			s.logf("radius: write to %s: %v", src, err)
 		}
 	}
@@ -250,7 +254,7 @@ func (s *Server) handlePacket(conn *net.UDPConn, wire []byte, src *net.UDPAddr) 
 // respond runs the handler and returns the signed, encoded reply (nil if
 // the request is dropped or the reply cannot be built), the outcome class
 // for metrics, and the request's trace ID for logging.
-func (s *Server) respond(req *Packet, src *net.UDPAddr) (wire []byte, result, trace string) {
+func (s *Server) respond(req *Packet, src net.Addr) (wire []byte, result, trace string) {
 	r := &Request{Packet: req, Addr: src, secret: s.Secret}
 	trace = r.Trace()
 	resp := s.Handler.ServeRADIUS(r)

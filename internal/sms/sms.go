@@ -219,8 +219,13 @@ func (g *Gateway) Send(to, from, body string) (*Message, error) {
 	if g.carrier.Jitter > 0 {
 		delay += time.Duration(g.rng.Int63n(int64(g.carrier.Jitter)))
 	}
+	// Model the carrier burning through its attempt budget: each of the
+	// MaxAttempts tries can be lost independently. Losing every one —
+	// including the final try — is a permanent failure; the old loop
+	// stopped at MaxAttempts-1, which made StatusFailed unreachable and
+	// reported fully-lost messages as delivered.
 	attemptsLost := 0
-	for attemptsLost < g.carrier.MaxAttempts-1 && g.rng.Float64() < g.carrier.FailureRate {
+	for attemptsLost < g.carrier.MaxAttempts && g.rng.Float64() < g.carrier.FailureRate {
 		attemptsLost++
 	}
 	snapshot := *m
@@ -233,15 +238,20 @@ func (g *Gateway) Send(to, from, body string) (*Message, error) {
 
 func (g *Gateway) deliver(m *Message, phone *Phone, delay time.Duration, attemptsLost int) {
 	defer g.pending.Done()
-	total := delay + time.Duration(attemptsLost)*g.carrier.RetryBackoff
-	g.clk.Sleep(total)
-	g.mu.Lock()
-	m.Attempts = attemptsLost + 1
-	if attemptsLost >= g.carrier.MaxAttempts {
+	if g.carrier.MaxAttempts > 0 && attemptsLost >= g.carrier.MaxAttempts {
+		// Every attempt was lost: the carrier gives up after the final
+		// backoff and nothing ever reaches the handset.
+		g.clk.Sleep(delay + time.Duration(attemptsLost-1)*g.carrier.RetryBackoff)
+		g.mu.Lock()
+		m.Attempts = attemptsLost
 		m.Status = StatusFailed
 		g.mu.Unlock()
 		return
 	}
+	total := delay + time.Duration(attemptsLost)*g.carrier.RetryBackoff
+	g.clk.Sleep(total)
+	g.mu.Lock()
+	m.Attempts = attemptsLost + 1
 	m.Status = StatusDelivered
 	m.DeliveredAt = g.clk.Now()
 	if total > g.maxDelay {

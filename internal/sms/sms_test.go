@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"openmfa/internal/clock"
+	"openmfa/internal/leakcheck"
 )
 
 var t0 = time.Date(2016, 9, 1, 9, 0, 0, 0, time.UTC)
@@ -128,10 +129,13 @@ func TestCarrierDelayOnSimClock(t *testing.T) {
 func TestRetryDelaysPastTokenExpiry(t *testing.T) {
 	sim := clock.NewSim(t0)
 	carrier := CarrierModel{
-		BaseDelay: time.Second, FailureRate: 1.0, // always lose the first attempts
+		BaseDelay: time.Second, FailureRate: 0.6,
 		RetryBackoff: 45 * time.Second, MaxAttempts: 2,
 	}
-	g := NewGateway(sim, carrier, 7)
+	leakcheck.Check(t)
+	// Seed 6: the first draw (0.358) loses attempt one, the second
+	// (0.845) lets the retry through.
+	g := NewGateway(sim, carrier, 6)
 	phone, _ := g.Register("5125551234")
 	g.Send("5125551234", "s", "123456")
 	waitSleepers(t, sim, 1)
@@ -147,6 +151,40 @@ func TestRetryDelaysPastTokenExpiry(t *testing.T) {
 	latency := got.DeliveredAt.Sub(got.QueuedAt)
 	if latency <= 30*time.Second {
 		t.Fatalf("latency %v should exceed the 30 s code lifetime", latency)
+	}
+}
+
+// TestPermanentFailure is the regression test for the unreachable
+// StatusFailed: a message that lost every carrier attempt used to be
+// reported delivered — handing the user a code that never arrived.
+func TestPermanentFailure(t *testing.T) {
+	leakcheck.Check(t)
+	sim := clock.NewSim(t0)
+	carrier := CarrierModel{
+		BaseDelay: time.Second, FailureRate: 1.0, // every attempt is lost
+		RetryBackoff: 45 * time.Second, MaxAttempts: 2,
+	}
+	g := NewGateway(sim, carrier, 7)
+	phone, _ := g.Register("5125551234")
+	g.Send("5125551234", "s", "123456")
+	waitSleepers(t, sim, 1)
+	sim.Advance(time.Hour)
+	g.Flush()
+	if m, ok := phone.Latest(); ok {
+		t.Fatalf("fully-lost message reached the handset: %+v", m)
+	}
+	log := g.Log()
+	if len(log) != 1 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[0].Status != StatusFailed {
+		t.Fatalf("status = %s, want %s", log[0].Status, StatusFailed)
+	}
+	if log[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want the full budget of 2", log[0].Attempts)
+	}
+	if !log[0].DeliveredAt.IsZero() {
+		t.Fatal("failed message has a delivery time")
 	}
 }
 

@@ -52,6 +52,9 @@ type DialOptions struct {
 	// LocalAddr optionally pins the client's source IP (tests use
 	// loopback aliases to model internal vs external origins).
 	LocalAddr string
+	// Dialer overrides the TCP dial; nil means a plain net.Dialer. Chaos
+	// tests inject a faultnet dialer here. Ignored when LocalAddr is set.
+	Dialer func(network, addr string) (net.Conn, error)
 }
 
 // ErrDenied is returned when the server refuses entry.
@@ -59,15 +62,19 @@ var ErrDenied = errors.New("sshd: permission denied")
 
 // Dial connects to addr and authenticates per opts.
 func Dial(addr string, opts DialOptions) (*Client, error) {
-	var d net.Dialer
-	if opts.LocalAddr != "" {
-		la, err := net.ResolveTCPAddr("tcp", opts.LocalAddr)
-		if err != nil {
-			return nil, fmt.Errorf("sshd: %w", err)
+	dial := opts.Dialer
+	if dial == nil || opts.LocalAddr != "" {
+		var d net.Dialer
+		if opts.LocalAddr != "" {
+			la, err := net.ResolveTCPAddr("tcp", opts.LocalAddr)
+			if err != nil {
+				return nil, fmt.Errorf("sshd: %w", err)
+			}
+			d.LocalAddr = la
 		}
-		d.LocalAddr = la
+		dial = d.Dial
 	}
-	raw, err := d.Dial("tcp", addr)
+	raw, err := dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("sshd: %w", err)
 	}

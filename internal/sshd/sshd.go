@@ -11,6 +11,7 @@ package sshd
 
 import (
 	"crypto/ed25519"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -33,6 +34,19 @@ import (
 // attempts before disconnect ("up to a maximum of two more times", §3.4).
 const DefaultMaxAuthTries = 3
 
+// DefaultAuthTimeout mirrors OpenSSH's LoginGraceTime: a client that has
+// not completed authentication within it is disconnected. Before this
+// existed a stalled client held its handler goroutine forever.
+const DefaultAuthTimeout = 2 * time.Minute
+
+// DefaultIdleTimeout disconnects authenticated sessions with no frames in
+// either direction for this long (OpenSSH's ClientAliveInterval analog).
+const DefaultIdleTimeout = 30 * time.Minute
+
+// DefaultMaxConns caps concurrent connections so a connection flood
+// degrades into fast rejections instead of unbounded goroutine growth.
+const DefaultMaxConns = 4096
+
 // Server is a login node.
 type Server struct {
 	// IDM resolves accounts and authorized keys (required).
@@ -47,7 +61,23 @@ type Server struct {
 	Banner string
 	// MaxAuthTries bounds PAM stack restarts; zero means 3.
 	MaxAuthTries int
-	// Clock defaults to real time.
+	// AuthTimeout bounds the whole pre-auth conversation (hello through
+	// PAM verdict). Zero means DefaultAuthTimeout; negative disables the
+	// deadline. It is enforced in wall-clock time regardless of Clock,
+	// because net.Conn deadlines are wall-clock by contract.
+	AuthTimeout time.Duration
+	// IdleTimeout bounds the gap between session frames after
+	// authentication. Zero means DefaultIdleTimeout; negative disables.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrent connections; excess connections are closed
+	// immediately and counted. Zero means DefaultMaxConns; negative means
+	// unlimited.
+	MaxConns int
+	// Listen binds the server socket; nil means net.Listen. Chaos tests
+	// inject a faultnet binder here.
+	Listen func(network, addr string) (net.Listener, error)
+	// Clock defaults to real time. It feeds auth-log timestamps and the
+	// PAM stack; I/O deadlines deliberately ignore it (see AuthTimeout).
 	Clock clock.Clock
 	// Risk, when set, receives login outcomes so the dynamic-risk
 	// engine's history tracks reality (pair with NewSSHDStackWithRisk).
@@ -84,6 +114,49 @@ func (s *Server) maxTries() int {
 	return DefaultMaxAuthTries
 }
 
+func (s *Server) authTimeout() time.Duration {
+	switch {
+	case s.AuthTimeout > 0:
+		return s.AuthTimeout
+	case s.AuthTimeout < 0:
+		return 0 // disabled
+	}
+	return DefaultAuthTimeout
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	switch {
+	case s.IdleTimeout > 0:
+		return s.IdleTimeout
+	case s.IdleTimeout < 0:
+		return 0
+	}
+	return DefaultIdleTimeout
+}
+
+func (s *Server) maxConns() int {
+	switch {
+	case s.MaxConns > 0:
+		return s.MaxConns
+	case s.MaxConns < 0:
+		return 0 // unlimited
+	}
+	return DefaultMaxConns
+}
+
+// noteIOErr counts deadline expiries so operators can tell a stalled-peer
+// storm from ordinary disconnects.
+func (s *Server) noteIOErr(err error) {
+	var ne net.Error
+	if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+		return
+	}
+	if s.Obs != nil {
+		s.Obs.Counter("sshd_io_timeouts_total").Inc()
+	}
+	s.Logger.Warn("io timeout", "component", "sshd")
+}
+
 // Accepted reports successful logins since start.
 func (s *Server) Accepted() int64 { return s.accepted.Load() }
 
@@ -92,7 +165,11 @@ func (s *Server) Rejected() int64 { return s.rejected.Load() }
 
 // ListenAndServe binds addr and serves until Close; it returns once bound.
 func (s *Server) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	listen := s.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -120,6 +197,16 @@ func (s *Server) ListenAndServe(addr string) error {
 				s.mu.Unlock()
 				conn.Close()
 				return
+			}
+			if max := s.maxConns(); max > 0 && len(s.conns) >= max {
+				s.mu.Unlock()
+				conn.Close()
+				if s.Obs != nil {
+					s.Obs.Counter("sshd_conns_rejected_total", "reason", "capacity").Inc()
+				}
+				s.Logger.Warn("connection rejected at capacity",
+					"component", "sshd", "max_conns", max)
+				continue
 			}
 			s.conns[conn] = struct{}{}
 			s.mu.Unlock()
@@ -212,8 +299,16 @@ func (s *Server) serveConn(raw net.Conn) {
 	wc := sshwire.NewConn(raw)
 	ip, port := splitHostPort(raw.RemoteAddr())
 
+	// LoginGraceTime: one wall-clock deadline covers the entire pre-auth
+	// conversation, so a client that stalls at any phase (or a network
+	// that eats our prompts) cannot pin this goroutine.
+	if d := s.authTimeout(); d > 0 {
+		raw.SetDeadline(time.Now().Add(d))
+	}
+
 	hello, err := wc.Recv()
 	if err != nil || hello.T != sshwire.THello || hello.User == "" {
+		s.noteIOErr(err)
 		wc.Send(&sshwire.Msg{T: sshwire.TError, Msg: "expected hello"})
 		return
 	}
@@ -251,6 +346,7 @@ func (s *Server) serveConn(raw net.Conn) {
 		// PAM phase with an empty answer frame.
 		m, err = wc.Recv()
 		if err != nil {
+			s.noteIOErr(err)
 			return
 		}
 	}
@@ -311,9 +407,12 @@ func (s *Server) serveConn(raw net.Conn) {
 		return
 	}
 
+	// Auth is done: trade the login-grace deadline for idle policing.
+	raw.SetDeadline(time.Time{})
+
 	// Session phase: exec requests and multiplexed channels, none of
 	// which re-authenticate.
-	s.session(wc, user, ip, port, hello)
+	s.session(raw, wc, user, ip, port, hello)
 }
 
 func (s *Server) verifyPubkey(user string, nonce, pub, sig []byte) bool {
@@ -338,10 +437,15 @@ func (s *Server) verifyPubkey(user string, nonce, pub, sig []byte) bool {
 	return ed25519.Verify(candidate, nonce, sig)
 }
 
-func (s *Server) session(wc *sshwire.Conn, user string, ip net.IP, port int, hello *sshwire.Msg) {
+func (s *Server) session(raw net.Conn, wc *sshwire.Conn, user string, ip net.IP, port int, hello *sshwire.Msg) {
+	idle := s.idleTimeout()
 	for {
+		if idle > 0 {
+			raw.SetReadDeadline(time.Now().Add(idle))
+		}
 		m, err := wc.Recv()
 		if err != nil {
+			s.noteIOErr(err)
 			return
 		}
 		switch m.T {
