@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench figures authwatch-smoke clean
 
-verify: vet build test race chaos bench-concurrency bench-obs
+verify: vet build test race chaos bench-concurrency bench-obs authwatch-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,12 +37,29 @@ chaos:
 bench-concurrency:
 	$(GO) test -run xxx -bench 'BenchmarkValidateParallel|BenchmarkRadiusRetransmitStorm' -benchtime 0.5s -cpu 1,2,4 .
 
-# Observability overhead gate: vet the obs package and prove that the
-# instrumented otpd.Check hot path stays within 5% of the uninstrumented
-# one (interleaved min-of-trials comparison; see TestObsOverheadGate).
+# Observability overhead gates: vet the obs package and prove that (a) the
+# metrics-instrumented otpd.Check hot path stays within 5% of the
+# uninstrumented one (TestObsOverheadGate) and (b) the span + event
+# pipeline stays within 5% of metrics-only (TestSpanEventOverheadGate).
+# Both are interleaved min-of-trials comparisons.
 bench-obs:
 	$(GO) vet ./internal/obs/
-	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run TestObsOverheadGate -count 1 -v
+	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run 'TestObsOverheadGate|TestSpanEventOverheadGate' -count 1 -v
+
+# Streaming-analytics smoke: a short rollout with the event bus attached,
+# cross-checking the live authwatch day buckets against the batch report
+# (exact equality, race detector on).
+authwatch-smoke:
+	$(GO) test -race -count 1 -run 'TestCrossCheckStreamingMatchesBatch' ./internal/rollout
+
+# Figure parity gate: regenerate the paper's figures from a fresh
+# full-calendar run with the live authwatch aggregator cross-checking every
+# daily series, then fail on any drift from the checked-in FIGURES.txt.
+# On drift the regenerated output is left in .figures.gen for inspection.
+figures:
+	$(GO) run ./cmd/rollout -all -q -authwatch > .figures.gen
+	diff -u FIGURES.txt .figures.gen
+	rm -f .figures.gen
 
 # Full benchmark harness (figures, tables, ablations).
 bench:

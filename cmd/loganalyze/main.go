@@ -3,6 +3,10 @@
 // entries, apply the staff-activity threshold, and list the accounts to
 // contact about their automated workflows.
 //
+// It reads either the classic authlog line format or the eventstream JSONL
+// dump produced by `rollout -events-out` (one JSON event per line), picking
+// the format automatically by default.
+//
 // Example:
 //
 //	loganalyze -log /var/log/openmfa/secure.log \
@@ -10,13 +14,16 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"openmfa/internal/authlog"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/loganalysis"
 )
 
@@ -28,13 +35,14 @@ func main() {
 		fromStr  = flag.String("from", "", "window start YYYY-MM-DD (default: all)")
 		toStr    = flag.String("to", "", "window end YYYY-MM-DD (default: all)")
 		topN     = flag.Int("top", 20, "ranking rows to print")
+		format   = flag.String("format", "auto", "log format: authlog, jsonl (eventstream dump), or auto")
 	)
 	flag.Parse()
 	if *logPath == "" {
 		log.Fatal("loganalyze: -log required")
 	}
 
-	events, bad, err := authlog.ReadFile(*logPath)
+	events, bad, err := readEvents(*logPath, *format)
 	if err != nil {
 		log.Fatalf("loganalyze: %v", err)
 	}
@@ -74,6 +82,58 @@ func main() {
 	}
 	fmt.Printf("these accounts produce %.0f%% of all login events\n",
 		100*report.AutomationShare(targets))
+}
+
+// readEvents loads the log in the requested format. "auto" sniffs the
+// first non-empty line: eventstream JSONL lines are JSON objects, so a
+// leading '{' selects the JSONL reader.
+func readEvents(path, format string) ([]authlog.Event, int, error) {
+	if format == "auto" {
+		sniffed, err := sniffFormat(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		format = sniffed
+	}
+	switch format {
+	case "authlog":
+		return authlog.ReadFile(path)
+	case "jsonl":
+		stream, bad, err := eventstream.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		var events []authlog.Event
+		for _, e := range stream {
+			if ae, ok := eventstream.ToAuthlog(e); ok {
+				events = append(events, ae)
+			}
+		}
+		return events, bad, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown -format %q (want authlog, jsonl, or auto)", format)
+	}
+}
+
+func sniffFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "{") {
+			return "jsonl", nil
+		}
+		return "authlog", nil
+	}
+	return "authlog", sc.Err()
 }
 
 func toSet(csv string) map[string]bool {

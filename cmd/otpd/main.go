@@ -17,7 +17,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"openmfa/internal/authwatch"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/obs"
 	"openmfa/internal/otpd"
@@ -35,6 +38,7 @@ func main() {
 		adminUser  = flag.String("admin-user", "portal", "admin API digest username")
 		adminPass  = flag.String("admin-pass", "", "admin API digest password (required)")
 		issuer     = flag.String("issuer", "HPC", "otpauth issuer label")
+		logRate    = flag.Int("log-rate", 200, "max identical log lines per second before sampling (0 = unlimited)")
 	)
 	flag.Parse()
 	if *adminPass == "" {
@@ -58,10 +62,26 @@ func main() {
 
 	reg := obs.NewRegistry()
 	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	if *logRate > 0 {
+		// Identical lines beyond the per-key budget are sampled out and
+		// counted in log_events_suppressed_total.
+		logger = logger.RateLimit(*logRate, time.Second, reg)
+	}
+
+	// Span store, analytics bus, and streaming aggregator: every check
+	// records an otpd.check span, every decision lands on the bus, and the
+	// watcher turns the stream into live Figure 3-6 aggregates plus alert
+	// rules that degrade /healthz.
+	spans := obs.NewSpanStore(0)
+	bus := eventstream.NewBus(reg)
+	watch := authwatch.New(authwatch.Config{Obs: reg})
+	watch.Attach(bus, 0)
+	defer watch.Stop()
 
 	srv, err := otpd.New(otpd.Config{
 		DB: db, EncryptionKey: key, Issuer: *issuer,
 		Obs: reg, Logger: logger,
+		Spans: spans, Events: bus,
 	})
 	if err != nil {
 		log.Fatalf("otpd: %v", err)
@@ -73,6 +93,7 @@ func main() {
 		Logf:    log.Printf,
 		Obs:     reg,
 		Logger:  logger,
+		Events:  bus,
 	}
 	if err := rsrv.ListenAndServe(*radiusAddr); err != nil {
 		log.Fatalf("otpd: radius: %v", err)
@@ -90,10 +111,11 @@ func main() {
 	// Ops endpoints ride on the admin listener: /metrics, /healthz, and
 	// /debug/pprof next to the digest-authenticated admin routes.
 	mux := http.NewServeMux()
-	obs.Mount(mux, reg)
+	obs.Mount(mux, reg, watch.Health)
+	watch.Mount(mux)
 	mux.Handle("/", api.Handler())
 	go func() {
-		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof)", *httpAddr)
+		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof, /debug/authwatch)", *httpAddr)
 		if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 			log.Fatalf("otpd: http: %v", err)
 		}

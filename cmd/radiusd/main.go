@@ -17,6 +17,8 @@ import (
 	"syscall"
 	"time"
 
+	"openmfa/internal/authwatch"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/faultnet"
 	"openmfa/internal/obs"
 	"openmfa/internal/radius"
@@ -47,6 +49,12 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// Request decisions stream onto the analytics bus; the watcher's alert
+	// rules (e.g. a failure-rate burn at this proxy) degrade /healthz.
+	bus := eventstream.NewBus(reg)
+	watch := authwatch.New(authwatch.Config{Obs: reg})
+	watch.Attach(bus, 0)
+	defer watch.Stop()
 	upstreamClient := &radius.Client{
 		Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
 	}
@@ -55,7 +63,8 @@ func main() {
 		Handler: &radius.Proxy{Upstream: upstreamClient},
 		Logf:    log.Printf,
 		Obs:     reg,
-		Logger:  obs.NewLogger(os.Stderr, obs.LevelInfo),
+		Logger:  obs.NewLogger(os.Stderr, obs.LevelInfo).RateLimit(200, time.Second, reg),
+		Events:  bus,
 	}
 	if *faultDrop > 0 || *faultDup > 0 || *faultCorrupt > 0 || *faultDelay > 0 || *faultJitter > 0 {
 		fn := faultnet.New(faultnet.Config{
@@ -74,9 +83,12 @@ func main() {
 			*faultSeed, *faultDrop, *faultDup, *faultCorrupt, *faultDelay, *faultJitter)
 	}
 	if *obsAddr != "" {
+		mux := http.NewServeMux()
+		obs.Mount(mux, reg, watch.Health)
+		watch.Mount(mux)
 		go func() {
-			log.Printf("radiusd: ops endpoints on %s", *obsAddr)
-			if err := http.ListenAndServe(*obsAddr, obs.Handler(reg)); err != nil {
+			log.Printf("radiusd: ops endpoints on %s (+ /debug/authwatch)", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, mux); err != nil {
 				log.Fatalf("radiusd: obs: %v", err)
 			}
 		}()

@@ -15,12 +15,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"openmfa/internal/authwatch"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/rollout"
 )
 
@@ -35,6 +39,8 @@ func main() {
 		experiments = flag.Bool("experiments", false, "print the EXPERIMENTS.md body")
 		all         = flag.Bool("all", false, "print everything")
 		quiet       = flag.Bool("q", false, "suppress progress output")
+		authWatch   = flag.Bool("authwatch", false, "stream events through the live authwatch aggregator and cross-check it against the batch report (non-zero exit on mismatch)")
+		eventsOut   = flag.String("events-out", "", "write the run's auth-event stream as JSONL to this file (readable by loganalyze -format jsonl)")
 	)
 	flag.Parse()
 	if *fig == 0 && *table == 0 && !*costs && !*analysis && !*experiments {
@@ -47,11 +53,85 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+
+	// Streaming consumers: the live authwatch aggregator (cross-checked
+	// against the batch report after the run) and/or a JSONL event dump.
+	// Neither changes the simulation's randomness or its stdout report.
+	var (
+		bus      *eventstream.Bus
+		watch    *authwatch.Watcher
+		dumpDone chan struct{}
+		dumpSub  *eventstream.Subscription
+		dumpErr  error
+	)
+	if *authWatch || *eventsOut != "" {
+		bus = eventstream.NewBus(nil)
+		cfg.Events = bus
+	}
+	if *authWatch {
+		watch = authwatch.New(authwatch.Config{})
+		// The watcher keeps pace easily (map updates vs live RADIUS round
+		// trips), but a deep buffer makes drops structurally impossible on
+		// a stalled scheduler too: parity demands every event.
+		watch.Attach(bus, 1<<16)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatalf("rollout: %v", err)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		enc := json.NewEncoder(w)
+		dumpSub = bus.Subscribe(1 << 16)
+		dumpDone = make(chan struct{})
+		go func() {
+			defer close(dumpDone)
+			for e := range dumpSub.Events() {
+				if err := enc.Encode(e); err != nil && dumpErr == nil {
+					dumpErr = err
+				}
+			}
+			if err := w.Flush(); err != nil && dumpErr == nil {
+				dumpErr = err
+			}
+			if err := f.Close(); err != nil && dumpErr == nil {
+				dumpErr = err
+			}
+		}()
+	}
+
 	start := time.Now()
 	res, err := rollout.Run(cfg)
 	if err != nil {
 		log.Fatalf("rollout: %v", err)
 	}
+
+	if dumpSub != nil {
+		dropped := dumpSub.Dropped()
+		dumpSub.Close()
+		<-dumpDone
+		if dumpErr != nil {
+			log.Fatalf("rollout: events-out: %v", dumpErr)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "rollout: event stream written to %s (%d dropped)\n", *eventsOut, dropped)
+		}
+	}
+	crosscheckFailed := false
+	if watch != nil {
+		watch.Stop() // drains the subscription before we compare
+		if err := rollout.CrossCheck(res, watch); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			crosscheckFailed = true
+		} else if !*quiet {
+			fmt.Fprintln(os.Stderr, rollout.CrossCheckSummary(res, watch))
+		}
+	}
+	defer func() {
+		if crosscheckFailed {
+			os.Exit(1)
+		}
+	}()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "rollout: simulation finished in %s\n\n", time.Since(start).Round(time.Millisecond))
 	}

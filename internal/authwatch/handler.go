@@ -1,0 +1,82 @@
+package authwatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Handler serves the watcher's aggregates:
+//
+//	GET /debug/authwatch               JSON Snapshot
+//	GET /debug/authwatch?format=ascii  FIGURES.txt-style ASCII charts
+//
+// Mount it with Watcher.Mount or wire it into an existing mux.
+func (w *Watcher) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "ascii" {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(rw, w.ASCII())
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(w.Snapshot())
+	})
+}
+
+// Mount registers the handler at GET /debug/authwatch.
+func (w *Watcher) Mount(mux *http.ServeMux) {
+	mux.Handle("GET /debug/authwatch", w.Handler())
+}
+
+// ASCII renders the live aggregates in the FIGURES.txt chart style: one
+// bar chart per series plus the alert and device-mix tails.
+func (w *Watcher) ASCII() string {
+	snap := w.Snapshot()
+	d := w.Daily()
+	out := fmt.Sprintf("authwatch: %d events (%d dropped), stream time %s\n\n",
+		snap.Events, snap.Dropped, snap.Now.UTC().Format("2006-01-02T15:04:05Z"))
+	if d == nil {
+		return out + "no events yet\n"
+	}
+	for _, name := range []string{
+		"unique_mfa_users", "traffic_all", "traffic_external",
+		"traffic_ext_mfa", "sms_sent", "login_failures",
+	} {
+		out += d.Chart(name, 80, 8) + "\n"
+	}
+	out += fmt.Sprintf("sms total: %d\n", snap.SMSTotal)
+	if len(snap.DeviceMix) > 0 {
+		out += "device mix:"
+		total := 0
+		for _, n := range snap.DeviceMix {
+			total += n
+		}
+		for _, k := range sortedKeys(snap.DeviceMix) {
+			out += fmt.Sprintf(" %s=%d(%.1f%%)", k, snap.DeviceMix[k],
+				100*float64(snap.DeviceMix[k])/float64(total))
+		}
+		out += "\n"
+	}
+	out += "alerts:"
+	for _, a := range snap.Alerts {
+		state := "ok"
+		if a.Active {
+			state = "FIRING"
+		}
+		out += fmt.Sprintf(" %s=%s", a.Rule, state)
+	}
+	return out + "\n"
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

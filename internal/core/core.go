@@ -19,9 +19,11 @@ import (
 
 	"openmfa/internal/accessctl"
 	"openmfa/internal/authlog"
+	"openmfa/internal/authwatch"
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/faultnet"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
@@ -83,6 +85,19 @@ type Options struct {
 	// Logger, when set, receives structured trace-tagged log lines from
 	// every layer.
 	Logger *obs.Logger
+	// Spans, when set, records one span per leg of every login (sshd
+	// conversation, PAM modules, RADIUS round trip, otpd check), all
+	// linked by the connection's trace ID.
+	Spans *obs.SpanStore
+	// Events, when set, is the operational analytics bus every layer
+	// publishes typed auth events onto (login results, MFA outcomes, SMS
+	// sends, lockouts, enrolments).
+	Events *eventstream.Bus
+	// Watch, when set, is mounted on the portal's ops endpoints: its
+	// /debug/authwatch handler joins the portal mux (requires Obs) and its
+	// alert state degrades the portal /healthz. The caller attaches the
+	// watcher to Events and owns its lifecycle.
+	Watch *authwatch.Watcher
 	// FaultNet, when set, routes every network hop through the fault
 	// injection layer: RADIUS datagrams (client dials and server sockets)
 	// and the login node's TCP listener. Chaos tests use it to model
@@ -149,6 +164,10 @@ type Infrastructure struct {
 	Admin   *otpd.AdminClient
 	// Obs is the shared registry (Options.Obs, or the nil no-op).
 	Obs *obs.Registry
+	// Spans is the shared span store (Options.Spans; nil disables tracing).
+	Spans *obs.SpanStore
+	// Events is the analytics bus (Options.Events; nil disables events).
+	Events *eventstream.Bus
 
 	radiusServers []*radius.Server
 	dirServer     *directory.Server
@@ -169,7 +188,7 @@ func New(opts Options) (*Infrastructure, error) {
 	if key == nil {
 		key = cryptoutil.RandomBytes(32)
 	}
-	inf := &Infrastructure{Clock: clk, Obs: opts.Obs}
+	inf := &Infrastructure{Clock: clk, Obs: opts.Obs, Spans: opts.Spans, Events: opts.Events}
 
 	newStore := func(name string) (*store.Store, error) {
 		if opts.DataDir == "" {
@@ -203,6 +222,7 @@ func New(opts Options) (*Infrastructure, error) {
 		carrier = *opts.Carrier
 	}
 	inf.SMS = sms.NewGateway(clk, carrier, opts.Seed)
+	inf.SMS.Events = opts.Events
 
 	inf.OTP, err = otpd.New(otpd.Config{
 		DB:               otpStore,
@@ -213,6 +233,8 @@ func New(opts Options) (*Infrastructure, error) {
 		OTP:              opts.OTP,
 		Obs:              opts.Obs,
 		Logger:           opts.Logger,
+		Spans:            opts.Spans,
+		Events:           opts.Events,
 		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
 			_, err := inf.SMS.Send(phone, "512000", body)
 			return err
@@ -248,6 +270,8 @@ func New(opts Options) (*Infrastructure, error) {
 			MaxDedupEntries: opts.RadiusMaxDedupEntries,
 			Obs:             opts.Obs,
 			Logger:          opts.Logger,
+			Events:          opts.Events,
+			Now:             clk.Now,
 		}
 		if opts.FaultNet != nil {
 			rs.ListenPacket = opts.FaultNet.ListenPacket
@@ -302,6 +326,7 @@ func New(opts Options) (*Infrastructure, error) {
 		IDM: inf.IDM, AuthLog: inf.AuthLog, Stack: inf.Stack,
 		Clock: clk, Banner: opts.Banner,
 		Obs: opts.Obs, Logger: opts.Logger,
+		Spans: opts.Spans, Events: opts.Events,
 		AuthTimeout: opts.SSHAuthTimeout,
 		IdleTimeout: opts.SSHIdleTimeout,
 		MaxConns:    opts.SSHMaxConns,
@@ -343,7 +368,7 @@ func New(opts Options) (*Infrastructure, error) {
 	if email == nil {
 		email = portal.EmailFunc(func(string, string, string) error { return nil })
 	}
-	p, err := portal.New(portal.Config{
+	pcfg := portal.Config{
 		IDM:        inf.IDM,
 		Admin:      inf.Admin,
 		Email:      email,
@@ -351,7 +376,13 @@ func New(opts Options) (*Infrastructure, error) {
 		SessionKey: cryptoutil.RandomBytes(32),
 		BaseURL:    "", // filled after listen
 		Obs:        opts.Obs,
-	})
+		Events:     opts.Events,
+	}
+	if opts.Watch != nil {
+		pcfg.HealthChecks = append(pcfg.HealthChecks, opts.Watch.Health)
+		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.Watch.Mount)
+	}
+	p, err := portal.New(pcfg)
 	if err != nil {
 		inf.Close()
 		return nil, err

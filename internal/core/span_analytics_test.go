@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"openmfa/internal/authwatch"
+	"openmfa/internal/clock"
+	"openmfa/internal/eventstream"
+	"openmfa/internal/idm"
+	"openmfa/internal/obs"
+	"openmfa/internal/otp"
+	"openmfa/internal/sshd"
+)
+
+// TestSpanTreeAndLiveAnalytics drives one real login through the wired
+// stack and asserts the tentpole end to end: the login decomposes into the
+// four span legs (sshd conversation, PAM module, RADIUS RTT, otpd check)
+// under one trace ID with non-zero durations and correct parent linkage,
+// and the live authwatch aggregates served from the portal count it.
+func TestSpanTreeAndLiveAnalytics(t *testing.T) {
+	reg := obs.NewRegistry()
+	logs := &syncBuf{}
+	spans := obs.NewSpanStore(0)
+	bus := eventstream.NewBus(reg)
+	watch := authwatch.New(authwatch.Config{Obs: reg})
+	watch.Attach(bus, 4096)
+	defer watch.Stop()
+
+	inf := newInfra(t, Options{
+		Obs:    reg,
+		Logger: obs.NewLogger(logs, obs.LevelInfo),
+		Spans:  spans,
+		Events: bus,
+		Watch:  watch,
+	})
+	sim := inf.Clock.(*clock.Sim)
+	if _, err := inf.CreateUser("alice", "alice@x", "pw", idm.ClassUser); err != nil {
+		t.Fatal(err)
+	}
+	enr, err := inf.PairSoft("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &sshd.FuncResponder{}
+	r.Fn = func(echo bool, prompt string) (string, error) {
+		if strings.Contains(prompt, "Password") {
+			return "pw", nil
+		}
+		code, _ := otp.TOTP(enr.Secret, sim.Now(), inf.OTP.OTPOptions())
+		return code, nil
+	}
+	c, err := sshd.Dial(inf.SSHAddr(), DialOpts("alice", r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Recover the login's trace ID from the sshd log line.
+	m := regexp.MustCompile(`component=sshd trace=([0-9a-f]{16})`).FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no sshd trace line in logs:\n%s", logs.String())
+	}
+	trace := m[1]
+
+	// (a) The span store holds all four legs of the login under that trace.
+	recorded := spans.Trace(trace)
+	byName := map[string]obs.SpanData{}
+	for _, d := range recorded {
+		byName[d.Name] = d
+	}
+	for _, leg := range []string{
+		"sshd.conversation", "pam.pam_mfa_token", "radius.rtt", "otpd.check",
+	} {
+		d, ok := byName[leg]
+		if !ok {
+			t.Fatalf("trace %s missing span %q (got %d spans: %+v)", trace, leg, len(recorded), byName)
+		}
+		if d.Duration() <= 0 {
+			t.Errorf("span %s: duration = %v, want > 0", leg, d.Duration())
+		}
+	}
+	// Parent linkage: the PAM module leg nests under the sshd conversation
+	// and the RADIUS RTT under the module. The otpd.check leg runs on the
+	// far side of the UDP hop, so it has no in-process parent — the shared
+	// trace ID is what joins it to the tree.
+	if got, want := byName["pam.pam_mfa_token"].Parent, byName["sshd.conversation"].ID; got != want {
+		t.Errorf("pam leg parent = %d, want sshd conversation %d", got, want)
+	}
+	if got, want := byName["radius.rtt"].Parent, byName["pam.pam_mfa_token"].ID; got != want {
+		t.Errorf("radius leg parent = %d, want pam module %d", got, want)
+	}
+	if byName["otpd.check"].Parent != 0 {
+		t.Errorf("otpd leg parent = %d, want 0 (joined by trace, not by span ID)", byName["otpd.check"].Parent)
+	}
+
+	// (b) The live analytics counted the login. The watcher consumes the
+	// bus asynchronously; Stop() drains what the login published.
+	watch.Stop()
+	resp, err := http.Get(inf.PortalURL() + "/debug/authwatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/authwatch = %d", resp.StatusCode)
+	}
+	var snap authwatch.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/debug/authwatch not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Days) != 1 {
+		t.Fatalf("authwatch days = %d, want 1:\n%s", len(snap.Days), body)
+	}
+	d := snap.Days[0]
+	if d.Date != sim.Now().UTC().Format("2006-01-02") {
+		t.Errorf("authwatch day = %s, want the sim date", d.Date)
+	}
+	if d.TrafficAll != 1 || d.TrafficExt != 1 || d.TrafficExtMFA != 1 || d.UniqueMFAUsers != 1 {
+		t.Errorf("day aggregates = %+v, want the one MFA login counted", d)
+	}
+
+	// (c) The ASCII figures view renders, and health stays green (no alert
+	// thresholds crossed by a single clean login).
+	resp, err = http.Get(inf.PortalURL() + "/debug/authwatch?format=ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"unique_mfa_users", "alerts:"} {
+		if !strings.Contains(string(ascii), want) {
+			t.Errorf("ascii view missing %q:\n%s", want, ascii)
+		}
+	}
+	resp, err = http.Get(inf.PortalURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,266 @@
+// Package eventstream is the typed auth-event bus behind the live
+// operational analytics: every layer of the stack (sshd, pam, radius,
+// otpd, sms, portal) publishes its outcomes — login results, MFA method
+// use, SMS sends, lockouts, token enrolments — and subscribers such as
+// internal/authwatch aggregate them in real time.
+//
+// The bus is deliberately lossy under pressure: publishing never blocks an
+// auth path. Each subscription has a bounded channel; when a subscriber
+// falls behind, its excess events are dropped and counted (per
+// subscription and globally) rather than backing up into sshd or otpd.
+// Subscribers are spread across lock stripes so subscribe/close churn on
+// one stripe never contends with fan-out on another.
+//
+// Everything is nil-safe: publishing to a nil *Bus is a no-op, so
+// components keep their zero-config wiring.
+package eventstream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmfa/internal/authlog"
+	"openmfa/internal/obs"
+)
+
+// Type classifies an auth event.
+type Type string
+
+// Event types.
+const (
+	TypeLogin   Type = "login"   // one authentication decision (sshd)
+	TypeMFA     Type = "mfa"     // a second factor was exercised (pam token module)
+	TypeSMS     Type = "sms"     // an SMS token code left the stack (otpd/sms)
+	TypeLockout Type = "lockout" // a user crossed the failed-attempt threshold (otpd)
+	TypeEnroll  Type = "enroll"  // a token device was enrolled (otpd/portal)
+	TypeRadius  Type = "radius"  // one RADIUS packet decision (radius server)
+)
+
+// Event is one typed auth event. Fields are populated per type: every
+// event has Time/Type/Component; login events carry User/Addr/Result/MFA
+// and the §4.1 TTY/Shell telemetry; mfa and enroll events carry Method
+// (token type); sms events carry Result (sent/delivered/failed/...).
+type Event struct {
+	Time      time.Time `json:"time"`
+	Type      Type      `json:"type"`
+	Component string    `json:"component"`
+	Trace     string    `json:"trace,omitempty"`
+	User      string    `json:"user,omitempty"`
+	Addr      string    `json:"addr,omitempty"`
+	Result    string    `json:"result,omitempty"`
+	Method    string    `json:"method,omitempty"`
+	MFA       bool      `json:"mfa,omitempty"`
+	TTY       bool      `json:"tty,omitempty"`
+	Shell     string    `json:"shell,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// numStripes spreads subscriptions over independent locks. Power of two.
+const numStripes = 8
+
+type stripe struct {
+	mu   sync.RWMutex
+	subs map[*Subscription]struct{}
+}
+
+// Bus is the pub/sub fan-out. The zero value is not usable; call NewBus.
+type Bus struct {
+	stripes   [numStripes]stripe
+	next      atomic.Uint64 // round-robin stripe assignment
+	published atomic.Uint64
+	dropped   atomic.Uint64
+
+	pubCounter  *obs.Counter // eventstream_events_published_total
+	dropCounter *obs.Counter // eventstream_events_dropped_total
+}
+
+// NewBus creates a bus. reg may be nil; with a registry the bus exports
+// eventstream_events_published_total and eventstream_events_dropped_total.
+func NewBus(reg *obs.Registry) *Bus {
+	b := &Bus{
+		pubCounter:  reg.Counter("eventstream_events_published_total"),
+		dropCounter: reg.Counter("eventstream_events_dropped_total"),
+	}
+	for i := range b.stripes {
+		b.stripes[i].subs = make(map[*Subscription]struct{})
+	}
+	return b
+}
+
+// Subscription is one subscriber's bounded event feed. Read from Events
+// and call Close when done; after Close the channel is closed once any
+// already-buffered events are received.
+type Subscription struct {
+	ch      chan Event
+	st      *stripe
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// DefaultSubscriptionBuffer is the channel depth used when Subscribe is
+// given a non-positive buffer.
+const DefaultSubscriptionBuffer = 1024
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (DefaultSubscriptionBuffer if <= 0). Nil-safe: a nil bus returns a
+// subscription whose channel is already closed.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = DefaultSubscriptionBuffer
+	}
+	s := &Subscription{ch: make(chan Event, buffer)}
+	if b == nil {
+		close(s.ch)
+		s.closed.Store(true)
+		return s
+	}
+	st := &b.stripes[b.next.Add(1)%numStripes]
+	s.st = st
+	st.mu.Lock()
+	st.subs[s] = struct{}{}
+	st.mu.Unlock()
+	return s
+}
+
+// Events is the subscriber's feed.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped is the number of events this subscriber missed to buffer
+// pressure.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close unsubscribes and closes the feed. Safe to call more than once and
+// concurrently with Publish: removal and channel close happen under the
+// stripe write lock, which excludes in-flight sends (they hold the read
+// lock).
+func (s *Subscription) Close() {
+	if s.st == nil || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.st.mu.Lock()
+	delete(s.st.subs, s)
+	close(s.ch)
+	s.st.mu.Unlock()
+}
+
+// Publish fans e out to every subscriber without blocking: a full
+// subscription drops the event (counted). Nil-safe.
+func (b *Bus) Publish(e Event) {
+	if b == nil {
+		return
+	}
+	b.published.Add(1)
+	b.pubCounter.Inc()
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		st.mu.RLock()
+		for s := range st.subs {
+			select {
+			case s.ch <- e:
+			default:
+				s.dropped.Add(1)
+				b.dropped.Add(1)
+				b.dropCounter.Inc()
+			}
+		}
+		st.mu.RUnlock()
+	}
+}
+
+// Published is the total number of events published. Nil-safe.
+func (b *Bus) Published() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.published.Load()
+}
+
+// Dropped is the total number of per-subscriber drops. Nil-safe.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// --- JSONL export / import ---
+
+// WriteJSONL writes events one JSON object per line, the bus's canonical
+// export format (and one of cmd/loganalyze's input formats).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("eventstream: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream, skipping malformed lines
+// (counted in the second return).
+func ReadJSONL(r io.Reader) ([]Event, int, error) {
+	var events []Event
+	bad := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Type == "" {
+			bad++
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, bad, sc.Err()
+}
+
+// ReadFile reads a JSONL export from disk.
+func ReadFile(path string) ([]Event, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("eventstream: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// ToAuthlog converts an event to the authlog record it corresponds to,
+// reporting false for event types with no authlog equivalent. This is how
+// cmd/loganalyze feeds JSONL exports through the same §4.1 analysis
+// pipeline as secure-log files: an accepted login event becomes the
+// SessionOpen record carrying the TTY/Shell telemetry.
+func ToAuthlog(e Event) (authlog.Event, bool) {
+	a := authlog.Event{
+		Time:   e.Time,
+		User:   e.User,
+		Addr:   e.Addr,
+		Shell:  e.Shell,
+		TTY:    e.TTY,
+		Detail: e.Detail,
+	}
+	switch {
+	case e.Type == TypeLogin && e.Result == "accept":
+		a.Type = authlog.SessionOpen
+	case e.Type == TypeLogin:
+		a.Type = authlog.FailedPassword
+	case e.Type == TypeMFA && e.Result == "accept":
+		a.Type = authlog.AcceptedToken
+	case e.Type == TypeMFA:
+		a.Type = authlog.FailedToken
+	default:
+		return authlog.Event{}, false
+	}
+	return a, true
+}

@@ -1,0 +1,223 @@
+package eventstream
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openmfa/internal/authlog"
+	"openmfa/internal/leakcheck"
+	"openmfa/internal/obs"
+)
+
+func TestFanOutExactlyOnce(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	bus := NewBus(reg)
+	const subs, events = 5, 200
+
+	var sl []*Subscription
+	for i := 0; i < subs; i++ {
+		sl = append(sl, bus.Subscribe(events))
+	}
+	for i := 0; i < events; i++ {
+		bus.Publish(Event{Type: TypeLogin, Component: "sshd", User: fmt.Sprintf("u%d", i)})
+	}
+	for si, sub := range sl {
+		for i := 0; i < events; i++ {
+			select {
+			case e := <-sub.Events():
+				if want := fmt.Sprintf("u%d", i); e.User != want {
+					t.Fatalf("sub %d event %d: user = %q, want %q (out of order or duplicated)", si, i, e.User, want)
+				}
+			default:
+				t.Fatalf("sub %d: only %d of %d events delivered", si, i, events)
+			}
+		}
+		select {
+		case e := <-sub.Events():
+			t.Fatalf("sub %d: extra event %+v beyond the %d published", si, e, events)
+		default:
+		}
+		if d := sub.Dropped(); d != 0 {
+			t.Errorf("sub %d: dropped = %d, want 0", si, d)
+		}
+		sub.Close()
+	}
+	if got := bus.Published(); got != events {
+		t.Errorf("Published() = %d, want %d", got, events)
+	}
+	if got := bus.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0", got)
+	}
+	if v := reg.Counter("eventstream_events_published_total").Value(); v != events {
+		t.Errorf("published counter = %d, want %d", v, events)
+	}
+}
+
+// TestSlowSubscriberIsolation proves a full (never-drained) subscription
+// only loses its own events: drops are counted, bounded by its buffer, and
+// a healthy subscriber on the same bus still receives everything.
+func TestSlowSubscriberIsolation(t *testing.T) {
+	leakcheck.Check(t)
+	bus := NewBus(nil)
+	const events = 100
+	slow := bus.Subscribe(4)
+	fast := bus.Subscribe(events)
+	for i := 0; i < events; i++ {
+		bus.Publish(Event{Type: TypeLogin})
+	}
+	if d := slow.Dropped(); d != events-4 {
+		t.Errorf("slow.Dropped() = %d, want %d", d, events-4)
+	}
+	if d := bus.Dropped(); d != events-4 {
+		t.Errorf("bus.Dropped() = %d, want %d", d, events-4)
+	}
+	n := 0
+	for {
+		select {
+		case <-fast.Events():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != events {
+		t.Errorf("fast subscriber received %d of %d events", n, events)
+	}
+	slow.Close()
+	fast.Close()
+}
+
+// TestConcurrentPublishSubscribeClose exercises the stripe locking under
+// -race: publishers fan out while subscribers come, drain, and go. The
+// invariant under test is structural (no send-on-closed-channel panic, no
+// data race), not a delivery count.
+func TestConcurrentPublishSubscribeClose(t *testing.T) {
+	leakcheck.Check(t)
+	bus := NewBus(nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					bus.Publish(Event{Type: TypeLogin})
+				}
+			}
+		}()
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := bus.Subscribe(8)
+				for j := 0; j < 10; j++ {
+					select {
+					case <-sub.Events():
+					default:
+					}
+				}
+				sub.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if bus.Published() == 0 {
+		t.Error("no events published during the churn")
+	}
+}
+
+func TestNilBusAndClosedSubscription(t *testing.T) {
+	leakcheck.Check(t)
+	var bus *Bus
+	bus.Publish(Event{Type: TypeLogin}) // must not panic
+	sub := bus.Subscribe(4)
+	if _, ok := <-sub.Events(); ok {
+		t.Error("nil-bus subscription delivered an event")
+	}
+	sub.Close() // idempotent on the already-closed subscription
+
+	real := NewBus(nil)
+	s := real.Subscribe(4)
+	s.Close()
+	s.Close() // double close must not panic
+	real.Publish(Event{Type: TypeLogin})
+	if d := s.Dropped(); d != 0 {
+		t.Errorf("closed subscription counted %d drops", d)
+	}
+}
+
+func TestJSONLRoundTripAndToAuthlog(t *testing.T) {
+	leakcheck.Check(t)
+	now := time.Date(2016, 10, 4, 8, 0, 0, 0, time.UTC)
+	in := []Event{
+		{Time: now, Type: TypeLogin, Component: "sshd", User: "alice", Addr: "73.1.2.3",
+			Result: "accept", MFA: true, Method: "soft", TTY: true, Shell: "bash"},
+		{Time: now.Add(time.Minute), Type: TypeLogin, Component: "sshd", User: "bob",
+			Addr: "73.1.2.4", Result: "reject"},
+		{Time: now, Type: TypeMFA, Component: "pam", User: "alice", Result: "accept", Method: "soft"},
+		{Time: now, Type: TypeMFA, Component: "pam", User: "bob", Result: "reject", Method: "sms"},
+		{Time: now, Type: TypeSMS, Component: "otpd", User: "bob", Result: "sent"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String() + "not json\n\n{\"type\":\"\"}\n"
+	out, bad, err := ReadJSONL(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 2 {
+		t.Errorf("bad = %d, want 2 (garbage line + empty type)", bad)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Time.Equal(in[i].Time) || out[i] != (Event{Time: out[i].Time,
+			Type: in[i].Type, Component: in[i].Component, Trace: in[i].Trace,
+			User: in[i].User, Addr: in[i].Addr, Result: in[i].Result,
+			Method: in[i].Method, MFA: in[i].MFA, TTY: in[i].TTY,
+			Shell: in[i].Shell, Detail: in[i].Detail}) {
+			t.Errorf("event %d: round trip mismatch\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+
+	wantTypes := []struct {
+		typ authlog.EventType
+		ok  bool
+	}{
+		{authlog.SessionOpen, true},
+		{authlog.FailedPassword, true},
+		{authlog.AcceptedToken, true},
+		{authlog.FailedToken, true},
+		{"", false},
+	}
+	for i, e := range in {
+		a, ok := ToAuthlog(e)
+		if ok != wantTypes[i].ok {
+			t.Errorf("ToAuthlog(%d): ok = %v, want %v", i, ok, wantTypes[i].ok)
+			continue
+		}
+		if ok && a.Type != wantTypes[i].typ {
+			t.Errorf("ToAuthlog(%d): type = %v, want %v", i, a.Type, wantTypes[i].typ)
+		}
+	}
+	if a, _ := ToAuthlog(in[0]); !a.TTY || a.Shell != "bash" || a.User != "alice" {
+		t.Errorf("ToAuthlog dropped telemetry: %+v", a)
+	}
+}

@@ -10,22 +10,44 @@ import (
 // processStart anchors the /healthz uptime report.
 var processStart = time.Now()
 
+// HealthCheck reports a degraded condition: nil means healthy, an error
+// both flips /healthz to 503 and names the condition in its body.
+type HealthCheck func() error
+
 // Mount registers the operational endpoints on mux:
 //
 //	GET /metrics        Prometheus text exposition of reg
-//	GET /healthz        liveness: "ok" plus uptime
+//	GET /healthz        liveness: "ok" plus uptime, or 503 "degraded"
+//	                    listing every failing HealthCheck
 //	    /debug/pprof/*  the standard net/http/pprof profiles
 //
 // Servers that already own a mux (the otpd admin API, the portal) mount
 // these alongside their application routes; standalone daemons serve
 // Handler on a dedicated -obs-addr listener.
-func Mount(mux *http.ServeMux, reg *Registry) {
+func Mount(mux *http.ServeMux, reg *Registry, checks ...HealthCheck) {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var failing []error
+		for _, c := range checks {
+			if c == nil {
+				continue
+			}
+			if err := c(); err != nil {
+				failing = append(failing, err)
+			}
+		}
+		if len(failing) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded uptime=%s\n", time.Since(processStart).Round(time.Second))
+			for _, err := range failing {
+				fmt.Fprintf(w, "check: %v\n", err)
+			}
+			return
+		}
 		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(processStart).Round(time.Second))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -36,8 +58,8 @@ func Mount(mux *http.ServeMux, reg *Registry) {
 }
 
 // Handler returns a standalone handler serving the Mount endpoints.
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry, checks ...HealthCheck) http.Handler {
 	mux := http.NewServeMux()
-	Mount(mux, reg)
+	Mount(mux, reg, checks...)
 	return mux
 }

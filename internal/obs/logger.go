@@ -48,7 +48,8 @@ type Logger struct {
 	w      io.Writer
 	min    Level
 	now    func() time.Time
-	prefix string // preformatted " key=value ..." appended after msg
+	prefix string   // preformatted " key=value ..." appended after msg
+	sample *sampler // optional per-message rate limiter (see RateLimit)
 }
 
 // NewLogger writes events at or above min to w.
@@ -86,6 +87,9 @@ func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
 
 func (l *Logger) log(lv Level, msg string, kv []any) {
 	if !l.Enabled(lv) {
+		return
+	}
+	if l.sample != nil && !l.sample.allow(msg, l.now()) {
 		return
 	}
 	var sb strings.Builder

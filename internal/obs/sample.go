@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log sampling: chaos tests and login storms can emit the same log line
+// thousands of times a second; a rate-limited logger keeps the first
+// occurrences (the informative ones) and counts the rest in
+// log_events_suppressed_total instead of flooding stderr.
+
+// sampler is a per-key token bucket shared by a logger and all its With
+// derivatives. Keys are the log message strings — the natural "event kind"
+// identity in a key=value logger. The key map is bounded; once maxKeys
+// distinct messages are tracked, further new messages share one overflow
+// bucket so a high-cardinality attacker cannot grow memory.
+type sampler struct {
+	limit float64       // events allowed per period, per key
+	per   time.Duration // refill period
+	max   int           // key-map bound
+
+	suppressed *Counter     // log_events_suppressed_total (nil without a registry)
+	dropped    atomic.Int64 // local mirror so Suppressed works registry-less
+
+	mu       sync.Mutex
+	buckets  map[string]*tokenBucket
+	overflow tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const samplerMaxKeys = 4096
+
+// RateLimit returns a derived logger that allows at most limit events per
+// period for each distinct message, dropping the excess and counting every
+// drop in reg's log_events_suppressed_total counter. The limiter is shared
+// with further With-derived loggers. Nil-safe; limit <= 0 disables
+// limiting.
+func (l *Logger) RateLimit(limit int, period time.Duration, reg *Registry) *Logger {
+	if l == nil || limit <= 0 || period <= 0 {
+		return l
+	}
+	d := *l
+	d.sample = &sampler{
+		limit:      float64(limit),
+		per:        period,
+		max:        samplerMaxKeys,
+		suppressed: reg.Counter("log_events_suppressed_total"),
+		buckets:    make(map[string]*tokenBucket),
+	}
+	return &d
+}
+
+// allow reports whether an event with the given key may be logged now,
+// counting the suppression when it may not.
+func (s *sampler) allow(key string, now time.Time) bool {
+	s.mu.Lock()
+	b, ok := s.buckets[key]
+	if !ok {
+		if len(s.buckets) < s.max {
+			b = &tokenBucket{tokens: s.limit, last: now}
+			s.buckets[key] = b
+		} else {
+			b = &s.overflow
+			if b.last.IsZero() {
+				b.tokens, b.last = s.limit, now
+			}
+		}
+	}
+	// Refill proportionally to elapsed time, capped at one period's worth.
+	if el := now.Sub(b.last); el > 0 {
+		b.tokens += s.limit * float64(el) / float64(s.per)
+		if b.tokens > s.limit {
+			b.tokens = s.limit
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	s.suppressed.Inc()
+	s.dropped.Add(1)
+	return false
+}
+
+// Suppressed is the total number of suppressed events (0 without a
+// limiter). Nil-safe.
+func (l *Logger) Suppressed() int64 {
+	if l == nil || l.sample == nil {
+		return 0
+	}
+	return l.sample.dropped.Load()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNow is a settable clock for the sampler tests.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestLoggerRateLimitPerKey(t *testing.T) {
+	clk := &fakeNow{t: time.Date(2016, 10, 4, 8, 0, 0, 0, time.UTC)}
+	var buf strings.Builder
+	reg := NewRegistry()
+	base := NewLogger(&buf, LevelInfo)
+	base.now = clk.Now
+	l := base.RateLimit(3, time.Second, reg)
+
+	for i := 0; i < 10; i++ {
+		l.Info("storm", "i", i)
+	}
+	for i := 0; i < 2; i++ {
+		l.Info("other")
+	}
+	out := buf.String()
+	if got := strings.Count(out, "msg=storm"); got != 3 {
+		t.Errorf("storm lines = %d, want 3 (limit)", got)
+	}
+	// A different message has its own bucket — the storm doesn't starve it.
+	if got := strings.Count(out, "msg=other"); got != 2 {
+		t.Errorf("other lines = %d, want 2", got)
+	}
+	if got := l.Suppressed(); got != 7 {
+		t.Errorf("Suppressed() = %d, want 7", got)
+	}
+	if v := reg.Counter("log_events_suppressed_total").Value(); v != 7 {
+		t.Errorf("log_events_suppressed_total = %d, want 7", v)
+	}
+
+	// Tokens refill with time: after a full period the key logs again.
+	clk.Advance(time.Second)
+	buf.Reset()
+	for i := 0; i < 5; i++ {
+		l.Info("storm")
+	}
+	if got := strings.Count(buf.String(), "msg=storm"); got != 3 {
+		t.Errorf("after refill: storm lines = %d, want 3", got)
+	}
+}
+
+func TestLoggerRateLimitSharedWithDerived(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	var buf strings.Builder
+	base := NewLogger(&buf, LevelInfo)
+	base.now = clk.Now
+	l := base.RateLimit(2, time.Second, nil)
+	d := l.With("component", "sshd")
+
+	l.Info("request")
+	d.Info("request") // same message key: shares the bucket
+	d.Info("request")
+	l.Info("request")
+	if got := strings.Count(buf.String(), "msg=request"); got != 2 {
+		t.Errorf("request lines = %d, want 2 across parent+derived", got)
+	}
+	if l.Suppressed() != 2 || d.Suppressed() != 2 {
+		t.Errorf("Suppressed() = %d / %d, want 2 / 2 (shared sampler)", l.Suppressed(), d.Suppressed())
+	}
+}
+
+func TestLoggerRateLimitNilAndDisabled(t *testing.T) {
+	var l *Logger
+	if l.RateLimit(5, time.Second, nil) != nil {
+		t.Error("nil logger RateLimit != nil")
+	}
+	if l.Suppressed() != 0 {
+		t.Error("nil logger Suppressed != 0")
+	}
+	var buf strings.Builder
+	base := NewLogger(&buf, LevelInfo)
+	if base.RateLimit(0, time.Second, nil) != base {
+		t.Error("limit 0 should return the logger unchanged")
+	}
+	if base.RateLimit(5, 0, nil) != base {
+		t.Error("period 0 should return the logger unchanged")
+	}
+}
+
+func TestSamplerKeyBound(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	var buf strings.Builder
+	base := NewLogger(&buf, LevelInfo)
+	base.now = clk.Now
+	l := base.RateLimit(1, time.Minute, nil)
+
+	// Fill the key map past its bound; excess keys share the overflow
+	// bucket instead of growing memory.
+	for i := 0; i < samplerMaxKeys; i++ {
+		l.sample.allow("key-"+time.Duration(i).String(), clk.Now())
+	}
+	if !l.sample.allow("fresh-overflow-a", clk.Now()) {
+		t.Error("first overflow event should pass")
+	}
+	if l.sample.allow("fresh-overflow-b", clk.Now()) {
+		t.Error("second overflow event should share the exhausted overflow bucket")
+	}
+	if len(l.sample.buckets) != samplerMaxKeys {
+		t.Errorf("bucket map grew to %d, want bound %d", len(l.sample.buckets), samplerMaxKeys)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/obs"
 	"openmfa/internal/otp"
 	"openmfa/internal/store"
@@ -58,6 +59,13 @@ type Config struct {
 	// Logger, when set, receives a structured line per validation
 	// (component=otpd) carrying the trace ID from the request context.
 	Logger *obs.Logger
+	// Spans, when set, records an otpd.check span per validation under
+	// the request context's trace ID (the back-end leg of the login's
+	// span tree; it joins the sshd/pam legs through the shared trace).
+	Spans *obs.SpanStore
+	// Events, when set, receives typed auth events (SMS sends, lockouts,
+	// token enrolments) on the operational analytics bus.
+	Events *eventstream.Bus
 }
 
 // Server is the OTP platform.
@@ -84,6 +92,8 @@ type Server struct {
 
 	met    otpdMetrics
 	logger *obs.Logger
+	spans  *obs.SpanStore
+	events *eventstream.Bus
 }
 
 // otpdMetrics holds pre-resolved handles so the validation hot path never
@@ -160,7 +170,20 @@ func New(cfg Config) (*Server, error) {
 		serials: syncutil.NewStriped(0),
 		met:     newOtpdMetrics(cfg.Obs),
 		logger:  cfg.Logger,
+		spans:   cfg.Spans,
+		events:  cfg.Events,
 	}, nil
+}
+
+// publish emits an auth event stamped with the server clock (so simulated
+// deployments aggregate on simulated time). No-op without a bus.
+func (s *Server) publish(e eventstream.Event) {
+	if s.events == nil {
+		return
+	}
+	e.Time = s.clk.Now()
+	e.Component = "otpd"
+	s.events.Publish(e)
 }
 
 // normalizeOTPOptions fills zero fields with the deployment defaults —
@@ -247,6 +270,9 @@ func (s *Server) initGenerated(user string, typ TokenType, phone, serial string)
 	}
 	key := otp.Key{Issuer: s.issuer, Account: user, Secret: secret, Options: s.opts}
 	s.audit.Record("init", user, "type="+string(typ), true)
+	s.publish(eventstream.Event{
+		Type: eventstream.TypeEnroll, User: user, Method: string(typ),
+	})
 	return &Enrollment{User: user, Type: typ, Secret: secret, Phone: phone, URI: key.URI()}, nil
 }
 
@@ -290,6 +316,10 @@ func (s *Server) AssignHardToken(user, serial string) (*Enrollment, error) {
 		return nil, err
 	}
 	s.audit.Record("assign_hard", user, "serial="+serial, true)
+	s.publish(eventstream.Event{
+		Type: eventstream.TypeEnroll, User: user, Method: string(TokenHard),
+		Detail: "serial=" + serial,
+	})
 	return &Enrollment{User: user, Type: TokenHard, Serial: serial}, nil
 }
 
@@ -304,8 +334,10 @@ func (s *Server) SetStaticToken(user, code string) error {
 	s.users.Lock(user)
 	defer s.users.Unlock(user)
 	r, err := s.loadRecord(user)
+	created := false
 	if errors.Is(err, ErrNoToken) {
 		r = &record{User: user, Type: TokenTraining, Active: true, CreatedUnix: s.clk.Now().Unix()}
+		created = true
 	} else if err != nil {
 		return err
 	} else if r.Type != TokenTraining {
@@ -320,6 +352,11 @@ func (s *Server) SetStaticToken(user, code string) error {
 		return err
 	}
 	s.audit.Record("set_static", user, "", true)
+	if created {
+		s.publish(eventstream.Event{
+			Type: eventstream.TypeEnroll, User: user, Method: string(TokenTraining),
+		})
+	}
 	return nil
 }
 
@@ -390,8 +427,12 @@ func (s *Server) Check(user, code string) (CheckResult, error) {
 // followed from sshd all the way into the validation back end.
 func (s *Server) CheckCtx(ctx context.Context, user, code string) (CheckResult, error) {
 	start := time.Now()
+	_, span := s.spans.StartCtx(ctx, "otpd.check")
 	res, err := s.check(user, code)
 	class := checkClass(res, err)
+	span.SetAttr("user", strings.ToLower(user))
+	span.SetAttr("result", class)
+	span.End()
 	if s.met.checkTot != nil {
 		s.met.checkTot[class].Inc()
 		s.met.checkDur[class].ObserveSince(start)
@@ -400,6 +441,12 @@ func (s *Server) CheckCtx(ctx context.Context, user, code string) (CheckResult, 
 			// locked token return ErrLockedOut instead).
 			s.met.lockouts.Inc()
 		}
+	}
+	if res.LockedOut && err == nil {
+		s.publish(eventstream.Event{
+			Type: eventstream.TypeLockout, Trace: obs.TraceID(ctx),
+			User: strings.ToLower(user), Result: class,
+		})
 	}
 	s.logger.Info("check", "component", "otpd", "trace", obs.TraceID(ctx),
 		"user", strings.ToLower(user), "result", class)
@@ -527,6 +574,12 @@ func (s *Server) TriggerSMSCtx(ctx context.Context, user string) (bool, string, 
 	if s.met.smsTot != nil {
 		s.met.smsTot[class].Inc()
 		s.met.smsDur.ObserveSince(start)
+	}
+	if sent {
+		s.publish(eventstream.Event{
+			Type: eventstream.TypeSMS, Trace: obs.TraceID(ctx),
+			User: strings.ToLower(user), Result: "sent",
+		})
 	}
 	s.logger.Info("sms trigger", "component", "otpd", "trace", obs.TraceID(ctx),
 		"user", strings.ToLower(user), "result", class)

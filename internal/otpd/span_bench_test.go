@@ -1,0 +1,128 @@
+package otpd
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"openmfa/internal/eventstream"
+	"openmfa/internal/obs"
+	"openmfa/internal/store"
+)
+
+// newSpanBenchServer is newBenchServer plus the span/event pipeline: a
+// bounded span store and an event bus with one live (drained) subscriber,
+// the shape a production otpd runs with authwatch attached.
+func newSpanBenchServer(tb testing.TB, reg *obs.Registry, spans *obs.SpanStore, bus *eventstream.Bus) *Server {
+	tb.Helper()
+	srv, err := New(Config{
+		DB:               store.OpenMemory(),
+		EncryptionKey:    make([]byte, 32),
+		LockoutThreshold: 1 << 30,
+		Obs:              reg,
+		Spans:            spans,
+		Events:           bus,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := srv.InitSoftToken("bench"); err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
+// drainBus subscribes and discards on a goroutine, returning a stop func.
+func drainBus(bus *eventstream.Bus) func() {
+	sub := bus.Subscribe(1 << 12)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.Events() {
+		}
+	}()
+	return func() { sub.Close(); <-done }
+}
+
+// BenchmarkSpanEventOverhead compares otpd.Check with metrics only against
+// the full observability pipeline (metrics + span store + event bus with a
+// live subscriber). The enforced comparison lives in
+// TestSpanEventOverheadGate.
+func BenchmarkSpanEventOverhead(b *testing.B) {
+	b.Run("metrics-only", func(b *testing.B) { benchCheck(b, obs.NewRegistry()) })
+	b.Run("spans-events", func(b *testing.B) {
+		bus := eventstream.NewBus(nil)
+		stop := drainBus(bus)
+		defer stop()
+		srv := newSpanBenchServer(b, obs.NewRegistry(), obs.NewSpanStore(1<<14), bus)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, err := srv.Check("bench", "00000"); err != nil || res.OK {
+				b.Fatalf("check = %+v, %v (want deterministic failure)", res, err)
+			}
+		}
+	})
+}
+
+// TestSpanEventOverheadGate enforces a 5% budget for the span + event
+// pipeline on top of the metrics-instrumented Check hot path. Same
+// methodology as TestObsOverheadGate (which gates metrics against bare):
+// env-gated, ABBA-interleaved trials, min-of-trials per arm, and an
+// over-budget reading must reproduce on every attempt to fail.
+//
+//	OBS_OVERHEAD_GATE=1 go test ./internal/otpd -run TestSpanEventOverheadGate
+func TestSpanEventOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 (make bench-obs) to run the overhead gate")
+	}
+	const (
+		trials   = 5
+		attempts = 3
+		budget   = 0.05
+	)
+	srvBase := newBenchServer(t, obs.NewRegistry())
+	bus := eventstream.NewBus(nil)
+	stop := drainBus(bus)
+	defer stop()
+	spans := obs.NewSpanStore(1 << 14)
+	srvFull := newSpanBenchServer(t, obs.NewRegistry(), spans, bus)
+	run := func(srv *Server) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				srv.Check("bench", "00000")
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	run(srvBase) // warm-up: page in both paths before timing
+	run(srvFull)
+	if spans.Len() == 0 {
+		t.Fatal("span store empty after warm-up: the instrumented arm is not recording spans")
+	}
+	measure := func() (base, full float64) {
+		base, full = math.Inf(1), math.Inf(1)
+		for i := 0; i < trials; i++ {
+			if i%2 == 0 {
+				base = math.Min(base, run(srvBase))
+				full = math.Min(full, run(srvFull))
+			} else {
+				full = math.Min(full, run(srvFull))
+				base = math.Min(base, run(srvBase))
+			}
+		}
+		return base, full
+	}
+	overhead := 0.0
+	for attempt := 1; attempt <= attempts; attempt++ {
+		base, full := measure()
+		overhead = (full - base) / base
+		t.Logf("attempt %d: metrics-only %.0f ns/op, spans+events %.0f ns/op, overhead %.2f%%",
+			attempt, base, full, 100*overhead)
+		if overhead <= budget {
+			return
+		}
+	}
+	t.Errorf("span+event pipeline stayed more than %.0f%% slower than metrics-only across %d measurements (last: %.2f%%)",
+		100*budget, attempts, 100*overhead)
+}

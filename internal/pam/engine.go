@@ -17,6 +17,7 @@ import (
 	"net"
 	"time"
 
+	"openmfa/internal/eventstream"
 	"openmfa/internal/obs"
 )
 
@@ -158,6 +159,26 @@ type Context struct {
 	// Logger, when set, receives a structured line per module decision
 	// (component=pam), carrying Trace.
 	Logger *obs.Logger
+	// Spans, when set, records one timing span per module (children of
+	// Span when sshd provided one) plus the token module's RADIUS-RTT
+	// legs, all under Trace.
+	Spans *obs.SpanStore
+	// Span is the enclosing span (sshd's conversation span). The engine
+	// re-points it at the running module's span for the duration of each
+	// Authenticate call so nested legs parent correctly.
+	Span *obs.Span
+	// Events, when set, receives typed auth events (second-factor use)
+	// on the operational analytics bus.
+	Events *eventstream.Bus
+}
+
+// startSpan opens a child of the enclosing span, or a root span under the
+// attempt's trace ID when there is none. Nil-safe.
+func (ctx *Context) startSpan(name string) *obs.Span {
+	if ctx.Span != nil {
+		return ctx.Span.StartChild(name)
+	}
+	return ctx.Spans.Start(ctx.Trace, name)
 }
 
 func (ctx *Context) logf(format string, args ...any) {
@@ -246,7 +267,15 @@ func (s *Stack) run(ctx *Context) error {
 	for i := 0; i < len(s.Entries); i++ {
 		e := s.Entries[i]
 		start := time.Now()
+		span := ctx.startSpan("pam." + e.Module.Name())
+		prev := ctx.Span
+		if span != nil {
+			ctx.Span = span
+		}
 		res := e.Module.Authenticate(ctx)
+		ctx.Span = prev
+		span.SetAttr("result", res.String())
+		span.End()
 		act := e.Control.action(res)
 		ctx.logf("pam(%s): %s -> %s", s.Service, e.Module.Name(), res)
 		if ctx.Metrics != nil {

@@ -15,6 +15,12 @@ const (
 	DataPubkeyOK = "pubkey_ok"
 	// DataExempt is set to true by Exempt when an MFA exemption applies.
 	DataExempt = "mfa_exempt"
+	// DataMFAUsed is set to true by Token when the user presented a
+	// valid second factor; sshd reads it to tag the login event.
+	DataMFAUsed = "mfa_used"
+	// DataMFAMethod is the pairing type the second factor used
+	// (soft/sms/hard/training), set alongside DataMFAUsed.
+	DataMFAMethod = "mfa_method"
 )
 
 // PubkeySuccess is in-house module 1 (§3.4, Figure 1 "Public Key

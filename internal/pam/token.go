@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"openmfa/internal/directory"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/radius"
 )
 
@@ -304,16 +305,38 @@ func (m *Token) challenge(ctx *Context, pairing string) Result {
 	}
 	switch resp.Code {
 	case radius.AccessAccept:
+		ctx.Data[DataMFAUsed] = true
+		ctx.Data[DataMFAMethod] = pairing
+		m.publish(ctx, pairing, "accept")
 		return Success
 	default:
 		if msg := replyMessage(resp); msg != "" {
 			ctx.Conv.Info(msg)
 		}
+		m.publish(ctx, pairing, "reject")
 		return AuthErr
 	}
 }
 
+// publish announces the second-factor outcome on the analytics bus.
+func (m *Token) publish(ctx *Context, pairing, result string) {
+	if ctx.Events == nil {
+		return
+	}
+	addr := ""
+	if ctx.RemoteAddr != nil {
+		addr = ctx.RemoteAddr.String()
+	}
+	ctx.Events.Publish(eventstream.Event{
+		Time: ctx.now(), Type: eventstream.TypeMFA, Component: "pam",
+		Trace: ctx.Trace, User: ctx.User, Addr: addr,
+		Result: result, Method: pairing, MFA: result == "accept",
+	})
+}
+
 func (m *Token) exchange(ctx *Context, user, code string, state []byte) (*radius.Packet, error) {
+	span := ctx.startSpan("radius.rtt")
+	defer span.End()
 	return m.Radius.Exchange(func(req *radius.Packet) {
 		req.AddString(radius.AttrUserName, user)
 		hidden, err := radius.HidePassword(code, m.Radius.Secret(), req.Authenticator)

@@ -28,6 +28,7 @@ import (
 
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
 	"openmfa/internal/otpd"
@@ -61,6 +62,15 @@ type Config struct {
 	// Obs, when set, mounts /metrics, /healthz, and /debug/pprof on the
 	// portal mux and counts requests per route and status class.
 	Obs *obs.Registry
+	// Events, when set, receives a pairing-confirmed event per successful
+	// enrolment on the operational analytics bus.
+	Events *eventstream.Bus
+	// HealthChecks are mounted alongside Obs on /healthz; any failing
+	// check degrades the endpoint to 503.
+	HealthChecks []obs.HealthCheck
+	// ExtraMounts, when set, are applied to the portal mux after the
+	// application routes (e.g. authwatch's /debug/authwatch handler).
+	ExtraMounts []func(*http.ServeMux)
 }
 
 // Portal is the web application.
@@ -73,6 +83,9 @@ type Portal struct {
 	base   string
 	ttl    time.Duration
 	obs    *obs.Registry
+	events *eventstream.Bus
+	checks []obs.HealthCheck
+	mounts []func(*http.ServeMux)
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -119,6 +132,9 @@ func New(cfg Config) (*Portal, error) {
 		base:     strings.TrimSuffix(cfg.BaseURL, "/"),
 		ttl:      ttl,
 		obs:      cfg.Obs,
+		events:   cfg.Events,
+		checks:   cfg.HealthChecks,
+		mounts:   cfg.ExtraMounts,
 		sessions: make(map[string]*session),
 	}, nil
 }
@@ -143,7 +159,10 @@ func (p *Portal) Handler() http.Handler {
 	handle("POST /unpair/email", p.auth(p.handleUnpairEmail))
 	handle("GET /unpair/oob", p.handleUnpairOOB)
 	if p.obs != nil {
-		obs.Mount(mux, p.obs)
+		obs.Mount(mux, p.obs, p.checks...)
+	}
+	for _, m := range p.mounts {
+		m(mux)
 	}
 	return mux
 }
@@ -385,6 +404,12 @@ func (p *Portal) handlePairConfirm(w http.ResponseWriter, r *http.Request, s *se
 	if err := p.idm.SetPairing(s.user, pairingFor(st.typ)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if p.events != nil {
+		p.events.Publish(eventstream.Event{
+			Time: p.clk.Now(), Type: eventstream.TypeEnroll, Component: "portal",
+			User: s.user, Method: string(st.typ), Result: "paired",
+		})
 	}
 	fmt.Fprintf(w, "paired: %s\n", st.typ)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"openmfa/internal/eventstream"
 	"openmfa/internal/obs"
 )
 
@@ -90,6 +91,12 @@ type Server struct {
 	// Logger, when set, receives a structured line per request
 	// (component=radius) carrying the propagated trace ID.
 	Logger *obs.Logger
+	// Events, when set, receives one typed event per request decision on
+	// the operational analytics bus.
+	Events *eventstream.Bus
+	// Now supplies event timestamps; nil means time.Now. Deployments on a
+	// simulated clock inject it so bus events aggregate on simulated time.
+	Now func() time.Time
 	// ListenPacket binds the server socket; nil means net.ListenPacket.
 	// Chaos tests inject a faultnet binder here so the farm side of the
 	// exchange sees the same degraded network as the client side.
@@ -240,6 +247,17 @@ func (s *Server) handlePacket(conn net.PacketConn, wire []byte, src net.Addr) {
 	s.mDuration.ObserveSince(start)
 	if c, ok := s.mResults[result]; ok {
 		c.Inc()
+	}
+	if s.Events != nil {
+		now := s.Now
+		if now == nil {
+			now = time.Now
+		}
+		s.Events.Publish(eventstream.Event{
+			Time: now(), Type: eventstream.TypeRadius, Component: "radius",
+			Trace: trace, User: req.GetString(AttrUserName),
+			Addr: src.String(), Result: result,
+		})
 	}
 	s.Logger.Info("request", "component", "radius", "trace", trace,
 		"user", req.GetString(AttrUserName), "result", result)

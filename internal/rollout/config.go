@@ -20,6 +20,7 @@ package rollout
 import (
 	"time"
 
+	"openmfa/internal/eventstream"
 	"openmfa/internal/pam"
 )
 
@@ -38,6 +39,12 @@ type Config struct {
 	Announce, Phase2, Phase3 time.Time
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Events, when set, receives the run's typed auth events live: one
+	// login event per attempt (stamped on the scheduled simulation day, so
+	// streaming day buckets aggregate exactly like the batch report) plus
+	// the otpd-side SMS, lockout, and enrolment events. The bus consumes
+	// no randomness, so a run's figures are identical with or without it.
+	Events *eventstream.Bus
 }
 
 func (c Config) withDefaults() Config {

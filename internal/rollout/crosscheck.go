@@ -1,0 +1,83 @@
+package rollout
+
+import (
+	"fmt"
+	"strings"
+
+	"openmfa/internal/authwatch"
+)
+
+// CrossCheck compares a completed run's batch aggregates against the
+// streaming aggregates an authwatch.Watcher accumulated from the same
+// run's event bus. The two are computed by entirely different code paths —
+// the batch report inside the simulator loop, the watcher one event at a
+// time off the bus — so agreement is a strong end-to-end check on the
+// whole event pipeline. It returns nil when every daily series (unique MFA
+// users, traffic all/external/external-MFA, login failures) and the SMS
+// total match exactly; otherwise an error listing the first mismatches.
+//
+// Call after the watcher has drained (Watcher.Stop); a subscription that
+// dropped events cannot be compared and is reported as a mismatch.
+func CrossCheck(res *Result, w *authwatch.Watcher) error {
+	var diffs []string
+	addDiff := func(format string, args ...any) {
+		if len(diffs) < 10 {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		}
+	}
+
+	if n := w.Dropped(); n > 0 {
+		addDiff("subscription dropped %d events; streaming aggregates are incomplete", n)
+	}
+
+	snap := w.Snapshot()
+	days := make(map[string]authwatch.DaySnapshot, len(snap.Days))
+	for _, d := range snap.Days {
+		days[d.Date] = d
+	}
+
+	checked := make(map[string]bool)
+	for i := 0; i < res.Metrics.Days; i++ {
+		date := res.Metrics.Date(i)
+		key := date.Format("2006-01-02")
+		checked[key] = true
+		ds := days[key] // zero value when the stream saw no events that day
+		compare := func(what string, batch float64, stream int) {
+			if int(batch) != stream {
+				addDiff("%s %s: batch=%d stream=%d", key, what, int(batch), stream)
+			}
+		}
+		compare("unique_mfa_users", res.Metrics.Get(date, SeriesUniqueMFAUsers), ds.UniqueMFAUsers)
+		compare("traffic_all", res.Metrics.Get(date, SeriesTrafficAll), ds.TrafficAll)
+		compare("traffic_external", res.Metrics.Get(date, SeriesTrafficExternal), ds.TrafficExt)
+		compare("traffic_ext_mfa", res.Metrics.Get(date, SeriesTrafficExtMFA), ds.TrafficExtMFA)
+		compare("login_failures", res.Metrics.Get(date, SeriesLoginFailures), ds.LoginFailures)
+	}
+	for _, d := range snap.Days {
+		if !checked[d.Date] && (d.TrafficAll > 0 || d.LoginFailures > 0) {
+			addDiff("stream has login activity on %s, outside the batch calendar", d.Date)
+		}
+	}
+
+	if snap.SMSTotal != res.SMSMessages {
+		addDiff("sms total: batch=%d stream=%d", res.SMSMessages, snap.SMSTotal)
+	}
+
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("rollout: streaming/batch aggregate mismatch:\n  %s",
+		strings.Join(diffs, "\n  "))
+}
+
+// CrossCheckSummary is the one-line success report for CrossCheck runs.
+func CrossCheckSummary(res *Result, w *authwatch.Watcher) string {
+	snap := w.Snapshot()
+	span := ""
+	if len(snap.Days) > 0 {
+		span = snap.Days[0].Date + ".." + snap.Days[len(snap.Days)-1].Date
+	}
+	return fmt.Sprintf(
+		"authwatch: %d events streamed (%d dropped), %d days %s: daily aggregates and %d SMS match batch report",
+		snap.Events, snap.Dropped, len(snap.Days), span, snap.SMSTotal)
+}

@@ -1,0 +1,97 @@
+package rollout
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/authwatch"
+	"openmfa/internal/eventstream"
+	"openmfa/internal/leakcheck"
+)
+
+// TestCrossCheckStreamingMatchesBatch runs a short calendar spanning the
+// phase-2 -> phase-3 transition with the event bus attached and asserts the
+// streaming authwatch aggregates equal the batch report exactly, day by
+// day. This is the end-to-end proof that the live event pipeline carries
+// the same information the paper's post-hoc log analysis did.
+func TestCrossCheckStreamingMatchesBatch(t *testing.T) {
+	leakcheck.Check(t)
+	bus := eventstream.NewBus(nil)
+	watch := authwatch.New(authwatch.Config{})
+	// A deep buffer makes drops structurally impossible: the publisher and
+	// consumer run in the same process and the buffer exceeds any burst.
+	watch.Attach(bus, 1<<16)
+
+	res, err := Run(Config{
+		Users:  80,
+		Seed:   7,
+		Start:  day("2016-09-25"),
+		End:    day("2016-10-10"),
+		Events: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	watch.Stop()
+
+	if d := watch.Dropped(); d != 0 {
+		t.Fatalf("watcher dropped %d events", d)
+	}
+	if err := CrossCheck(res, watch); err != nil {
+		t.Fatalf("streaming aggregates diverge from batch report:\n%v", err)
+	}
+	snap := watch.Snapshot()
+	if snap.Events == 0 || snap.SMSTotal == 0 {
+		t.Fatalf("stream saw %d events, %d SMS — bus not wired through the run", snap.Events, snap.SMSTotal)
+	}
+	summary := CrossCheckSummary(res, watch)
+	for _, want := range []string{"authwatch:", "match batch report"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q: %s", want, summary)
+		}
+	}
+
+	// With everything else in agreement, a single login event outside the
+	// batch calendar must be the one reported divergence.
+	watch.Ingest(eventstream.Event{
+		Time: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		Type: eventstream.TypeLogin, Result: "accept", Addr: "73.1.1.1", User: "ghost",
+	})
+	err = CrossCheck(res, watch)
+	if err == nil || !strings.Contains(err.Error(), "outside the batch calendar") {
+		t.Errorf("out-of-calendar activity not flagged: %v", err)
+	}
+}
+
+// TestCrossCheckDetectsDivergence proves the check actually bites: a
+// watcher fed one event too few (or too many) must be reported.
+func TestCrossCheckDetectsDivergence(t *testing.T) {
+	res, err := Run(Config{Users: 40, Seed: 3,
+		Start: day("2016-10-03"), End: day("2016-10-06")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := authwatch.New(authwatch.Config{})
+	// Empty watcher vs a real run: every day with traffic must diff.
+	if err := CrossCheck(res, w); err == nil {
+		t.Fatal("CrossCheck passed an empty stream against a non-empty run")
+	} else if !strings.Contains(err.Error(), "traffic_all") {
+		t.Errorf("diff does not name the diverging series: %v", err)
+	}
+
+	// The figures must be identical with and without the bus attached:
+	// event publication consumes no randomness.
+	bus := eventstream.NewBus(nil)
+	sub := bus.Subscribe(1 << 16)
+	res2, err := Run(Config{Users: 40, Seed: 3,
+		Start: day("2016-10-03"), End: day("2016-10-06"), Events: bus})
+	sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalLogins != res2.TotalLogins || res.SMSMessages != res2.SMSMessages {
+		t.Errorf("bus changed the figures: logins %d vs %d, sms %d vs %d",
+			res.TotalLogins, res2.TotalLogins, res.SMSMessages, res2.SMSMessages)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/idm"
 	"openmfa/internal/loganalysis"
 	"openmfa/internal/metrics"
@@ -166,6 +167,7 @@ func (s *sim) build() error {
 		Clock:         s.clk,
 		Issuer:        "HPC",
 		Obs:           s.obs,
+		Events:        s.cfg.Events,
 		SMS: otpd.SMSSenderFunc(func(phone, body string) error {
 			s.smsMu.Lock()
 			f := strings.Fields(body)
@@ -430,6 +432,7 @@ func (s *sim) doLogin(p *person, date time.Time, offset time.Duration, internal 
 	err := s.stack.Authenticate(ctx)
 	s.authDur.ObserveSince(start)
 	if err != nil {
+		s.publishLogin(p, date, at, ip, "reject", false, false, "")
 		return false, false
 	}
 	tty := s.rng.Float64() < p.tty
@@ -438,7 +441,29 @@ func (s *sim) doLogin(p *person, date time.Time, offset time.Duration, internal 
 		User: p.name, Addr: ip.String(), Port: 50000 + s.rng.Intn(9999),
 		TTY: tty, Shell: p.shell,
 	})
+	s.publishLogin(p, date, at, ip, "accept", conv.tokenOK, tty, p.shell)
 	return true, conv.tokenOK
+}
+
+// publishLogin mirrors sshd's per-connection login event for simulated
+// attempts (the sim invokes the PAM stack in-process, bypassing sshd). The
+// event is stamped on the scheduled simulation day — per-user replay
+// spacing can nudge the wall-clock instant past midnight, but the batch
+// report attributes every login to the day it was scheduled, and streaming
+// aggregation must bucket identically. Publishing draws no randomness.
+func (s *sim) publishLogin(p *person, date, at time.Time, ip net.IP, result string, usedMFA, tty bool, shell string) {
+	if s.cfg.Events == nil {
+		return
+	}
+	evTime := at
+	if evTime.Unix()/86400 != date.Unix()/86400 {
+		evTime = date.Add(24*time.Hour - time.Second)
+	}
+	s.cfg.Events.Publish(eventstream.Event{
+		Time: evTime, Type: eventstream.TypeLogin, Component: "sshd",
+		User: p.name, Addr: ip.String(), Result: result,
+		MFA: usedMFA, TTY: tty, Shell: shell,
+	})
 }
 
 // simConv plays the user's side of the conversation: password, token code

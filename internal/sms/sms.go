@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"openmfa/internal/clock"
+	"openmfa/internal/eventstream"
 )
 
 // Per-message and subscription pricing (Twilio, 2016, per the paper).
@@ -136,6 +137,10 @@ type Gateway struct {
 	AccountSID string
 	AuthToken  string
 
+	// Events, when set, receives one delivery-lifecycle event per message
+	// (result delivered/failed) on the operational analytics bus.
+	Events *eventstream.Bus
+
 	clk     clock.Sleeper
 	carrier CarrierModel
 
@@ -246,6 +251,7 @@ func (g *Gateway) deliver(m *Message, phone *Phone, delay time.Duration, attempt
 		m.Attempts = attemptsLost
 		m.Status = StatusFailed
 		g.mu.Unlock()
+		g.publish(m.To, string(StatusFailed))
 		return
 	}
 	total := delay + time.Duration(attemptsLost)*g.carrier.RetryBackoff
@@ -259,7 +265,19 @@ func (g *Gateway) deliver(m *Message, phone *Phone, delay time.Duration, attempt
 	}
 	msg := *m
 	g.mu.Unlock()
+	g.publish(m.To, string(StatusDelivered))
 	phone.deliver(msg)
+}
+
+// publish announces a delivery outcome on the analytics bus.
+func (g *Gateway) publish(to, result string) {
+	if g.Events == nil {
+		return
+	}
+	g.Events.Publish(eventstream.Event{
+		Time: g.clk.Now(), Type: eventstream.TypeSMS, Component: "sms",
+		Result: result, Detail: "to=" + to,
+	})
 }
 
 // Flush waits for all queued deliveries to finish. With a Sim clock the

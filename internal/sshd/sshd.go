@@ -23,6 +23,7 @@ import (
 	"openmfa/internal/authlog"
 	"openmfa/internal/clock"
 	"openmfa/internal/cryptoutil"
+	"openmfa/internal/eventstream"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
 	"openmfa/internal/pam"
@@ -88,6 +89,13 @@ type Server struct {
 	// Logger, when set, receives structured auth-outcome lines
 	// (component=sshd) carrying the per-connection trace ID.
 	Logger *obs.Logger
+	// Spans, when set, records an sshd.conversation span per connection
+	// (with per-module and RADIUS-RTT children from the PAM stack) under
+	// the connection's trace ID.
+	Spans *obs.SpanStore
+	// Events, when set, receives one typed login event per authentication
+	// decision on the operational analytics bus.
+	Events *eventstream.Bus
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -359,13 +367,20 @@ func (s *Server) serveConn(raw net.Conn) {
 	// the user is prompted once again ... before SSH disconnect."
 	conv := &remoteConv{wc: wc}
 	authStart := time.Now()
+	// The conversation span covers the whole PAM phase (all retry
+	// attempts); each module and RADIUS exchange hangs off it as a child.
+	span := s.Spans.Start(trace, "sshd.conversation")
+	span.SetAttr("user", user)
 	var authErr error
+	var lastCtx *pam.Context
 	for attempt := 0; attempt < s.maxTries(); attempt++ {
 		ctx := &pam.Context{
 			User: user, RemoteAddr: ip, Service: "sshd",
 			Conv: conv, Now: s.clk().Now,
 			Trace: trace, Metrics: s.Obs, Logger: s.Logger,
+			Spans: s.Spans, Span: span, Events: s.Events,
 		}
+		lastCtx = ctx
 		authErr = s.Stack.Authenticate(ctx)
 		if authErr == nil {
 			break
@@ -383,12 +398,24 @@ func (s *Server) serveConn(raw net.Conn) {
 	if authErr != nil {
 		result = "reject"
 	}
+	span.SetAttr("result", result)
+	span.End()
 	if s.Obs != nil {
 		s.Obs.Histogram("sshd_auth_duration_seconds", nil).ObserveSince(authStart)
 		s.Obs.Counter("sshd_auth_total", "result", result).Inc()
 	}
 	s.Logger.Info("auth", "component", "sshd", "trace", trace,
 		"user", user, "addr", ip.String(), "result", result)
+	if s.Events != nil {
+		mfaUsed, _ := lastCtx.Data[pam.DataMFAUsed].(bool)
+		method, _ := lastCtx.Data[pam.DataMFAMethod].(string)
+		s.Events.Publish(eventstream.Event{
+			Time: s.clk().Now(), Type: eventstream.TypeLogin, Component: "sshd",
+			Trace: trace, User: user, Addr: ip.String(), Result: result,
+			MFA: mfaUsed && authErr == nil, Method: method,
+			TTY: hello.TTY, Shell: hello.Shell,
+		})
+	}
 	if authErr != nil {
 		s.rejected.Add(1)
 		wc.Send(&sshwire.Msg{T: sshwire.TResult, OK: false, Msg: "Permission denied"})
