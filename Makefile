@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench figures authwatch-smoke clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench figures authwatch-smoke fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs authwatch-smoke
+verify: vet build test race chaos bench-concurrency bench-obs authwatch-smoke fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,27 @@ figures:
 	$(GO) run ./cmd/rollout -all -q -authwatch > .figures.gen
 	diff -u FIGURES.txt .figures.gen
 	rm -f .figures.gen
+
+# WAL-codec fuzz smoke: ten seconds per target against the frame decoder
+# and the recovery path (go fuzz takes one target per invocation).
+# -fuzzminimizetime is capped in executions, not wall time: minimizing a
+# coverage-increasing input re-runs the (file-I/O-heavy) recovery target,
+# and the default 60s budget would eat the whole smoke.
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzDecodeRecord$$' -fuzztime 10s -fuzzminimizetime 10x ./internal/store
+	$(GO) test -run xxx -fuzz 'FuzzRecoverWAL$$' -fuzztime 10s -fuzzminimizetime 10x ./internal/store
+
+# Durability-layer coverage gate: the sharded store (with its crashtest
+# harness exercising it) must keep >= 90% statement coverage.
+cover:
+	$(GO) test -count 1 -coverprofile .cover.store.out \
+		-coverpkg openmfa/internal/store \
+		./internal/store ./internal/store/crashtest
+	@$(GO) tool cover -func .cover.store.out | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/store statement coverage: %.1f%% (floor 90%%)\n", pct; \
+		if (pct < 90) { print "FAIL: coverage below floor"; exit 1 } }'
+	@rm -f .cover.store.out
 
 # Full benchmark harness (figures, tables, ablations).
 bench:

@@ -39,6 +39,8 @@ func main() {
 		adminPass  = flag.String("admin-pass", "", "admin API digest password (required)")
 		issuer     = flag.String("issuer", "HPC", "otpauth issuer label")
 		logRate    = flag.Int("log-rate", 200, "max identical log lines per second before sampling (0 = unlimited)")
+		shards     = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
+		groupSync  = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
 	)
 	flag.Parse()
 	if *adminPass == "" {
@@ -49,18 +51,21 @@ func main() {
 		log.Fatal("otpd: -key-hex must decode to 16, 24, or 32 bytes")
 	}
 
+	reg := obs.NewRegistry()
+
 	var db *store.Store
 	if *dataDir == "" {
-		db = store.OpenMemory()
+		db = store.OpenMemoryShards(*shards)
 	} else {
-		db, err = store.Open(*dataDir, store.Options{Sync: true})
+		db, err = store.Open(*dataDir, store.Options{
+			Sync: true, Shards: *shards, GroupCommit: *groupSync, Obs: reg,
+		})
 		if err != nil {
 			log.Fatalf("otpd: %v", err)
 		}
 	}
 	defer db.Close()
 
-	reg := obs.NewRegistry()
 	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
 	if *logRate > 0 {
 		// Identical lines beyond the per-key budget are sampled out and

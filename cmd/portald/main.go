@@ -32,17 +32,22 @@ func main() {
 		dataDir  = flag.String("data", "", "IDM data directory (empty = in-memory)")
 		baseURL  = flag.String("base-url", "", "public base URL for signed links (default http://<http>)")
 		demo     = flag.Bool("demo", false, "create a demo account (demo/demo-pass)")
+		shards   = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
+		group    = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
 	)
 	flag.Parse()
 	if *otpdURL == "" || *otpdPass == "" {
 		log.Fatal("portald: -otpd and -otpd-pass are required")
 	}
 
+	reg := obs.NewRegistry()
 	var db *store.Store
 	var err error
 	if *dataDir == "" {
-		db = store.OpenMemory()
-	} else if db, err = store.Open(*dataDir, store.Options{Sync: true}); err != nil {
+		db = store.OpenMemoryShards(*shards)
+	} else if db, err = store.Open(*dataDir, store.Options{
+		Sync: true, Shards: *shards, GroupCommit: *group, Obs: reg,
+	}); err != nil {
 		log.Fatalf("portald: %v", err)
 	}
 	defer db.Close()
@@ -70,7 +75,7 @@ func main() {
 		}),
 		SessionKey: cryptoutil.RandomBytes(32),
 		BaseURL:    base,
-		Obs:        obs.NewRegistry(),
+		Obs:        reg,
 	})
 	if err != nil {
 		log.Fatalf("portald: %v", err)

@@ -41,13 +41,14 @@ func main() {
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		authWatch   = flag.Bool("authwatch", false, "stream events through the live authwatch aggregator and cross-check it against the batch report (non-zero exit on mismatch)")
 		eventsOut   = flag.String("events-out", "", "write the run's auth-event stream as JSONL to this file (readable by loganalyze -format jsonl)")
+		shards      = flag.Int("store-shards", 0, "store shard count for the simulated back ends (0 = GOMAXPROCS-scaled)")
 	)
 	flag.Parse()
 	if *fig == 0 && *table == 0 && !*costs && !*analysis && !*experiments {
 		*all = true
 	}
 
-	cfg := rollout.Config{Users: *users, Seed: *seed}
+	cfg := rollout.Config{Users: *users, Seed: *seed, StoreShards: *shards}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -116,6 +116,16 @@ type Options struct {
 	SSHAuthTimeout time.Duration
 	SSHIdleTimeout time.Duration
 	SSHMaxConns    int
+	// StoreShards is the shard count for each backing store (rounded up to
+	// a power of two, capped at store.MaxShards); zero picks the
+	// GOMAXPROCS-scaled default. Existing data directories keep their
+	// persisted count.
+	StoreShards int
+	// StoreSync fsyncs every committed batch in the on-disk stores.
+	StoreSync bool
+	// StoreGroupCommit coalesces concurrent committers into shared fsyncs
+	// when StoreSync is set.
+	StoreGroupCommit bool
 }
 
 // ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
@@ -192,11 +202,16 @@ func New(opts Options) (*Infrastructure, error) {
 
 	newStore := func(name string) (*store.Store, error) {
 		if opts.DataDir == "" {
-			s := store.OpenMemory()
+			s := store.OpenMemoryShards(opts.StoreShards)
 			inf.stores = append(inf.stores, s)
 			return s, nil
 		}
-		s, err := store.Open(opts.DataDir+"/"+name, store.Options{})
+		s, err := store.Open(opts.DataDir+"/"+name, store.Options{
+			Shards:      opts.StoreShards,
+			Sync:        opts.StoreSync,
+			GroupCommit: opts.StoreGroupCommit,
+			Obs:         opts.Obs,
+		})
 		if err != nil {
 			return nil, err
 		}

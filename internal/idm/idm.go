@@ -93,8 +93,10 @@ func New(db *store.Store, dir *directory.Dir, clk clock.Clock) *IDM {
 	idm := &IDM{db: db, dir: dir, clk: clk, nextUID: 1000,
 		verifyCache: make(map[[32]byte]bool)}
 	copy(idm.cacheSalt[:], cryptoutil.RandomBytes(16))
-	// Resume the uid sequence after a restart.
-	for _, kv := range db.Scan("acct/") {
+	// Resume the uid sequence after a restart. The store was just opened,
+	// so the only possible Scan error is ErrClosed — nothing to resume then.
+	kvs, _ := db.Scan("acct/")
+	for _, kv := range kvs {
 		var a Account
 		if json.Unmarshal(kv.Value, &a) == nil && a.UID >= idm.nextUID {
 			idm.nextUID = a.UID + 1
@@ -297,7 +299,8 @@ func (m *IDM) Pairing(username string) (PairingStatus, error) {
 // All returns every account, sorted by username.
 func (m *IDM) All() []*Account {
 	var out []*Account
-	for _, kv := range m.db.Scan("acct/") {
+	kvs, _ := m.db.Scan("acct/")
+	for _, kv := range kvs {
 		var a Account
 		if json.Unmarshal(kv.Value, &a) == nil {
 			out = append(out, &a)

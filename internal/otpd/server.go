@@ -393,7 +393,8 @@ func (s *Server) HasToken(user string) bool {
 // Tokens lists every provisioned token.
 func (s *Server) Tokens() []TokenInfo {
 	var out []TokenInfo
-	for _, kv := range s.db.Scan("token/") {
+	kvs, _ := s.db.Scan("token/")
+	for _, kv := range kvs {
 		var r record
 		if err := unmarshal(kv.Value, &r); err == nil {
 			out = append(out, r.info())

@@ -45,6 +45,10 @@ type Config struct {
 	// the otpd-side SMS, lockout, and enrolment events. The bus consumes
 	// no randomness, so a run's figures are identical with or without it.
 	Events *eventstream.Bus
+	// StoreShards is the shard count for the simulation's in-memory
+	// stores (0 = GOMAXPROCS-scaled default). Sharding changes lock
+	// contention only, never results: runs are identical per seed.
+	StoreShards int
 }
 
 func (c Config) withDefaults() Config {

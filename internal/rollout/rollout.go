@@ -159,10 +159,10 @@ func Run(cfg Config) (*Result, error) {
 // the Figure 1 PAM stack.
 func (s *sim) build() error {
 	s.dir = directory.New()
-	s.idm = idm.New(store.OpenMemory(), s.dir, s.clk)
+	s.idm = idm.New(store.OpenMemoryShards(s.cfg.StoreShards), s.dir, s.clk)
 	var err error
 	s.otp, err = otpd.New(otpd.Config{
-		DB:            store.OpenMemory(),
+		DB:            store.OpenMemoryShards(s.cfg.StoreShards),
 		EncryptionKey: cryptoutil.RandomBytes(32),
 		Clock:         s.clk,
 		Issuer:        "HPC",

@@ -1,0 +1,299 @@
+// Package crashtest is a crash-recovery property harness for the store's
+// WAL: it commits a sequence of random batches, then simulates a crash at
+// *every* possible WAL truncation point and asserts the reopened state is
+// exactly a committed-batch prefix — never a partially applied batch,
+// never a decode panic, never a failed reopen.
+//
+// The paper's back end is an MFA token database; per the MFA-threats
+// survey in PAPERS.md, a store that fails open or corrupts token state on
+// crash is a security bug, not just a reliability one. This harness is the
+// proof the group-commit WAL keeps its atomicity promise.
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openmfa/internal/store"
+)
+
+// Config parameterises a harness run.
+type Config struct {
+	// Seed drives every random choice, so failures replay exactly.
+	Seed int64
+	// Batches is K, the number of committed batches.
+	Batches int
+	// Shards is the store's shard count (1 gives a single segment and
+	// therefore a totally ordered history).
+	Shards int
+	// MaxOpsPerBatch bounds batch size (minimum 1).
+	MaxOpsPerBatch int
+	// CrossShard lets batches span shards; otherwise each batch's keys
+	// are confined to one shard so the per-segment prefix oracle is a
+	// total order per shard.
+	CrossShard bool
+	// Sync opens the store in durable mode.
+	Sync bool
+	// Truncations, when non-zero, caps how many truncation points are
+	// probed per segment (sampled evenly plus all frame boundaries);
+	// zero probes every byte offset.
+	Truncations int
+}
+
+// history records what was committed: each batch, the segment its WAL
+// frame landed in, and every segment's size after each commit.
+type history struct {
+	batches  [][]store.Op
+	segment  []int     // batches[i]'s WAL segment
+	sizeTo   [][]int64 // sizeTo[i][seg] = segment seg's size after batch i
+	segPaths []string
+	shards   int
+}
+
+// Run executes the harness. Any property violation fails t with enough
+// context (seed, batch, offset) to replay.
+func Run(t *testing.T, cfg Config) {
+	t.Helper()
+	if cfg.Batches <= 0 {
+		cfg.Batches = 12
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxOpsPerBatch <= 0 {
+		cfg.MaxOpsPerBatch = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := commitHistory(t, rng, cfg)
+
+	for seg := range h.segPaths {
+		probeSegment(t, rng, cfg, h, seg)
+	}
+}
+
+// commitHistory builds a fresh store, commits K random batches, records
+// per-segment sizes after each commit, and closes the store.
+func commitHistory(t *testing.T, rng *rand.Rand, cfg Config) *history {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{Shards: cfg.Shards, Sync: cfg.Sync})
+	if err != nil {
+		t.Fatalf("seed %d: open: %v", cfg.Seed, err)
+	}
+	h := &history{segPaths: s.WALPaths(), shards: s.NumShards()}
+
+	keyspace := make([]string, 24)
+	for i := range keyspace {
+		keyspace[i] = fmt.Sprintf("user/%02d", i)
+	}
+	for b := 0; b < cfg.Batches; b++ {
+		nops := 1 + rng.Intn(cfg.MaxOpsPerBatch)
+		var homeShard = -1
+		batch := make([]store.Op, 0, nops)
+		for len(batch) < nops {
+			k := keyspace[rng.Intn(len(keyspace))]
+			if !cfg.CrossShard {
+				if homeShard == -1 {
+					homeShard = s.ShardFor(k)
+				} else if s.ShardFor(k) != homeShard {
+					continue
+				}
+			}
+			op := store.Op{Key: k}
+			if rng.Intn(4) == 0 {
+				op.Delete = true
+			} else {
+				op.Value = []byte(fmt.Sprintf("batch%03d-%s-%d", b, k, rng.Int63()))
+			}
+			batch = append(batch, op)
+		}
+		if err := s.Apply(batch); err != nil {
+			t.Fatalf("seed %d: apply batch %d: %v", cfg.Seed, b, err)
+		}
+		h.batches = append(h.batches, batch)
+		sizes := make([]int64, len(h.segPaths))
+		grew := -1
+		for i, p := range h.segPaths {
+			fi, err := os.Stat(p)
+			if err != nil {
+				t.Fatalf("seed %d: stat %s: %v", cfg.Seed, p, err)
+			}
+			sizes[i] = fi.Size()
+			prev := int64(0)
+			if b > 0 {
+				prev = h.sizeTo[b-1][i]
+			}
+			if sizes[i] > prev {
+				if grew != -1 {
+					t.Fatalf("seed %d: batch %d grew two segments (%d and %d): a batch must be one frame in one segment", cfg.Seed, b, grew, i)
+				}
+				grew = i
+			}
+		}
+		if grew == -1 {
+			t.Fatalf("seed %d: batch %d grew no segment", cfg.Seed, b)
+		}
+		h.sizeTo = append(h.sizeTo, sizes)
+		h.segment = append(h.segment, grew)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("seed %d: close: %v", cfg.Seed, err)
+	}
+	return h
+}
+
+// probeSegment simulates crashes by truncating one segment at chosen
+// offsets (all of them by default) and checking the recovered state
+// against the prefix oracle.
+func probeSegment(t *testing.T, rng *rand.Rand, cfg Config, h *history, seg int) {
+	t.Helper()
+	full, err := os.ReadFile(h.segPaths[seg])
+	if err != nil {
+		t.Fatalf("seed %d: read segment %d: %v", cfg.Seed, seg, err)
+	}
+	offsets := chooseOffsets(rng, cfg, h, seg, len(full))
+	for _, cut := range offsets {
+		checkTruncation(t, cfg, h, seg, full, cut)
+	}
+}
+
+// chooseOffsets returns the truncation points to probe: every byte when
+// cfg.Truncations is zero, otherwise all frame boundaries (±1) plus an
+// even sample, deduplicated.
+func chooseOffsets(rng *rand.Rand, cfg Config, h *history, seg, size int) []int {
+	if cfg.Truncations <= 0 || cfg.Truncations >= size+1 {
+		out := make([]int, size+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := map[int]bool{0: true, size: true}
+	for b, s := range h.segment {
+		if s == seg {
+			edge := int(h.sizeTo[b][seg])
+			for _, o := range []int{edge - 1, edge, edge + 1} {
+				if o >= 0 && o <= size {
+					seen[o] = true
+				}
+			}
+		}
+	}
+	for len(seen) < cfg.Truncations {
+		seen[rng.Intn(size+1)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	return out
+}
+
+// checkTruncation copies the store directory, truncates segment seg to cut
+// bytes, reopens, and asserts the state matches the oracle: every batch in
+// other segments plus the longest prefix of this segment's batches whose
+// frames fit inside cut, applied in original commit order.
+func checkTruncation(t *testing.T, cfg Config, h *history, seg int, full []byte, cut int) {
+	t.Helper()
+	dir := t.TempDir()
+	cloneDir(t, filepath.Dir(h.segPaths[seg]), dir)
+	segPath := filepath.Join(dir, filepath.Base(h.segPaths[seg]))
+	if err := os.WriteFile(segPath, full[:cut], 0o644); err != nil {
+		t.Fatalf("seed %d: truncate: %v", cfg.Seed, err)
+	}
+
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: seg %d cut %d: reopen failed (torn tail must be tolerated): %v", cfg.Seed, seg, cut, err)
+	}
+	defer s.Close()
+
+	// Oracle: replay committed batches, dropping those in seg whose
+	// frame did not fully survive the cut.
+	want := map[string][]byte{}
+	kept := 0
+	for b, batch := range h.batches {
+		if h.segment[b] == seg && h.sizeTo[b][seg] > int64(cut) {
+			continue
+		}
+		if h.segment[b] == seg {
+			kept++
+		}
+		for _, op := range batch {
+			if op.Delete {
+				delete(want, op.Key)
+			} else {
+				want[op.Key] = op.Value
+			}
+		}
+	}
+	// The survivors in seg must be a *prefix* of its batches: a later
+	// batch must never survive an earlier one's truncation.
+	sawDrop := false
+	for b := range h.batches {
+		if h.segment[b] != seg {
+			continue
+		}
+		survived := h.sizeTo[b][seg] <= int64(cut)
+		if survived && sawDrop {
+			t.Fatalf("seed %d: seg %d cut %d: batch %d survived after an earlier batch was cut", cfg.Seed, seg, cut, b)
+		}
+		if !survived {
+			sawDrop = true
+		}
+	}
+
+	got, err := s.Scan("")
+	if err != nil {
+		t.Fatalf("seed %d: scan: %v", cfg.Seed, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("seed %d: seg %d cut %d: recovered %d keys, oracle has %d (kept %d/%d batches in seg)",
+			cfg.Seed, seg, cut, len(got), len(want), kept, segBatches(h, seg))
+	}
+	for _, kv := range got {
+		wv, ok := want[kv.Key]
+		if !ok {
+			t.Fatalf("seed %d: seg %d cut %d: unexpected key %q after recovery (partial batch?)", cfg.Seed, seg, cut, kv.Key)
+		}
+		if !bytes.Equal(kv.Value, wv) {
+			t.Fatalf("seed %d: seg %d cut %d: key %q = %q, oracle %q (partial batch replayed)",
+				cfg.Seed, seg, cut, kv.Key, kv.Value, wv)
+		}
+	}
+}
+
+func segBatches(h *history, seg int) int {
+	n := 0
+	for _, s := range h.segment {
+		if s == seg {
+			n++
+		}
+	}
+	return n
+}
+
+// cloneDir copies every regular file from src into dst.
+func cloneDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

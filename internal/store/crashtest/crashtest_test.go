@@ -1,0 +1,55 @@
+package crashtest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEveryTruncationOffsetSingleShard is the exhaustive property: one
+// segment, and every byte offset of the WAL is a simulated crash point.
+// The recovered state must always equal a prefix of the committed batches.
+func TestEveryTruncationOffsetSingleShard(t *testing.T) {
+	Run(t, Config{Seed: 1, Batches: 12, Shards: 1, MaxOpsPerBatch: 4})
+}
+
+// TestEveryTruncationOffsetSync re-runs the exhaustive property in
+// durable (fsync-per-batch) mode — the frame layout must be identical.
+func TestEveryTruncationOffsetSync(t *testing.T) {
+	Run(t, Config{Seed: 2, Batches: 8, Shards: 1, MaxOpsPerBatch: 4, Sync: true})
+}
+
+// TestTruncationAcrossShards probes each of four segments, with batches
+// confined to single shards, at every frame boundary (±1) plus a seeded
+// sample of interior offsets.
+func TestTruncationAcrossShards(t *testing.T) {
+	Run(t, Config{Seed: 3, Batches: 16, Shards: 4, MaxOpsPerBatch: 3, Truncations: 120})
+}
+
+// TestTruncationCrossShardBatches lets batches span shards: a batch's
+// frame lives in exactly one segment, so truncation still drops it wholly
+// — the all-or-nothing guarantee across shard boundaries.
+func TestTruncationCrossShardBatches(t *testing.T) {
+	Run(t, Config{Seed: 4, Batches: 16, Shards: 4, MaxOpsPerBatch: 5, CrossShard: true, Truncations: 120})
+}
+
+// TestSeededRandomVariants is the seeded-random sweep (run under -race by
+// the tier-1 `make race` gate): fresh seeds every run would not replay, so
+// seeds derive from a fixed generator and are printed on failure by Run's
+// messages.
+func TestSeededRandomVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 4; i++ {
+		cfg := Config{
+			Seed:           rng.Int63(),
+			Batches:        10 + rng.Intn(10),
+			Shards:         1 << rng.Intn(3),
+			MaxOpsPerBatch: 1 + rng.Intn(6),
+			CrossShard:     rng.Intn(2) == 0,
+			Truncations:    80,
+		}
+		Run(t, cfg)
+	}
+}

@@ -1,25 +1,39 @@
 // Package store implements the embedded key-value store that stands in for
-// the paper's MariaDB repository (§3.1): a strictly ordered in-memory map
-// backed by an append-only write-ahead log with snapshot compaction.
+// the paper's MariaDB repository (§3.1): a hash-sharded in-memory map
+// backed by per-shard append-only write-ahead logs with snapshot
+// compaction.
 //
 // The OTP back end keeps token records here (with secrets already sealed by
 // cryptoutil.Box before they arrive), the IDM keeps account records, and
 // the audit log keeps its HMAC chain head. The store offers the operations
 // those components need — Put/Get/Delete, prefix scans, and atomic batches
-// — with crash recovery via WAL replay.
+// — with crash recovery via parallel WAL replay.
+//
+// Keys hash to one of N shards (N a power of two, fixed when the directory
+// is created), each with its own RWMutex, map, WAL segment, and snapshot,
+// so unrelated users never contend. A batch is framed as a single
+// length-prefixed, CRC-checksummed record with a trailing commit marker in
+// exactly one segment (the lowest involved shard), which makes Apply
+// crash-atomic: recovery truncates a torn tail to the last complete batch
+// and never replays a partial one. In Sync mode with GroupCommit,
+// concurrent Apply callers coalesce into a single fsync per segment.
 package store
 
 import (
 	"bufio"
-	"encoding/base64"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmfa/internal/obs"
 )
 
 // ErrNotFound is returned by Get when the key is absent.
@@ -28,6 +42,10 @@ var ErrNotFound = errors.New("store: key not found")
 // ErrClosed is returned by all operations after Close.
 var ErrClosed = errors.New("store: closed")
 
+// MaxShards caps the shard count; more shards than this buys nothing and
+// bloats the file-descriptor footprint.
+const MaxShards = 256
+
 // Op is a single mutation inside a Batch.
 type Op struct {
 	Key    string
@@ -35,150 +53,348 @@ type Op struct {
 	Delete bool
 }
 
-// Store is a WAL-backed ordered KV store safe for concurrent use.
-type Store struct {
-	mu     sync.RWMutex
-	data   map[string][]byte
-	dir    string // empty for pure in-memory stores
-	wal    *os.File
-	walBuf *bufio.Writer
-	walLen int // records since last snapshot
-	sync   bool
-	closed bool
+// KV is a key-value pair returned by Scan.
+type KV struct {
+	Key   string
+	Value []byte
 }
 
 // Options configures Open.
 type Options struct {
-	// Sync forces an fsync after every committed record. Durable but
-	// slow; the rollout simulator runs with Sync off, matching a
-	// production database's group-commit behaviour.
+	// Sync forces an fsync before a committed batch is acknowledged.
+	// Durable but slow; the rollout simulator runs with Sync off,
+	// matching a production database's relaxed-durability benchmarks.
 	Sync bool
+	// Shards is the shard count, rounded up to a power of two and capped
+	// at MaxShards; zero picks a GOMAXPROCS-scaled default. The count is
+	// fixed when the data directory is created: reopening an existing
+	// directory always uses the persisted count.
+	Shards int
+	// GroupCommit lets concurrent Apply callers in Sync mode share one
+	// fsync per WAL segment instead of paying one each. Per-key ordering
+	// is unchanged; only fsync scheduling differs.
+	GroupCommit bool
+	// Obs, when set, receives store_apply_total, store_fsync_total,
+	// store_fsync_batch_size, and store_recovery_seconds.
+	Obs *obs.Registry
 }
 
-// OpenMemory returns a volatile store with no backing files.
-func OpenMemory() *Store {
-	return &Store{data: make(map[string][]byte)}
+// shard is one lock domain: a map partition plus its WAL segment and
+// group-commit state.
+type shard struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	wal    *os.File
+	walBuf *bufio.Writer
+	walLen int   // ops logged to this segment since the last compaction
+	walErr error // sticky fail-stop error after a WAL write fault
+
+	// Group-commit state. seq numbers batches flushed to this segment
+	// (assigned under mu); synced is the highest seq covered by an
+	// fsync. A committer whose seq is not yet synced either becomes the
+	// sync leader or waits on gcond for one fsync to cover it.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	seq     atomic.Uint64
+	synced  uint64
+	syncing bool
+	gerr    error
 }
 
-// Open loads (or creates) a store in dir, replaying snapshot + WAL.
+// Store is a sharded WAL-backed KV store safe for concurrent use.
+type Store struct {
+	dir    string // empty for pure in-memory stores
+	sync   bool
+	group  bool
+	shards []*shard
+	mask   uint32
+	lsn    atomic.Uint64
+	closed atomic.Bool
+
+	applyTotal *obs.Counter
+	fsyncTotal *obs.Counter
+	fsyncBatch *obs.Histogram
+
+	// syncDelay, when set (tests only), runs in the group-commit leader
+	// after it claims the sync slot and before the fsync, widening the
+	// coalescing window deterministically.
+	syncDelay func()
+}
+
+// defaultShards scales the shard count with GOMAXPROCS (4× rounded up to a
+// power of two) so the lock domains outnumber the CPUs that can contend.
+func defaultShards() int {
+	return normalizeShards(4 * runtime.GOMAXPROCS(0))
+}
+
+// normalizeShards rounds n up to a power of two in [1, MaxShards]; n <= 0
+// selects the default.
+func normalizeShards(n int) int {
+	if n <= 0 {
+		return defaultShards()
+	}
+	if n > MaxShards {
+		return MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func newStore(n int, opts Options) *Store {
+	s := &Store{
+		sync:   opts.Sync,
+		group:  opts.GroupCommit,
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range s.shards {
+		sh := &shard{data: make(map[string][]byte)}
+		sh.gcond = sync.NewCond(&sh.gmu)
+		s.shards[i] = sh
+	}
+	if opts.Obs != nil {
+		s.applyTotal = opts.Obs.Counter("store_apply_total")
+		s.fsyncTotal = opts.Obs.Counter("store_fsync_total")
+		s.fsyncBatch = opts.Obs.Histogram("store_fsync_batch_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	}
+	return s
+}
+
+// OpenMemory returns a volatile store with no backing files and the
+// default shard count.
+func OpenMemory() *Store { return OpenMemoryShards(0) }
+
+// OpenMemoryShards returns a volatile store with n shards (0 = default).
+func OpenMemoryShards(n int) *Store {
+	return newStore(normalizeShards(n), Options{})
+}
+
+// Open loads (or creates) a store in dir, replaying snapshots and WAL
+// segments across shards in parallel.
 func Open(dir string, opts Options) (*Store, error) {
+	t0 := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{data: make(map[string][]byte), dir: dir, sync: opts.Sync}
-	if err := s.loadSnapshot(); err != nil {
-		return nil, err
-	}
-	if err := s.replayWAL(); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	n, err := resolveShardCount(dir, opts.Shards)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
-	s.wal = f
-	s.walBuf = bufio.NewWriter(f)
+	s := newStore(n, opts)
+	s.dir = dir
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	for i, sh := range s.shards {
+		f, err := os.OpenFile(s.walPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sh.wal = f
+		sh.walBuf = bufio.NewWriter(f)
+	}
+	if opts.Obs != nil {
+		opts.Obs.Gauge("store_recovery_seconds").Set(time.Since(t0).Seconds())
+	}
 	return s, nil
 }
 
-func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
-func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.kv") }
+const metaHeader = "openmfa-store v2"
 
-func (s *Store) loadSnapshot() error {
-	f, err := os.Open(s.snapshotPath())
+func metaPath(dir string) string { return filepath.Join(dir, "meta") }
+
+// resolveShardCount reads the persisted shard count, or persists the
+// requested one for a fresh directory. The count is immutable after
+// creation because keys hash to shards: rehashing on reopen would strand
+// records in the wrong segment.
+func resolveShardCount(dir string, requested int) (int, error) {
+	b, err := os.ReadFile(metaPath(dir))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	return s.readRecords(f, false)
-}
-
-func (s *Store) replayWAL() error {
-	f, err := os.Open(s.walPath())
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	return s.readRecords(f, true)
-}
-
-// readRecords applies "P key value" / "D key" lines. A torn final line
-// (crash mid-append) is tolerated in WAL mode and truncated away logically.
-func (s *Store) readRecords(r io.Reader, tolerateTorn bool) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		rec := sc.Text()
-		if rec == "" {
-			continue
+		n := normalizeShards(requested)
+		body := metaHeader + "\nshards " + strconv.Itoa(n) + "\n"
+		tmp := metaPath(dir) + ".tmp"
+		if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
 		}
-		op, key, val, err := decodeRecord(rec)
+		if err := os.Rename(tmp, metaPath(dir)); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		return n, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 2 || lines[0] != metaHeader || !strings.HasPrefix(lines[1], "shards ") {
+		return 0, fmt.Errorf("store: corrupt meta file %s", metaPath(dir))
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
+	if err != nil || n < 1 || n > MaxShards || n&(n-1) != 0 {
+		return 0, fmt.Errorf("store: corrupt meta file %s: bad shard count", metaPath(dir))
+	}
+	return n, nil
+}
+
+func (s *Store) walPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.wal", i))
+}
+
+func (s *Store) snapshotPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.kv", i))
+}
+
+// WALPaths lists the per-shard WAL segment paths (nil for in-memory
+// stores); exposed for operational tooling and the crash-recovery harness.
+func (s *Store) WALPaths() []string {
+	if s.dir == "" {
+		return nil
+	}
+	out := make([]string, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.walPath(i)
+	}
+	return out
+}
+
+// NumShards reports the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardFor reports which shard holds key; exposed for tooling and tests.
+func (s *Store) ShardFor(key string) int { return s.shardIndex(key) }
+
+// shardIndex hashes key to a shard with FNV-1a.
+func (s *Store) shardIndex(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h & s.mask)
+}
+
+func (s *Store) shardFor(key string) *shard { return s.shards[s.shardIndex(key)] }
+
+// recover loads every shard's snapshot and WAL segment in parallel, merges
+// the decoded batches by LSN, and applies the merged op stream back across
+// the shards in parallel (each key lands in exactly one shard, so per-key
+// order is preserved).
+func (s *Store) recover() error {
+	n := len(s.shards)
+	segBatches := make([][]walBatch, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			segBatches[i], errs[i] = s.recoverShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			if tolerateTorn {
-				// Assume crash wrote a partial record; ignore the
-				// remainder of the log.
-				return nil
-			}
-			return fmt.Errorf("store: corrupt record at line %d: %w", line, err)
+			return err
 		}
-		if op == 'D' {
-			delete(s.data, key)
+	}
+
+	// Merge segments by LSN. Each segment is already LSN-ascending
+	// (appends within a segment serialize on the shard lock), so a
+	// global sort is a merge of sorted runs.
+	var all []walBatch
+	for _, bs := range segBatches {
+		all = append(all, bs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
+
+	perShard := make([][]Op, n)
+	var maxLSN uint64
+	for _, b := range all {
+		if b.lsn > maxLSN {
+			maxLSN = b.lsn
+		}
+		for _, op := range b.ops {
+			d := s.shardIndex(op.Key)
+			perShard[d] = append(perShard[d], op)
+		}
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			applyOps(s.shards[i].data, perShard[i])
+		}(i)
+	}
+	wg.Wait()
+	s.lsn.Store(maxLSN)
+	return nil
+}
+
+// recoverShard loads shard i's snapshot (strict) and WAL segment
+// (truncating a torn tail), returning the segment's committed batches.
+// Only this goroutine touches shard i during recovery.
+func (s *Store) recoverShard(i int) ([]walBatch, error) {
+	sh := s.shards[i]
+	snap, err := os.ReadFile(s.snapshotPath(i))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(snap) > 0 {
+		recs, err := parseSnapshot(snap)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range recs {
+			applyOps(sh.data, b.ops)
+		}
+	}
+	wal, err := os.ReadFile(s.walPath(i))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	batches, valid := recoverSegment(wal)
+	if valid < len(wal) {
+		// Torn tail from a crash mid-append: drop the incomplete frame
+		// on disk too, so the next append starts at a frame boundary.
+		if err := os.Truncate(s.walPath(i), int64(valid)); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	for _, b := range batches {
+		sh.walLen += len(b.ops)
+	}
+	return batches, nil
+}
+
+func applyOps(data map[string][]byte, ops []Op) {
+	for _, op := range ops {
+		if op.Delete {
+			delete(data, op.Key)
 		} else {
-			s.data[key] = val
+			v := make([]byte, len(op.Value))
+			copy(v, op.Value)
+			data[op.Key] = v
 		}
-		s.walLen++
-	}
-	return sc.Err()
-}
-
-func encodeRecord(op Op) string {
-	k := base64.RawStdEncoding.EncodeToString([]byte(op.Key))
-	if op.Delete {
-		return "D " + k
-	}
-	return "P " + k + " " + base64.RawStdEncoding.EncodeToString(op.Value)
-}
-
-func decodeRecord(rec string) (op byte, key string, val []byte, err error) {
-	parts := strings.Split(rec, " ")
-	switch {
-	case len(parts) == 2 && parts[0] == "D":
-		kb, err := base64.RawStdEncoding.DecodeString(parts[1])
-		if err != nil {
-			return 0, "", nil, err
-		}
-		return 'D', string(kb), nil, nil
-	case len(parts) == 3 && parts[0] == "P":
-		kb, err := base64.RawStdEncoding.DecodeString(parts[1])
-		if err != nil {
-			return 0, "", nil, err
-		}
-		vb, err := base64.RawStdEncoding.DecodeString(parts[2])
-		if err != nil {
-			return 0, "", nil, err
-		}
-		return 'P', string(kb), vb, nil
-	default:
-		return 0, "", nil, fmt.Errorf("bad record %q", rec)
 	}
 }
 
 // Get returns the value for key. The returned slice is a copy.
 func (s *Store) Get(key string) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	v, ok := s.data[key]
+	v, ok := sh.data[key]
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -187,11 +403,15 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return out, nil
 }
 
-// Has reports whether key exists.
+// Has reports whether key exists (false after Close).
 func (s *Store) Has(key string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
+		return false
+	}
+	_, ok := sh.data[key]
 	return ok
 }
 
@@ -206,115 +426,322 @@ func (s *Store) Delete(key string) error {
 }
 
 // Apply commits a batch of operations atomically: either every op is
-// visible and logged, or none is.
+// visible and logged, or none is — including across a crash, because the
+// whole batch is one checksummed WAL frame. Batches spanning shards lock
+// the involved shards in ascending order and log to the lowest one.
 func (s *Store) Apply(batch []Op) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if s.walBuf != nil {
-		for _, op := range batch {
-			if _, err := s.walBuf.WriteString(encodeRecord(op) + "\n"); err != nil {
-				return fmt.Errorf("store: wal append: %w", err)
-			}
+	if len(batch) == 0 {
+		return nil
+	}
+
+	// Distinct involved shards, ascending (insertion sort: batches are
+	// small and usually single-key).
+	var idxBuf [8]int
+	idxs := idxBuf[:0]
+	for _, op := range batch {
+		d := s.shardIndex(op.Key)
+		pos := sort.SearchInts(idxs, d)
+		if pos < len(idxs) && idxs[pos] == d {
+			continue
 		}
-		if err := s.walBuf.Flush(); err != nil {
-			return fmt.Errorf("store: wal flush: %w", err)
+		idxs = append(idxs, 0)
+		copy(idxs[pos+1:], idxs[pos:])
+		idxs[pos] = d
+	}
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			s.shards[idxs[j]].mu.Unlock()
 		}
-		if s.sync {
-			if err := s.wal.Sync(); err != nil {
-				return fmt.Errorf("store: wal sync: %w", err)
+	}
+	if s.closed.Load() {
+		unlock()
+		return ErrClosed
+	}
+
+	seg := s.shards[idxs[0]]
+	var mySeq uint64
+	if s.dir != "" {
+		if seg.walErr != nil {
+			err := seg.walErr
+			unlock()
+			return err
+		}
+		rec := encodeBatchRecord(s.lsn.Add(1), batch)
+		if _, err := seg.walBuf.Write(rec); err != nil {
+			seg.walErr = fmt.Errorf("store: wal append: %w", err)
+			err = seg.walErr
+			unlock()
+			return err
+		}
+		if err := seg.walBuf.Flush(); err != nil {
+			seg.walErr = fmt.Errorf("store: wal flush: %w", err)
+			err = seg.walErr
+			unlock()
+			return err
+		}
+		if s.sync && !s.group {
+			if err := seg.wal.Sync(); err != nil {
+				seg.walErr = fmt.Errorf("store: wal sync: %w", err)
+				err = seg.walErr
+				unlock()
+				return err
 			}
+			s.fsyncTotal.Inc()
+			s.fsyncBatch.Observe(1)
+		}
+		seg.walLen += len(batch)
+		if s.sync && s.group {
+			mySeq = seg.seq.Add(1)
 		}
 	}
 	for _, op := range batch {
+		sh := s.shardFor(op.Key)
 		if op.Delete {
-			delete(s.data, op.Key)
+			delete(sh.data, op.Key)
 		} else {
 			v := make([]byte, len(op.Value))
 			copy(v, op.Value)
-			s.data[op.Key] = v
+			sh.data[op.Key] = v
 		}
 	}
-	s.walLen += len(batch)
+	unlock()
+	s.applyTotal.Inc()
+	if s.dir != "" && s.sync && s.group {
+		return s.waitGroupSync(seg, mySeq)
+	}
 	return nil
 }
 
-// KV is a key-value pair returned by Scan.
-type KV struct {
-	Key   string
-	Value []byte
+// waitGroupSync blocks until an fsync covers mySeq. The first committer to
+// arrive while no fsync is running becomes the leader and syncs on behalf
+// of everything flushed so far; the rest wait on the condition variable.
+// Shard locks are NOT held here, so readers and later writers proceed
+// while the disk works.
+func (s *Store) waitGroupSync(sh *shard, mySeq uint64) error {
+	sh.gmu.Lock()
+	defer sh.gmu.Unlock()
+	for sh.synced < mySeq {
+		if sh.gerr != nil {
+			return sh.gerr
+		}
+		if sh.syncing {
+			sh.gcond.Wait()
+			continue
+		}
+		sh.syncing = true
+		sh.gmu.Unlock()
+		if s.syncDelay != nil {
+			s.syncDelay()
+		}
+		target := sh.seq.Load() // every batch ≤ target is flushed to the OS
+		err := sh.wal.Sync()
+		sh.gmu.Lock()
+		sh.syncing = false
+		if err != nil {
+			// Fail-stop: a lost fsync means unknown durability, so
+			// every subsequent committer sees the fault.
+			sh.gerr = fmt.Errorf("store: wal sync: %w", err)
+		} else {
+			s.fsyncTotal.Inc()
+			s.fsyncBatch.Observe(float64(target - sh.synced))
+			sh.synced = target
+		}
+		sh.gcond.Broadcast()
+	}
+	return nil
 }
 
-// Scan returns all pairs whose key starts with prefix, sorted by key.
-func (s *Store) Scan(prefix string) []KV {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []KV
-	for k, v := range s.data {
-		if strings.HasPrefix(k, prefix) {
-			val := make([]byte, len(v))
-			copy(val, v)
-			out = append(out, KV{Key: k, Value: val})
+// Scan returns all pairs whose key starts with prefix, sorted by key. The
+// per-shard results are collected under each shard's read lock and merged
+// (each shard's slice is sorted; keys never repeat across shards).
+func (s *Store) Scan(prefix string) ([]KV, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	parts := make([][]KV, 0, len(s.shards))
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if s.closed.Load() {
+			sh.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		var part []KV
+		for k, v := range sh.data {
+			if strings.HasPrefix(k, prefix) {
+				val := make([]byte, len(v))
+				copy(val, v)
+				part = append(part, KV{Key: k, Value: val})
+			}
+		}
+		sh.mu.RUnlock()
+		if len(part) > 0 {
+			sort.Slice(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+			parts = append(parts, part)
+			total += len(part)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return mergeKVs(parts, total), nil
 }
 
-// Count returns the number of keys with the given prefix.
-func (s *Store) Count(prefix string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for k := range s.data {
-		if strings.HasPrefix(k, prefix) {
-			n++
+// mergeKVs k-way merges sorted per-shard runs into one sorted slice.
+func mergeKVs(parts [][]KV, total int) []KV {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	var out []KV
+	if total > 0 {
+		out = make([]KV, 0, total)
+	}
+	idx := make([]int, len(parts))
+	for {
+		best := -1
+		for i, p := range parts {
+			if idx[i] < len(p) && (best < 0 || p[idx[i]].Key < parts[best][idx[best]].Key) {
+				best = i
+			}
 		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// Count returns the number of keys with the given prefix (0 after Close).
+func (s *Store) Count(prefix string) int {
+	if s.closed.Load() {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if s.closed.Load() {
+			sh.mu.RUnlock()
+			return 0
+		}
+		for k := range sh.data {
+			if strings.HasPrefix(k, prefix) {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// Len returns the total number of keys.
+// Len returns the total number of keys (0 after Close).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
+	if s.closed.Load() {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if s.closed.Load() {
+			sh.mu.RUnlock()
+			return 0
+		}
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// WALRecords reports the number of WAL records accumulated since the last
-// compaction; exposed for compaction policies and tests.
+// WALRecords reports the number of WAL ops accumulated since the last
+// compaction, summed across segments (0 for in-memory stores and after
+// Close); exposed for compaction policies and tests.
 func (s *Store) WALRecords() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.walLen
+	if s.closed.Load() {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if s.closed.Load() {
+			sh.mu.RUnlock()
+			return 0
+		}
+		n += sh.walLen
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Compact writes a fresh snapshot of the current state and truncates the
-// WAL. Readers and writers are blocked for the duration.
+// snapshotChunk bounds the ops per snapshot frame so a snapshot streams as
+// modest records rather than one giant allocation.
+const snapshotChunk = 1024
+
+// Compact writes a fresh snapshot of every shard and truncates the WAL
+// segments. Readers and writers are blocked for the duration.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for j := len(s.shards) - 1; j >= 0; j-- {
+			s.shards[j].mu.Unlock()
+		}
+	}()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.dir == "" {
 		return nil // in-memory: nothing to do
 	}
-	tmp := s.snapshotPath() + ".tmp"
+	for i, sh := range s.shards {
+		if sh.walErr != nil {
+			return sh.walErr
+		}
+		if err := s.writeSnapshot(i, sh); err != nil {
+			return err
+		}
+	}
+	// Every snapshot is durable; now the segments can drop.
+	for _, sh := range s.shards {
+		if err := sh.wal.Truncate(0); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if _, err := sh.wal.Seek(0, 0); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		sh.walBuf.Reset(sh.wal)
+		sh.walLen = 0
+	}
+	return nil
+}
+
+// writeSnapshot persists shard i's map as chunked snapshot frames via
+// write-to-temp, fsync, rename.
+func (s *Store) writeSnapshot(i int, sh *shard) error {
+	tmp := s.snapshotPath(i) + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
+	keys := make([]string, 0, len(sh.data))
+	for k := range sh.data {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		if _, err := w.WriteString(encodeRecord(Op{Key: k, Value: s.data[k]}) + "\n"); err != nil {
+	for off := 0; off < len(keys); off += snapshotChunk {
+		end := off + snapshotChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		ops := make([]Op, 0, end-off)
+		for _, k := range keys[off:end] {
+			ops = append(ops, Op{Key: k, Value: sh.data[k]})
+		}
+		if _, err := w.Write(encodeBatchRecord(0, ops)); err != nil {
 			f.Close()
 			return fmt.Errorf("store: compact: %w", err)
 		}
@@ -330,34 +757,55 @@ func (s *Store) Compact() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+	if err := os.Rename(tmp, s.snapshotPath(i)); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	// Truncate the WAL now that the snapshot covers it.
-	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: compact: %w", err)
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: compact: %w", err)
-	}
-	s.walBuf.Reset(s.wal)
-	s.walLen = 0
 	return nil
 }
 
-// Close flushes and closes the WAL. Further operations return ErrClosed.
+// closeFiles closes any WAL files opened so far (Open error paths).
+func (s *Store) closeFiles() {
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.Close()
+		}
+	}
+}
+
+// Close flushes, fsyncs, and closes every WAL segment. Further operations
+// return ErrClosed (or zero for the counting reads). In-flight group
+// commits are satisfied by Close's final fsync.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	if s.walBuf != nil {
-		if err := s.walBuf.Flush(); err != nil {
-			return err
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.wal != nil {
+			if err := sh.walBuf.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.gmu.Lock()
+			for sh.syncing {
+				sh.gcond.Wait()
+			}
+			target := sh.seq.Load()
+			if err := sh.wal.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := sh.wal.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.synced = target
+			if sh.gerr == nil {
+				sh.gerr = ErrClosed
+			}
+			sh.gcond.Broadcast()
+			sh.gmu.Unlock()
 		}
-		return s.wal.Close()
+		sh.data = nil
+		sh.mu.Unlock()
 	}
-	return nil
+	return firstErr
 }

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL batch-record framing (format v2). Every Apply appends exactly one
+// frame to one shard segment:
+//
+//	[u32 payload length][u32 CRC32-IEEE of payload][payload][0xC3]
+//
+// payload:
+//
+//	[u64 LSN][u32 nops] then per op:
+//	  [u8 kind (0 put, 1 delete)][u32 klen][key] (+ [u32 vlen][value] for puts)
+//
+// All integers are little-endian. A frame is committed only when it is
+// complete — length, checksum, payload, and the trailing commit marker all
+// present and consistent. Recovery truncates a segment at the first
+// incomplete or corrupt frame, so a crash mid-Apply either replays the
+// whole batch or none of it; the v1 text WAL replayed a prefix of the
+// batch, breaking Apply's atomicity promise.
+const (
+	commitMarker    = 0xC3
+	frameHeaderSize = 8  // payload length + CRC
+	minPayloadSize  = 12 // LSN + op count
+	maxPayloadSize  = 1 << 30
+
+	opPut    = 0
+	opDelete = 1
+)
+
+var (
+	errShortFrame  = errors.New("store: incomplete wal frame")
+	errBadLength   = errors.New("store: wal frame length out of range")
+	errBadChecksum = errors.New("store: wal frame checksum mismatch")
+	errBadMarker   = errors.New("store: wal frame missing commit marker")
+)
+
+// walBatch is one decoded batch record.
+type walBatch struct {
+	lsn uint64
+	ops []Op
+}
+
+// encodedBatchLen returns the payload size for batch.
+func encodedBatchLen(batch []Op) int {
+	n := minPayloadSize
+	for _, op := range batch {
+		n += 1 + 4 + len(op.Key)
+		if !op.Delete {
+			n += 4 + len(op.Value)
+		}
+	}
+	return n
+}
+
+// encodeBatchRecord renders one complete frame (header, payload, marker).
+func encodeBatchRecord(lsn uint64, batch []Op) []byte {
+	plen := encodedBatchLen(batch)
+	buf := make([]byte, frameHeaderSize+plen+1)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(plen))
+	p := buf[frameHeaderSize : frameHeaderSize+plen]
+	binary.LittleEndian.PutUint64(p[0:8], lsn)
+	binary.LittleEndian.PutUint32(p[8:12], uint32(len(batch)))
+	off := 12
+	for _, op := range batch {
+		if op.Delete {
+			p[off] = opDelete
+		} else {
+			p[off] = opPut
+		}
+		off++
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(op.Key)))
+		off += 4
+		off += copy(p[off:], op.Key)
+		if !op.Delete {
+			binary.LittleEndian.PutUint32(p[off:], uint32(len(op.Value)))
+			off += 4
+			off += copy(p[off:], op.Value)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	buf[frameHeaderSize+plen] = commitMarker
+	return buf
+}
+
+// decodeBatchRecord parses the frame at the head of data. frameLen is the
+// number of bytes the frame occupies when err is nil. Decoded keys and
+// values are copies; they do not alias data.
+func decodeBatchRecord(data []byte) (b walBatch, frameLen int, err error) {
+	if len(data) < frameHeaderSize {
+		return walBatch{}, 0, errShortFrame
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen < minPayloadSize || plen > maxPayloadSize {
+		return walBatch{}, 0, errBadLength
+	}
+	total := frameHeaderSize + int(plen) + 1
+	if len(data) < total {
+		return walBatch{}, 0, errShortFrame
+	}
+	payload := data[frameHeaderSize : frameHeaderSize+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return walBatch{}, 0, errBadChecksum
+	}
+	if data[total-1] != commitMarker {
+		return walBatch{}, 0, errBadMarker
+	}
+	lsn, ops, err := decodeBatchPayload(payload)
+	if err != nil {
+		return walBatch{}, 0, err
+	}
+	return walBatch{lsn: lsn, ops: ops}, total, nil
+}
+
+// decodeBatchPayload parses a checksummed payload into its ops. It is
+// strict: every byte must be consumed, so encode→decode→encode is
+// byte-identical.
+func decodeBatchPayload(p []byte) (lsn uint64, ops []Op, err error) {
+	lsn = binary.LittleEndian.Uint64(p[0:8])
+	nops := binary.LittleEndian.Uint32(p[8:12])
+	// Each op needs at least kind+klen (5 bytes); reject counts the
+	// payload cannot hold before allocating.
+	if int64(nops)*5 > int64(len(p)-minPayloadSize) && nops > 0 {
+		return 0, nil, fmt.Errorf("store: wal op count %d exceeds payload", nops)
+	}
+	ops = make([]Op, 0, nops)
+	off := 12
+	for i := uint32(0); i < nops; i++ {
+		if off+5 > len(p) {
+			return 0, nil, errShortFrame
+		}
+		kind := p[off]
+		if kind != opPut && kind != opDelete {
+			return 0, nil, fmt.Errorf("store: wal op kind %d unknown", kind)
+		}
+		klen := int(binary.LittleEndian.Uint32(p[off+1:]))
+		off += 5
+		if klen < 0 || off+klen > len(p) {
+			return 0, nil, errShortFrame
+		}
+		op := Op{Key: string(p[off : off+klen]), Delete: kind == opDelete}
+		off += klen
+		if kind == opPut {
+			if off+4 > len(p) {
+				return 0, nil, errShortFrame
+			}
+			vlen := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if vlen < 0 || off+vlen > len(p) {
+				return 0, nil, errShortFrame
+			}
+			op.Value = append([]byte(nil), p[off:off+vlen]...)
+			off += vlen
+		}
+		ops = append(ops, op)
+	}
+	if off != len(p) {
+		return 0, nil, fmt.Errorf("store: %d trailing bytes in wal payload", len(p)-off)
+	}
+	return lsn, ops, nil
+}
+
+// recoverSegment decodes frames until the first incomplete or corrupt one.
+// valid is the byte offset of the last complete frame — the truncation
+// point for a torn tail. It never fails: a corrupt segment simply yields
+// the committed prefix.
+func recoverSegment(data []byte) (batches []walBatch, valid int) {
+	for valid < len(data) {
+		b, n, err := decodeBatchRecord(data[valid:])
+		if err != nil {
+			return batches, valid
+		}
+		batches = append(batches, b)
+		valid += n
+	}
+	return batches, valid
+}
+
+// parseSnapshot decodes a snapshot file, which uses the same framing but
+// strictly: any damage is an error, because a snapshot is written with
+// fsync+rename and must never be torn.
+func parseSnapshot(data []byte) ([]walBatch, error) {
+	var batches []walBatch
+	off := 0
+	for off < len(data) {
+		b, n, err := decodeBatchRecord(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("store: corrupt snapshot at offset %d: %w", off, err)
+		}
+		batches = append(batches, b)
+		off += n
+	}
+	return batches, nil
+}
