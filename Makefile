@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench figures authwatch-smoke fuzz cover clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs authwatch-smoke fuzz cover
+verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +85,29 @@ cover:
 # Full benchmark harness (figures, tables, ablations).
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Recorded perf trajectory: run the wire-to-WAL hot-path benchmarks with
+# -benchmem and write BENCH_$(BENCH_PR).json (see DESIGN.md §10). The
+# -require list fails the target if any expected benchmark disappears.
+BENCH_PR ?= 6
+BENCH_JSON_TIME ?= 1s
+BENCH_JSON_PATTERN = BenchmarkHOTP$$|BenchmarkEncode$$|BenchmarkDecode$$|BenchmarkHidePassword$$|BenchmarkExchange$$|BenchmarkCheckSuccess$$|BenchmarkSecretCacheHit$$|BenchmarkSecretOpenMiss$$|BenchmarkApplyParallel$$|BenchmarkBatcherParallel$$|BenchmarkGroupCommitSync$$|BenchmarkEndToEndMFALogin$$
+BENCH_JSON_PKGS = ./internal/otp ./internal/radius ./internal/otpd ./internal/store .
+BENCH_JSON_REQUIRE = HOTP,Encode,Decode,HidePassword,Exchange,CheckSuccess,SecretCacheHit,SecretOpenMiss,ApplyParallel,BatcherParallel,GroupCommitSync,EndToEndMFALogin
+
+bench-json:
+	$(GO) test -run xxx -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+		-benchtime $(BENCH_JSON_TIME) -count 1 $(BENCH_JSON_PKGS) \
+		| $(GO) run ./cmd/benchjson -pr $(BENCH_PR) \
+		-require $(BENCH_JSON_REQUIRE) -out BENCH_$(BENCH_PR).json
+
+# Verify-gate smoke: same pipeline at -benchtime 1x, output discarded.
+# Catches renamed/broken benchmarks and parser regressions cheaply.
+bench-json-smoke:
+	$(GO) test -run xxx -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+		-benchtime 1x -count 1 $(BENCH_JSON_PKGS) \
+		| $(GO) run ./cmd/benchjson -pr $(BENCH_PR) \
+		-require $(BENCH_JSON_REQUIRE) > /dev/null
 
 clean:
 	$(GO) clean ./...

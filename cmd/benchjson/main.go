@@ -1,0 +1,102 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// repo's recorded perf trajectory (BENCH_<pr>.json).
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -pr 6 -out BENCH_6.json \
+//	    -require Encode,Decode,CheckSuccess
+//
+// The -require list makes the pipeline fail loudly when an expected
+// benchmark vanishes (renamed, skipped, or its package failed to build)
+// instead of silently recording a thinner trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"openmfa/internal/benchfmt"
+)
+
+// document is the stable on-disk schema for BENCH_*.json.
+type document struct {
+	Schema int    `json:"schema"`
+	PR     int    `json:"pr,omitempty"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+
+	Benchmarks []benchfmt.Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		pr      = flag.Int("pr", 0, "PR number recorded in the document")
+		out     = flag.String("out", "", "output path (default stdout)")
+		require = flag.String("require", "", "comma-separated benchmark names that must be present")
+	)
+	flag.Parse()
+
+	set, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(set.Results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin"))
+	}
+	if *require != "" {
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && !present(set, name) {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fatal(fmt.Errorf("benchjson: required benchmarks missing: %s",
+				strings.Join(missing, ", ")))
+		}
+	}
+
+	doc := document{
+		Schema: 1, PR: *pr,
+		Date: time.Now().UTC().Format("2006-01-02"),
+		Go:   runtime.Version(),
+		GoOS: set.GoOS, GoArch: set.GoArch, CPU: set.CPU,
+		Benchmarks: set.Results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// present matches exact names and sub-benchmark prefixes, so
+// -require ApplyParallel is satisfied by ApplyParallel/shards=4.
+func present(s *benchfmt.Set, name string) bool {
+	for _, r := range s.Results {
+		if r.Name == name || strings.HasPrefix(r.Name, name+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

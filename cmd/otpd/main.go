@@ -41,6 +41,7 @@ func main() {
 		logRate    = flag.Int("log-rate", 200, "max identical log lines per second before sampling (0 = unlimited)")
 		shards     = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
 		groupSync  = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
+		coalesce   = flag.Bool("coalesce-writes", true, "batch concurrent record saves into shared WAL frames")
 	)
 	flag.Parse()
 	if *adminPass == "" {
@@ -87,6 +88,7 @@ func main() {
 		DB: db, EncryptionKey: key, Issuer: *issuer,
 		Obs: reg, Logger: logger,
 		Spans: spans, Events: bus,
+		CoalesceWrites: *coalesce,
 	})
 	if err != nil {
 		log.Fatalf("otpd: %v", err)

@@ -1,0 +1,151 @@
+// Package benchfmt parses the text output of `go test -bench -benchmem`
+// into a structured form so the perf trajectory can be recorded as JSON
+// (BENCH_*.json) and diffed across PRs instead of eyeballed in CI logs.
+//
+// The format parsed is the de-facto standard benchmark line:
+//
+//	BenchmarkEncode-8   19225830   59.80 ns/op   0 B/op   0 allocs/op
+//
+// plus the `pkg:`, `goos:`, `goarch:`, and `cpu:` header lines `go test`
+// prints per package. Custom metrics reported with b.ReportMetric parse the
+// same way (value unit pairs); everything lands in Result.Metrics keyed by
+// unit, with the three standard units mirrored into named fields.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Pkg is the import path from the most recent pkg: header, empty if
+	// the output carried none (e.g. a single-package run piped through
+	// grep).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix; sub-benchmark path segments are
+	// kept ("ApplyParallel/shards=4").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the standard units.
+	// AllocsPerOp is -1 when the run lacked -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds every value/unit pair on the line, including the
+	// standard three and any b.ReportMetric extras.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Set is a parsed benchmark run.
+type Set struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"benchmarks"`
+}
+
+// Parse consumes go test -bench output. Unrecognised lines (PASS, ok,
+// test log noise) are skipped; a line that starts like a benchmark result
+// but fails to parse is an error, so silent corruption cannot produce an
+// empty-but-plausible trajectory file.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "goos: "):
+			s.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+		case strings.HasPrefix(line, "goarch: "):
+			s.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: line %d: %w", ln, err)
+			}
+			s.Results = append(s.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return s, nil
+}
+
+func parseLine(line, pkg string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	name, procs := splitProcs(strings.TrimPrefix(f[0], "Benchmark"))
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations %q: %v", f[1], err)
+	}
+	res := Result{
+		Pkg: pkg, Name: name, Procs: procs, Iterations: iters,
+		AllocsPerOp: -1,
+		Metrics:     make(map[string]float64),
+	}
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd value/unit tail in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value %q: %v", rest[i], err)
+		}
+		unit := rest[i+1]
+		res.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, nil
+}
+
+// splitProcs strips a trailing -GOMAXPROCS from the last path segment
+// ("ApplyParallel/shards=4-8" → "ApplyParallel/shards=4", 8). A trailing
+// -N is only treated as a procs suffix when N parses as an integer, so
+// names that merely end in a dash-word survive.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || strings.ContainsRune(name[i:], '/') {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// Find returns the first result whose name matches exactly, or nil.
+func (s *Set) Find(name string) *Result {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}

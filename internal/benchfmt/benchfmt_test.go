@@ -1,0 +1,109 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: openmfa/internal/radius
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEncode-8   	19225830	        59.80 ns/op	       0 B/op	       0 allocs/op
+BenchmarkExchange-8 	   28135	     42749 ns/op	    6513 B/op	      73 allocs/op
+PASS
+ok  	openmfa/internal/radius	1.952s
+pkg: openmfa/internal/store
+BenchmarkApplyParallel/shards=4-8         	  759058	      1456 ns/op	     354 B/op	       5 allocs/op
+BenchmarkGroupCommitSync-8                	    1200	    995432 ns/op	  12.50 syncs/op	     210 B/op	       3 allocs/op
+ok  	openmfa/internal/store	3.1s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GoOS != "linux" || s.GoArch != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("header = %q/%q/%q", s.GoOS, s.GoArch, s.CPU)
+	}
+	if len(s.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(s.Results))
+	}
+
+	enc := s.Find("Encode")
+	if enc == nil {
+		t.Fatal("Encode missing")
+	}
+	if enc.Pkg != "openmfa/internal/radius" || enc.Procs != 8 ||
+		enc.Iterations != 19225830 || enc.NsPerOp != 59.80 ||
+		enc.BytesPerOp != 0 || enc.AllocsPerOp != 0 {
+		t.Fatalf("Encode = %+v", enc)
+	}
+
+	// Sub-benchmark: the /shards=4 segment survives, the -8 suffix goes,
+	// and the pkg header from the second package applies.
+	ap := s.Find("ApplyParallel/shards=4")
+	if ap == nil {
+		t.Fatal("ApplyParallel/shards=4 missing")
+	}
+	if ap.Pkg != "openmfa/internal/store" || ap.AllocsPerOp != 5 {
+		t.Fatalf("ApplyParallel = %+v", ap)
+	}
+
+	// Custom metric from b.ReportMetric lands in Metrics.
+	gc := s.Find("GroupCommitSync")
+	if gc == nil {
+		t.Fatal("GroupCommitSync missing")
+	}
+	if gc.Metrics["syncs/op"] != 12.5 {
+		t.Fatalf("syncs/op = %v", gc.Metrics["syncs/op"])
+	}
+}
+
+func TestParseNoBenchmem(t *testing.T) {
+	s, err := Parse(strings.NewReader("BenchmarkX \t 100 \t 5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Find("X")
+	if r == nil {
+		t.Fatal("X missing")
+	}
+	if r.Procs != 1 || r.AllocsPerOp != -1 || r.NsPerOp != 5.0 {
+		t.Fatalf("X = %+v", r)
+	}
+}
+
+func TestParseRejectsCorruptLine(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkY-8 notanumber 5.0 ns/op\n",
+		"BenchmarkY-8 100 5.0 ns/op 3\n", // dangling value without unit
+		"BenchmarkY-8 100 zz ns/op\n",    // bad value
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		n    int
+	}{
+		{"Encode-8", "Encode", 8},
+		{"Encode", "Encode", 1},
+		{"Apply/shards=4-16", "Apply/shards=4", 16},
+		{"Apply/n-1/sub", "Apply/n-1/sub", 1}, // dash inside a middle segment
+		{"Weird-", "Weird-", 1},
+		{"Trailing-word", "Trailing-word", 1},
+	}
+	for _, c := range cases {
+		name, n := splitProcs(c.in)
+		if name != c.name || n != c.n {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, n, c.name, c.n)
+		}
+	}
+}

@@ -126,6 +126,10 @@ type Options struct {
 	// StoreGroupCommit coalesces concurrent committers into shared fsyncs
 	// when StoreSync is set.
 	StoreGroupCommit bool
+	// CoalesceWrites batches concurrent otpd record saves into shared WAL
+	// frames (one frame per burst instead of one per login); composes
+	// with StoreGroupCommit, which only shares the fsyncs.
+	CoalesceWrites bool
 }
 
 // ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
@@ -246,6 +250,7 @@ func New(opts Options) (*Infrastructure, error) {
 		Issuer:           "HPC",
 		LockoutThreshold: opts.LockoutThreshold,
 		OTP:              opts.OTP,
+		CoalesceWrites:   opts.CoalesceWrites,
 		Obs:              opts.Obs,
 		Logger:           opts.Logger,
 		Spans:            opts.Spans,

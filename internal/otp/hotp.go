@@ -14,11 +14,13 @@ import (
 	"crypto/sha1"
 	"crypto/sha256"
 	"crypto/sha512"
+	"crypto/subtle"
 	"encoding/base32"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash"
+	"math"
 	"strings"
 )
 
@@ -84,13 +86,34 @@ const (
 	EightDigits Digits = 8
 )
 
-// Valid reports whether d is a code length HOTP supports (1..9; 10^d must
-// fit in uint32 truncation space, and RFC 4226 requires at least 6).
+// Valid reports whether d is a code length HOTP supports (6..9: RFC 4226
+// §5.3 requires at least six digits, and 10^d must fit in the 31-bit
+// truncation space, which caps d at nine).
 func (d Digits) Valid() bool { return d >= 6 && d <= 9 }
 
 // Format renders a truncated HOTP value as a zero-padded code string.
+// Values already reduced modulo 10^d (as HOTP truncation guarantees) take
+// the fixed-size encoder; anything else falls back to fmt, preserving the
+// historical print-every-digit behaviour for out-of-contract input.
 func (d Digits) Format(v uint32) string {
-	return fmt.Sprintf("%0*d", int(d), v)
+	if !d.Valid() || v >= pow10[d] {
+		return fmt.Sprintf("%0*d", int(d), v)
+	}
+	var buf [9]byte
+	return string(d.appendFormat(buf[:0], v))
+}
+
+// appendFormat appends the zero-padded decimal rendering of v to dst
+// without going through fmt. d must be Valid; v must already be reduced
+// modulo 10^d (as HOTP truncation guarantees).
+func (d Digits) appendFormat(dst []byte, v uint32) []byte {
+	var buf [9]byte
+	n := int(d)
+	for i := n - 1; i >= 0; i-- {
+		buf[i] = '0' + byte(v%10)
+		v /= 10
+	}
+	return append(dst, buf[:n]...)
 }
 
 var pow10 = [...]uint32{1, 10, 100, 1000, 10000, 100000, 1000000, 10000000, 100000000, 1000000000}
@@ -98,53 +121,102 @@ var pow10 = [...]uint32{1, 10, 100, 1000, 10000, 100000, 1000000, 10000000, 1000
 // ErrInvalidDigits is returned for unsupported code lengths.
 var ErrInvalidDigits = errors.New("otp: digits must be between 6 and 9")
 
+// Generator computes HOTP codes for one secret without re-keying the HMAC
+// per code: the keyed state is built once in NewGenerator and Reset between
+// counters, so a drift-window scan costs one key schedule total instead of
+// one per candidate, and the per-code path performs no heap allocation.
+type Generator struct {
+	mac    hash.Hash
+	digits Digits
+	ctr    [8]byte
+	sum    [sha512.Size]byte
+}
+
+// NewGenerator builds a reusable code generator. A Generator is not safe
+// for concurrent use.
+func NewGenerator(secret []byte, digits Digits, alg Algorithm) (*Generator, error) {
+	if !digits.Valid() {
+		return nil, ErrInvalidDigits
+	}
+	switch alg {
+	case SHA1, SHA256, SHA512:
+	default:
+		return nil, fmt.Errorf("otp: unknown algorithm %v", alg)
+	}
+	return &Generator{mac: hmac.New(alg.newHash(), secret), digits: digits}, nil
+}
+
+// Value computes the truncated RFC 4226 §5.3 value (already reduced modulo
+// 10^digits) for counter.
+func (g *Generator) Value(counter uint64) uint32 {
+	g.mac.Reset()
+	binary.BigEndian.PutUint64(g.ctr[:], counter)
+	g.mac.Write(g.ctr[:])
+	sum := g.mac.Sum(g.sum[:0])
+	offset := sum[len(sum)-1] & 0x0f
+	code := binary.BigEndian.Uint32(sum[offset:offset+4]) & 0x7fffffff
+	return code % pow10[g.digits]
+}
+
+// AppendCode appends the zero-padded code for counter to dst, allocating
+// only if dst lacks capacity.
+func (g *Generator) AppendCode(dst []byte, counter uint64) []byte {
+	return g.digits.appendFormat(dst, g.Value(counter))
+}
+
+// Code returns the code for counter as a string (one allocation for the
+// returned string).
+func (g *Generator) Code(counter uint64) string {
+	var buf [9]byte
+	return string(g.AppendCode(buf[:0], counter))
+}
+
 // HOTP computes the RFC 4226 HMAC-based one-time password for the given
 // secret key and moving counter.
 func HOTP(secret []byte, counter uint64, digits Digits, alg Algorithm) (string, error) {
-	if !digits.Valid() {
-		return "", ErrInvalidDigits
+	g, err := NewGenerator(secret, digits, alg)
+	if err != nil {
+		return "", err
 	}
-	mac := hmac.New(alg.newHash(), secret)
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], counter)
-	mac.Write(buf[:])
-	sum := mac.Sum(nil)
-
-	// Dynamic truncation (RFC 4226 §5.3).
-	offset := sum[len(sum)-1] & 0x0f
-	code := binary.BigEndian.Uint32(sum[offset:offset+4]) & 0x7fffffff
-	return digits.Format(code % pow10[digits]), nil
+	return g.Code(counter), nil
 }
 
 // ValidateHOTP reports whether code matches any counter in
 // [counter, counter+window] and returns the matching counter. A window of 0
-// checks exactly one value. The comparison is constant-time per candidate.
+// checks exactly one value; a scan whose upper end would overflow uint64 is
+// clamped at MaxUint64 instead of wrapping around to counter zero. The
+// comparison is constant-time per candidate.
 func ValidateHOTP(secret []byte, code string, counter uint64, window int, digits Digits, alg Algorithm) (uint64, bool) {
 	if window < 0 {
 		window = 0
 	}
-	for i := 0; i <= window; i++ {
-		c := counter + uint64(i)
-		want, err := HOTP(secret, c, digits, alg)
-		if err != nil {
-			return 0, false
-		}
-		if subtleEqual(want, code) {
+	g, err := NewGenerator(secret, digits, alg)
+	if err != nil {
+		return 0, false
+	}
+	end := counter + uint64(window)
+	if end < counter {
+		end = math.MaxUint64
+	}
+	var buf [9]byte
+	for c := counter; ; c++ {
+		if codeEqual(g.AppendCode(buf[:0], c), code) {
 			return c, true
 		}
+		if c == end {
+			return 0, false
+		}
 	}
-	return 0, false
 }
 
-func subtleEqual(a, b string) bool {
-	if len(a) != len(b) {
+// codeEqual compares a computed code against user input in constant time
+// via the vetted crypto/subtle primitive. The length check leaks only the
+// length of the attacker-supplied input, never secret-derived data.
+func codeEqual(want []byte, code string) bool {
+	if len(want) != len(code) {
 		return false
 	}
-	var v byte
-	for i := 0; i < len(a); i++ {
-		v |= a[i] ^ b[i]
-	}
-	return v == 0
+	return subtle.ConstantTimeCompare(want, []byte(code)) == 1
 }
 
 // Base32 secret helpers. Secrets travel in unpadded RFC 4648 Base32, the

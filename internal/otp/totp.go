@@ -2,6 +2,7 @@ package otp
 
 import (
 	"errors"
+	"math"
 	"time"
 )
 
@@ -89,6 +90,10 @@ func ValidateTOTP(secret []byte, code string, t time.Time, o TOTPOptions) (uint6
 	if !ok {
 		return 0, false
 	}
+	g, err := NewGenerator(secret, o.Digits, o.Algorithm)
+	if err != nil {
+		return 0, false
+	}
 	steps := o.skewSteps()
 
 	lo := uint64(0)
@@ -96,25 +101,28 @@ func ValidateTOTP(secret []byte, code string, t time.Time, o TOTPOptions) (uint6
 		lo = center - steps
 	}
 	hi := center + steps
+	if hi < center {
+		hi = math.MaxUint64 // clamp instead of wrapping to counter zero
+	}
+	var buf [9]byte
+	match := func(c uint64) bool {
+		return codeEqual(g.AppendCode(buf[:0], c), code)
+	}
 	// Check the centre first (the common case), then spiral outwards so
-	// that small drifts validate fastest.
-	if matchCounter(secret, code, center, o) {
+	// that small drifts validate fastest. One Generator serves the whole
+	// scan: the HMAC is keyed once, Reset per candidate.
+	if match(center) {
 		return center, true
 	}
 	for d := uint64(1); d <= steps; d++ {
-		if center+d <= hi && matchCounter(secret, code, center+d, o) {
+		if hi-center >= d && match(center+d) {
 			return center + d, true
 		}
-		if center >= d && center-d >= lo && matchCounter(secret, code, center-d, o) {
+		if center >= d && center-d >= lo && match(center-d) {
 			return center - d, true
 		}
 	}
 	return 0, false
-}
-
-func matchCounter(secret []byte, code string, c uint64, o TOTPOptions) bool {
-	want, err := HOTP(secret, c, o.Digits, o.Algorithm)
-	return err == nil && subtleEqual(want, code)
 }
 
 // Resync searches a wide window around server time t for two consecutive
@@ -126,12 +134,24 @@ func Resync(secret []byte, code1, code2 string, t time.Time, searchSteps uint64,
 	if !ok {
 		return 0, false
 	}
+	g, err := NewGenerator(secret, o.Digits, o.Algorithm)
+	if err != nil {
+		return 0, false
+	}
 	lo := uint64(0)
 	if center > searchSteps {
 		lo = center - searchSteps
 	}
-	for c := lo; c <= center+searchSteps; c++ {
-		if matchCounter(secret, code1, c, o) && matchCounter(secret, code2, c+1, o) {
+	hi := center + searchSteps
+	if hi < center || hi == math.MaxUint64 {
+		hi = math.MaxUint64 - 1 // the scan probes c+1, which must not wrap
+	}
+	var buf [9]byte
+	match := func(c uint64, code string) bool {
+		return codeEqual(g.AppendCode(buf[:0], c), code)
+	}
+	for c := lo; c <= hi; c++ {
+		if match(c, code1) && match(c+1, code2) {
 			return c + 1, true
 		}
 	}

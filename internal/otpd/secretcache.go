@@ -1,0 +1,82 @@
+package otpd
+
+import (
+	"bytes"
+	"sync"
+)
+
+// maxCachedSecrets bounds the decrypted-secret cache. At roughly 100 bytes
+// per entry the worst case is ~13 MiB; past the cap the whole map is
+// dropped and rebuilt read-mostly, which is cheaper and simpler than an
+// eviction order the hit path would have to maintain.
+const maxCachedSecrets = 1 << 17
+
+// secretCache is a read-mostly map of user → decrypted token secret. It
+// exists because unsealing (AES-GCM open plus key derivation) dominated the
+// validation hot path once the OTP math itself went allocation-free.
+//
+// Correctness does not depend on invalidation discipline alone: every entry
+// carries the sealed ciphertext it was decrypted from, and a lookup only
+// hits when the record's current ciphertext is byte-identical. A re-keyed
+// or re-enrolled token therefore misses even if an explicit invalidation
+// was missed; the explicit calls (enrol, remove, assign) just keep the map
+// from holding dead users.
+type secretCache struct {
+	mu sync.RWMutex
+	m  map[string]cachedSecret
+}
+
+type cachedSecret struct {
+	sealed []byte
+	secret []byte
+}
+
+func newSecretCache() *secretCache {
+	return &secretCache{m: make(map[string]cachedSecret)}
+}
+
+// lookup returns the cached plaintext when the sealed ciphertext matches.
+// The hit path takes a read lock, one map probe, and one byte comparison —
+// no allocation.
+func (c *secretCache) lookup(user string, sealed []byte) ([]byte, bool) {
+	c.mu.RLock()
+	e, ok := c.m[user]
+	c.mu.RUnlock()
+	if !ok || !bytes.Equal(e.sealed, sealed) {
+		return nil, false
+	}
+	return e.secret, true
+}
+
+func (c *secretCache) store(user string, sealed, secret []byte) {
+	c.mu.Lock()
+	if len(c.m) >= maxCachedSecrets {
+		c.m = make(map[string]cachedSecret)
+	}
+	c.m[user] = cachedSecret{
+		sealed: append([]byte(nil), sealed...),
+		secret: append([]byte(nil), secret...),
+	}
+	c.mu.Unlock()
+}
+
+func (c *secretCache) invalidate(user string) {
+	c.mu.Lock()
+	delete(c.m, user)
+	c.mu.Unlock()
+}
+
+// openSecretCached is openSecret through the read-mostly cache. The
+// returned slice is shared between callers and must be treated as
+// read-only — every consumer (TOTP computation, resync) only reads it.
+func (s *Server) openSecretCached(user string, sealed []byte) ([]byte, error) {
+	if sec, ok := s.secrets.lookup(user, sealed); ok {
+		return sec, nil
+	}
+	sec, err := s.openSecret(user, sealed)
+	if err != nil {
+		return nil, err
+	}
+	s.secrets.store(user, sealed, sec)
+	return sec, nil
+}

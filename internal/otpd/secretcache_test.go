@@ -1,0 +1,162 @@
+package otpd
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/otp"
+	"openmfa/internal/racecheck"
+)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if racecheck.Enabled {
+		t.Skip("alloc-count assertions are meaningless under -race")
+	}
+}
+
+// TestOpenSecretCachedHitZeroAlloc gates the validation hot path's secret
+// lookup: once a user's secret is cached, re-opening it must not unseal and
+// must not allocate.
+func TestOpenSecretCachedHitZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s, _ := newServer(t, clock.NewSim(t0))
+	enr, err := s.InitSoftToken("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.loadRecord("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.openSecretCached("u", r.SecretSealed); err != nil { // warm
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(500, func() {
+		sec, err := s.openSecretCached("u", r.SecretSealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sec, enr.Secret) {
+			t.Fatal("wrong secret")
+		}
+	})
+	if got != 0 {
+		t.Errorf("openSecretCached hit allocs/op = %.1f, want 0", got)
+	}
+}
+
+// TestSecretCacheCiphertextGuard pins the self-correcting property: a lookup
+// only hits when the record's current ciphertext is byte-identical to the
+// one the entry was decrypted from, so a re-sealed record can never be
+// served a stale plaintext even if explicit invalidation were missed.
+func TestSecretCacheCiphertextGuard(t *testing.T) {
+	c := newSecretCache()
+	c.store("u", []byte("sealed-v1"), []byte("plain-v1"))
+	if _, ok := c.lookup("u", []byte("sealed-v2")); ok {
+		t.Fatal("lookup hit despite ciphertext change")
+	}
+	if sec, ok := c.lookup("u", []byte("sealed-v1")); !ok || string(sec) != "plain-v1" {
+		t.Fatalf("lookup(v1) = %q, %v", sec, ok)
+	}
+	c.invalidate("u")
+	if _, ok := c.lookup("u", []byte("sealed-v1")); ok {
+		t.Fatal("lookup hit after invalidate")
+	}
+}
+
+// TestSecretCacheCapDropsMap covers the size bound: crossing the cap drops
+// the whole map rather than growing without limit.
+func TestSecretCacheCapDropsMap(t *testing.T) {
+	c := newSecretCache()
+	c.m = make(map[string]cachedSecret, maxCachedSecrets)
+	for i := 0; i < maxCachedSecrets; i++ {
+		c.m[strconv.Itoa(i)] = cachedSecret{}
+	}
+	c.store("fresh", []byte("s"), []byte("p"))
+	if n := len(c.m); n != 1 {
+		t.Fatalf("map holds %d entries after cap reset, want 1", n)
+	}
+	if _, ok := c.lookup("fresh", []byte("s")); !ok {
+		t.Fatal("entry stored during reset missing")
+	}
+}
+
+// TestReenrollAfterRemoveUsesFreshSecret is the stale-cache regression test:
+// removing a token and enrolling a new one must validate against the new
+// secret and reject codes from the old one.
+func TestReenrollAfterRemoveUsesFreshSecret(t *testing.T) {
+	sim := clock.NewSim(t0)
+	s, _ := newServer(t, sim)
+	old, err := s.InitSoftToken("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := otp.TOTP(old.Secret, sim.Now(), s.OTPOptions())
+	if res, _ := s.Check("u", code); !res.OK {
+		t.Fatal("initial token rejected")
+	}
+	if err := s.RemoveToken("u"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.InitSoftToken("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(30 * time.Second) // past the replay high-water mark
+	oldCode, _ := otp.TOTP(old.Secret, sim.Now(), s.OTPOptions())
+	newCode, _ := otp.TOTP(fresh.Secret, sim.Now(), s.OTPOptions())
+	if oldCode != newCode { // astronomically likely; guard the assertion anyway
+		if res, _ := s.Check("u", oldCode); res.OK {
+			t.Fatal("code from removed token accepted")
+		}
+	}
+	if res, _ := s.Check("u", newCode); !res.OK {
+		t.Fatal("fresh token rejected")
+	}
+}
+
+// BenchmarkSecretCacheHit measures the cached secret-open against the
+// sealed-record baseline the cache replaced (see BenchmarkSecretOpenMiss).
+func BenchmarkSecretCacheHit(b *testing.B) {
+	s, _ := newServer(b, clock.NewSim(t0))
+	if _, err := s.InitSoftToken("u"); err != nil {
+		b.Fatal(err)
+	}
+	r, err := s.loadRecord("u")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.openSecretCached("u", r.SecretSealed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.openSecretCached("u", r.SecretSealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecretOpenMiss is the uncached baseline: AES-GCM unseal per call.
+func BenchmarkSecretOpenMiss(b *testing.B) {
+	s, _ := newServer(b, clock.NewSim(t0))
+	if _, err := s.InitSoftToken("u"); err != nil {
+		b.Fatal(err)
+	}
+	r, err := s.loadRecord("u")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.openSecret("u", r.SecretSealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

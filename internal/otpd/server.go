@@ -2,6 +2,7 @@ package otpd
 
 import (
 	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"strings"
@@ -66,11 +67,24 @@ type Config struct {
 	// Events, when set, receives typed auth events (SMS sends, lockouts,
 	// token enrolments) on the operational analytics bus.
 	Events *eventstream.Bus
+	// CoalesceWrites routes record saves through a store.Batcher so
+	// concurrent validations share WAL frames (and fsyncs) instead of
+	// logging one frame per login. Safe because each save touches only
+	// that user's record and callers never depend on another in-flight
+	// caller's write being excluded from their frame.
+	CoalesceWrites bool
+}
+
+// recordWriter is the store surface record saves go through: either the
+// Store itself or a coalescing Batcher in front of it.
+type recordWriter interface {
+	Put(key string, value []byte) error
 }
 
 // Server is the OTP platform.
 type Server struct {
 	db        *store.Store
+	writes    recordWriter
 	box       *cryptoutil.Box
 	clk       clock.Clock
 	sms       SMSSender
@@ -89,6 +103,11 @@ type Server struct {
 	// fob serial (AssignHardToken races ImportHardToken and other
 	// assignments for the same serial).
 	serials *syncutil.StripedMutex
+
+	// secrets caches decrypted token secrets so the validation hot path
+	// skips the AES-GCM unseal; entries are keyed to the sealed
+	// ciphertext and explicitly invalidated on enrolment changes.
+	secrets *secretCache
 
 	met    otpdMetrics
 	logger *obs.Logger
@@ -162,12 +181,17 @@ func New(cfg Config) (*Server, error) {
 	if auditKey == nil {
 		auditKey = cfg.EncryptionKey
 	}
+	var writes recordWriter = cfg.DB
+	if cfg.CoalesceWrites {
+		writes = store.NewBatcher(cfg.DB, 0)
+	}
 	return &Server{
-		db: cfg.DB, box: box, clk: clk, sms: cfg.SMS, opts: opts,
+		db: cfg.DB, writes: writes, box: box, clk: clk, sms: cfg.SMS, opts: opts,
 		issuer: issuer, threshold: threshold,
 		audit:   NewAudit(auditKey, clk.Now),
 		users:   syncutil.NewStriped(0),
 		serials: syncutil.NewStriped(0),
+		secrets: newSecretCache(),
 		met:     newOtpdMetrics(cfg.Obs),
 		logger:  cfg.Logger,
 		spans:   cfg.Spans,
@@ -268,6 +292,7 @@ func (s *Server) initGenerated(user string, typ TokenType, phone, serial string)
 	if err := s.saveRecord(r); err != nil {
 		return nil, err
 	}
+	s.secrets.invalidate(user)
 	key := otp.Key{Issuer: s.issuer, Account: user, Secret: secret, Options: s.opts}
 	s.audit.Record("init", user, "type="+string(typ), true)
 	s.publish(eventstream.Event{
@@ -312,6 +337,7 @@ func (s *Server) AssignHardToken(user, serial string) (*Enrollment, error) {
 	if err := s.saveRecord(r); err != nil {
 		return nil, err
 	}
+	s.secrets.invalidate(user)
 	if err := s.db.Delete(hardInvKey(serial)); err != nil {
 		return nil, err
 	}
@@ -371,6 +397,7 @@ func (s *Server) RemoveToken(user string) error {
 	if err := s.db.Delete(tokenKey(user)); err != nil {
 		return err
 	}
+	s.secrets.invalidate(user)
 	s.audit.Record("remove", user, "", true)
 	return nil
 }
@@ -490,9 +517,10 @@ func (s *Server) check(user, code string) (CheckResult, error) {
 		if err != nil {
 			return CheckResult{}, fmt.Errorf("otpd: unseal static: %w", err)
 		}
-		ok = subtleEqual(string(static), code)
+		ok = len(static) == len(code) &&
+			subtle.ConstantTimeCompare(static, []byte(code)) == 1
 	default:
-		secret, err := s.openSecret(user, r.SecretSealed)
+		secret, err := s.openSecretCached(user, r.SecretSealed)
 		if err != nil {
 			return CheckResult{}, fmt.Errorf("otpd: unseal secret: %w", err)
 		}
@@ -530,17 +558,6 @@ func (s *Server) check(user, code string) (CheckResult, error) {
 	}
 	s.audit.Record("check", user, "", true)
 	return CheckResult{OK: true, Message: "token validated"}, nil
-}
-
-func subtleEqual(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	var v byte
-	for i := 0; i < len(a); i++ {
-		v |= a[i] ^ b[i]
-	}
-	return v == 0
 }
 
 // smsValidity is how long an SMS code remains "active", suppressing
@@ -606,7 +623,7 @@ func (s *Server) triggerSMS(user string) (bool, string, error) {
 	if r.LastSMSUnix > 0 && now.Sub(time.Unix(r.LastSMSUnix, 0)) < s.smsValidity() {
 		return false, "an SMS has already been sent; enter the code you received", nil
 	}
-	secret, err := s.openSecret(user, r.SecretSealed)
+	secret, err := s.openSecretCached(user, r.SecretSealed)
 	if err != nil {
 		return false, "", err
 	}
@@ -642,7 +659,7 @@ func (s *Server) Resync(user, code1, code2 string) error {
 	if r.Type == TokenTraining {
 		return errors.New("otpd: training tokens cannot be resynced")
 	}
-	secret, err := s.openSecret(user, r.SecretSealed)
+	secret, err := s.openSecretCached(user, r.SecretSealed)
 	if err != nil {
 		return err
 	}
@@ -708,7 +725,7 @@ func (s *Server) CurrentCode(user string, deviceDrift time.Duration) (string, er
 		}
 		return string(static), nil
 	}
-	secret, err := s.openSecret(strings.ToLower(user), r.SecretSealed)
+	secret, err := s.openSecretCached(strings.ToLower(user), r.SecretSealed)
 	if err != nil {
 		return "", err
 	}

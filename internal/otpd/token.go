@@ -120,7 +120,7 @@ func (s *Server) saveRecord(r *record) error {
 	if err != nil {
 		return err
 	}
-	return s.db.Put(tokenKey(r.User), b)
+	return s.writes.Put(tokenKey(r.User), b)
 }
 
 func (s *Server) sealSecret(user string, secret []byte) []byte {

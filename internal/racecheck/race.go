@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racecheck reports whether the race detector instrumented this
+// build. Allocation-count regression tests consult it: testing.AllocsPerRun
+// measures instrumentation overhead as real allocations under -race, so the
+// zero-alloc gates only run in race-free builds.
+package racecheck
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

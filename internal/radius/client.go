@@ -88,6 +88,11 @@ func (c *Client) retries() int {
 // otherwise mask a caller bug (Retries: -3 used to mean "never send and
 // report ErrTimeout").
 func (c *Client) validate() error {
+	if len(c.Secret) == 0 {
+		// See ErrEmptySecret: password hiding and response verification
+		// both degenerate without a real shared secret.
+		return fmt.Errorf("%w: %v", ErrConfig, ErrEmptySecret)
+	}
 	if c.Timeout < 0 {
 		return fmt.Errorf("%w: negative Timeout %v", ErrConfig, c.Timeout)
 	}
@@ -149,7 +154,9 @@ func (c *Client) Exchange(req *Packet) (*Packet, error) {
 	if err := AddMessageAuthenticator(req, c.Secret); err != nil {
 		return nil, err
 	}
-	wire, err := req.Encode()
+	wireBuf := getWireBuf()
+	defer putWireBuf(wireBuf)
+	wire, err := req.AppendEncode(*wireBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +170,9 @@ func (c *Client) Exchange(req *Packet) (*Packet, error) {
 	}
 	defer conn.Close()
 
-	buf := make([]byte, MaxPacketLen)
+	readBuf := getWireBuf()
+	defer putWireBuf(readBuf)
+	buf := (*readBuf)[:MaxPacketLen]
 	attempts := 1 + c.retries()
 	var lastErr error
 	for a := 0; a < attempts; a++ {
@@ -222,14 +231,18 @@ func (c *Client) Exchange(req *Packet) (*Packet, error) {
 }
 
 // verifyRespMA validates a response Message-Authenticator, which is
-// computed with the *request* authenticator in the header field.
+// computed with the *request* authenticator in the header field. The swap
+// happens in place: VerifyMessageAuthenticator encodes into a scratch
+// image, so no clone of the packet is needed.
 func (c *Client) verifyRespMA(resp *Packet, reqAuth [16]byte) bool {
 	if _, ok := resp.Get(AttrMessageAuthenticator); !ok {
 		return true
 	}
-	clone := &Packet{Code: resp.Code, Identifier: resp.Identifier, Authenticator: reqAuth}
-	clone.Attributes = append(clone.Attributes, resp.Attributes...)
-	return VerifyMessageAuthenticator(clone, c.Secret)
+	save := resp.Authenticator
+	resp.Authenticator = reqAuth
+	ok := VerifyMessageAuthenticator(resp, c.Secret)
+	resp.Authenticator = save
+	return ok
 }
 
 // Pool is a round-robin failover client over several RADIUS servers: "API

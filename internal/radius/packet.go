@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Code is the RADIUS packet type.
@@ -70,6 +71,11 @@ type Packet struct {
 	Identifier    byte
 	Authenticator [16]byte
 	Attributes    []Attribute
+
+	// valBuf is the single backing array DecodeFrom slices attribute
+	// values out of, reused across decodes so a long-lived Packet parses
+	// wire traffic without allocating.
+	valBuf []byte
 }
 
 // Add appends an attribute.
@@ -135,8 +141,15 @@ var (
 	ErrAttrTooLong    = errors.New("radius: attribute value exceeds 253 bytes")
 )
 
-// Encode serialises the packet.
+// Encode serialises the packet into a fresh buffer.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(nil)
+}
+
+// AppendEncode appends the wire form of the packet to dst and returns the
+// extended slice. When dst has enough spare capacity the encode performs no
+// allocation, which is what the per-datagram paths rely on.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
 	length := headerLen
 	for _, a := range p.Attributes {
 		if len(a.Value) > 253 {
@@ -147,7 +160,13 @@ func (p *Packet) Encode() ([]byte, error) {
 	if length > MaxPacketLen {
 		return nil, ErrPacketTooLong
 	}
-	buf := make([]byte, length)
+	base := len(dst)
+	if cap(dst)-base < length {
+		grown := make([]byte, base, base+length)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base : base+length]
 	buf[0] = byte(p.Code)
 	buf[1] = p.Identifier
 	binary.BigEndian.PutUint16(buf[2:4], uint16(length))
@@ -159,35 +178,61 @@ func (p *Packet) Encode() ([]byte, error) {
 		copy(buf[off+2:], a.Value)
 		off += 2 + len(a.Value)
 	}
-	return buf, nil
+	return dst[:base+length], nil
 }
 
 // Decode parses a wire packet.
 func Decode(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := p.DecodeFrom(b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeFrom parses a wire packet into p, replacing its contents. The
+// attribute slice and the value backing buffer are reused across calls, so
+// decoding into a long-lived Packet allocates nothing once the buffers have
+// grown to the traffic's working size. Attribute values from the previous
+// decode are invalidated.
+func (p *Packet) DecodeFrom(b []byte) error {
 	if len(b) < headerLen {
-		return nil, ErrPacketTooShort
+		return ErrPacketTooShort
 	}
 	length := int(binary.BigEndian.Uint16(b[2:4]))
 	if length < headerLen || length > len(b) || length > MaxPacketLen {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
-	p := &Packet{Code: Code(b[0]), Identifier: b[1]}
+	p.Code = Code(b[0])
+	p.Identifier = b[1]
 	copy(p.Authenticator[:], b[4:20])
+	p.Attributes = p.Attributes[:0]
+	body := length - headerLen
+	if cap(p.valBuf) < body {
+		p.valBuf = make([]byte, 0, body)
+	}
+	vals := p.valBuf[:0]
 	off := headerLen
 	for off < length {
 		if off+2 > length {
-			return nil, ErrBadAttribute
+			return ErrBadAttribute
 		}
 		alen := int(b[off+1])
 		if alen < 2 || off+alen > length {
-			return nil, ErrBadAttribute
+			return ErrBadAttribute
 		}
-		val := make([]byte, alen-2)
-		copy(val, b[off+2:off+alen])
-		p.Attributes = append(p.Attributes, Attribute{Type: b[off], Value: val})
+		start := len(vals)
+		vals = append(vals, b[off+2:off+alen]...)
+		// Full slice expression: an append through one value must never
+		// bleed into its neighbour.
+		p.Attributes = append(p.Attributes, Attribute{
+			Type:  b[off],
+			Value: vals[start:len(vals):len(vals)],
+		})
 		off += alen
 	}
-	return p, nil
+	p.valBuf = vals
+	return nil
 }
 
 // NewRequest builds an Access-Request with a fresh random authenticator.
@@ -199,9 +244,33 @@ func NewRequest(identifier byte) *Packet {
 	return p
 }
 
+// ErrEmptySecret rejects a degenerate shared secret. RFC 2865 §5.2 derives
+// the password keystream from MD5(secret + authenticator); an empty secret
+// collapses that to MD5 of the (cleartext, attacker-visible) request
+// authenticator, so hiding becomes trivially reversible on the wire.
+var ErrEmptySecret = errors.New("radius: shared secret must be non-empty")
+
+// pwKeystream computes one RFC 2865 §5.2 keystream block,
+// MD5(secret + prev), without allocating: small secrets concatenate into a
+// stack buffer and md5.Sum returns by value.
+func pwKeystream(secret, prev []byte, scratch []byte) [md5.Size]byte {
+	var stack [64]byte
+	buf := stack[:0]
+	if len(secret)+16 > len(stack) {
+		buf = scratch[:0]
+	}
+	buf = append(buf, secret...)
+	buf = append(buf, prev...)
+	return md5.Sum(buf)
+}
+
 // HidePassword encodes password per RFC 2865 §5.2 using the shared secret
-// and the request authenticator. Passwords longer than 128 bytes fail.
+// and the request authenticator. Passwords longer than 128 bytes and empty
+// secrets fail.
 func HidePassword(password string, secret []byte, reqAuth [16]byte) ([]byte, error) {
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
 	if len(password) > 128 {
 		return nil, errors.New("radius: password longer than 128 bytes")
 	}
@@ -210,18 +279,17 @@ func HidePassword(password string, secret []byte, reqAuth [16]byte) ([]byte, err
 	if n == 0 {
 		n = 16
 	}
-	pw := make([]byte, n)
-	copy(pw, password)
-
 	out := make([]byte, n)
+	copy(out, password)
+	var scratch []byte
+	if len(secret)+16 > 64 {
+		scratch = make([]byte, 0, len(secret)+16)
+	}
 	prev := reqAuth[:]
 	for i := 0; i < n; i += 16 {
-		h := md5.New()
-		h.Write(secret)
-		h.Write(prev)
-		b := h.Sum(nil)
+		b := pwKeystream(secret, prev, scratch)
 		for j := 0; j < 16; j++ {
-			out[i+j] = pw[i+j] ^ b[j]
+			out[i+j] ^= b[j] // out holds the zero-padded password
 		}
 		prev = out[i : i+16]
 	}
@@ -230,16 +298,20 @@ func HidePassword(password string, secret []byte, reqAuth [16]byte) ([]byte, err
 
 // RevealPassword inverts HidePassword, trimming trailing NUL padding.
 func RevealPassword(hidden, secret []byte, reqAuth [16]byte) (string, error) {
+	if len(secret) == 0 {
+		return "", ErrEmptySecret
+	}
 	if len(hidden) == 0 || len(hidden)%16 != 0 || len(hidden) > 128 {
 		return "", errors.New("radius: bad hidden password length")
 	}
 	out := make([]byte, len(hidden))
+	var scratch []byte
+	if len(secret)+16 > 64 {
+		scratch = make([]byte, 0, len(secret)+16)
+	}
 	prev := reqAuth[:]
 	for i := 0; i < len(hidden); i += 16 {
-		h := md5.New()
-		h.Write(secret)
-		h.Write(prev)
-		b := h.Sum(nil)
+		b := pwKeystream(secret, prev, scratch)
 		for j := 0; j < 16; j++ {
 			out[i+j] = hidden[i+j] ^ b[j]
 		}
@@ -253,22 +325,36 @@ func RevealPassword(hidden, secret []byte, reqAuth [16]byte) (string, error) {
 	return string(out[:end]), nil
 }
 
+// wireBufs pools MaxPacketLen-capacity scratch buffers for the encode-and-
+// hash paths (response authenticators, Message-Authenticator computation,
+// client exchanges, the server's datagram fan-out). Getting a buffer never
+// blocks; the pool only trims steady-state allocation.
+var wireBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxPacketLen)
+		return &b
+	},
+}
+
+func getWireBuf() *[]byte  { return wireBufs.Get().(*[]byte) }
+func putWireBuf(b *[]byte) { *b = (*b)[:0]; wireBufs.Put(b) }
+
 // ResponseAuthenticator computes MD5(Code+ID+Length+RequestAuth+Attrs+Secret)
 // for a response whose Authenticator field is currently zero or arbitrary.
 func ResponseAuthenticator(resp *Packet, reqAuth [16]byte, secret []byte) ([16]byte, error) {
 	save := resp.Authenticator
 	resp.Authenticator = reqAuth
-	wire, err := resp.Encode()
+	buf := getWireBuf()
+	defer putWireBuf(buf)
+	wire, err := resp.AppendEncode(*buf)
 	resp.Authenticator = save
 	if err != nil {
 		return [16]byte{}, err
 	}
-	h := md5.New()
-	h.Write(wire)
-	h.Write(secret)
-	var out [16]byte
-	copy(out[:], h.Sum(nil))
-	return out, nil
+	// MD5 over wire+secret in one pass: the pooled buffer has room for the
+	// secret tail, so the whole computation stays allocation-free.
+	wire = append(wire, secret...)
+	return md5.Sum(wire), nil
 }
 
 // SignResponse fills in the response authenticator for a reply to a request
@@ -291,6 +377,25 @@ func VerifyResponse(resp *Packet, reqAuth [16]byte, secret []byte) bool {
 	return subtle.ConstantTimeCompare(want[:], resp.Authenticator[:]) == 1
 }
 
+// zeroMessageAuthenticators blanks the value bytes of every
+// Message-Authenticator attribute inside an encoded packet image. The wire
+// layout is already validated by the encode, so the walk is structural.
+func zeroMessageAuthenticators(wire []byte) {
+	off := headerLen
+	for off+2 <= len(wire) {
+		alen := int(wire[off+1])
+		if alen < 2 || off+alen > len(wire) {
+			return
+		}
+		if wire[off] == AttrMessageAuthenticator {
+			for i := off + 2; i < off+alen; i++ {
+				wire[i] = 0
+			}
+		}
+		off += alen
+	}
+}
+
 // AddMessageAuthenticator appends an RFC 2869 §5.14 Message-Authenticator
 // computed over the packet with the attribute itself zeroed. For requests,
 // the packet's own (random) authenticator is in place; for responses,
@@ -298,20 +403,24 @@ func VerifyResponse(resp *Packet, reqAuth [16]byte, secret []byte) bool {
 func AddMessageAuthenticator(p *Packet, secret []byte) error {
 	p.RemoveAll(AttrMessageAuthenticator)
 	p.Add(AttrMessageAuthenticator, make([]byte, 16))
-	wire, err := p.Encode()
+	buf := getWireBuf()
+	defer putWireBuf(buf)
+	wire, err := p.AppendEncode(*buf)
 	if err != nil {
 		return err
 	}
 	mac := hmac.New(md5.New, secret)
 	mac.Write(wire)
-	sum := mac.Sum(nil)
-	copy(p.Attributes[len(p.Attributes)-1].Value, sum)
+	var sum [md5.Size]byte
+	copy(p.Attributes[len(p.Attributes)-1].Value, mac.Sum(sum[:0]))
 	return nil
 }
 
 // VerifyMessageAuthenticator checks the Message-Authenticator attribute if
 // present; packets without one verify trivially (the attribute is optional
-// for Access-Request).
+// for Access-Request). The recomputation zeroes the attribute in a scratch
+// wire image instead of deep-cloning the packet, so verification costs one
+// encode plus one HMAC.
 func VerifyMessageAuthenticator(p *Packet, secret []byte) bool {
 	got, ok := p.Get(AttrMessageAuthenticator)
 	if !ok {
@@ -320,20 +429,15 @@ func VerifyMessageAuthenticator(p *Packet, secret []byte) bool {
 	if len(got) != 16 {
 		return false
 	}
-	// Recompute with the attribute zeroed in place.
-	clone := &Packet{Code: p.Code, Identifier: p.Identifier, Authenticator: p.Authenticator}
-	for _, a := range p.Attributes {
-		v := make([]byte, len(a.Value))
-		if a.Type != AttrMessageAuthenticator {
-			copy(v, a.Value)
-		}
-		clone.Attributes = append(clone.Attributes, Attribute{Type: a.Type, Value: v})
-	}
-	wire, err := clone.Encode()
+	buf := getWireBuf()
+	defer putWireBuf(buf)
+	wire, err := p.AppendEncode(*buf)
 	if err != nil {
 		return false
 	}
+	zeroMessageAuthenticators(wire)
 	mac := hmac.New(md5.New, secret)
 	mac.Write(wire)
-	return hmac.Equal(mac.Sum(nil), got)
+	var sum [md5.Size]byte
+	return hmac.Equal(mac.Sum(sum[:0]), got)
 }

@@ -131,6 +131,12 @@ func (s *Server) logf(format string, args ...any) {
 // It returns once the listener is bound; serving continues in background
 // goroutines.
 func (s *Server) ListenAndServe(addr string) error {
+	if len(s.Secret) == 0 {
+		// An empty secret degenerates RFC 2865 password hiding to
+		// MD5(authenticator) and makes every response forgeable; refuse to
+		// serve rather than run an open relay.
+		return ErrEmptySecret
+	}
 	listen := s.ListenPacket
 	if listen == nil {
 		listen = net.ListenPacket
@@ -196,13 +202,17 @@ func (s *Server) serve(conn net.PacketConn) {
 		if err != nil {
 			return // closed
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
+		// Hand the datagram to its handler goroutine in a pooled buffer:
+		// handlePacket copies what it keeps (DecodeFrom owns its value
+		// storage), so the buffer is recycled as soon as handling returns.
+		bp := getWireBuf()
+		pkt := append(*bp, buf[:n]...)
 		s.wg.Add(1)
-		go func(pkt []byte, src net.Addr) {
+		go func(bp *[]byte, pkt []byte, src net.Addr) {
 			defer s.wg.Done()
+			defer putWireBuf(bp)
 			s.handlePacket(conn, pkt, src)
-		}(pkt, src)
+		}(bp, pkt, src)
 	}
 }
 

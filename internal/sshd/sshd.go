@@ -260,23 +260,25 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// remoteConv bridges the PAM conversation over the wire.
+// remoteConv bridges the PAM conversation over the wire. The receive
+// frame is reused across prompts (a login is several prompts, every
+// retry restarts them all).
 type remoteConv struct {
 	wc *sshwire.Conn
+	m  sshwire.Msg
 }
 
 func (r *remoteConv) Prompt(echo bool, msg string) (string, error) {
 	if err := r.wc.Send(&sshwire.Msg{T: sshwire.TPrompt, Msg: msg, Echo: echo}); err != nil {
 		return "", err
 	}
-	m, err := r.wc.Recv()
-	if err != nil {
+	if err := r.wc.RecvInto(&r.m); err != nil {
 		return "", err
 	}
-	if m.T != sshwire.TAnswer {
-		return "", fmt.Errorf("sshd: expected answer, got %q", m.T)
+	if r.m.T != sshwire.TAnswer {
+		return "", fmt.Errorf("sshd: expected answer, got %q", r.m.T)
 	}
-	return m.Value, nil
+	return r.m.Value, nil
 }
 
 func (r *remoteConv) Info(msg string) error {
@@ -466,12 +468,12 @@ func (s *Server) verifyPubkey(user string, nonce, pub, sig []byte) bool {
 
 func (s *Server) session(raw net.Conn, wc *sshwire.Conn, user string, ip net.IP, port int, hello *sshwire.Msg) {
 	idle := s.idleTimeout()
+	var m sshwire.Msg // reused across the session's frames
 	for {
 		if idle > 0 {
 			raw.SetReadDeadline(time.Now().Add(idle))
 		}
-		m, err := wc.Recv()
-		if err != nil {
+		if err := wc.RecvInto(&m); err != nil {
 			s.noteIOErr(err)
 			return
 		}

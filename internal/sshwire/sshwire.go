@@ -80,17 +80,27 @@ func (c *Conn) Send(m *Msg) error {
 
 // Recv reads one frame.
 func (c *Conn) Recv() (*Msg, error) {
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return nil, fmt.Errorf("sshwire: recv: %w", err)
-		}
-		return nil, fmt.Errorf("sshwire: connection closed")
-	}
 	var m Msg
-	if err := json.Unmarshal(c.r.Bytes(), &m); err != nil {
-		return nil, fmt.Errorf("sshwire: decode: %w", err)
+	if err := c.RecvInto(&m); err != nil {
+		return nil, err
 	}
 	return &m, nil
+}
+
+// RecvInto reads one frame into m, which is reset first. Callers that loop
+// over a conversation can reuse one Msg instead of allocating per frame.
+func (c *Conn) RecvInto(m *Msg) error {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return fmt.Errorf("sshwire: recv: %w", err)
+		}
+		return fmt.Errorf("sshwire: connection closed")
+	}
+	*m = Msg{}
+	if err := json.Unmarshal(c.r.Bytes(), m); err != nil {
+		return fmt.Errorf("sshwire: decode: %w", err)
+	}
+	return nil
 }
 
 // Close closes the underlying connection.

@@ -108,3 +108,31 @@ func TestSequencedConversation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecvIntoResetsBetweenFrames pins the reuse contract: a field set by
+// one frame must not leak into the next frame decoded into the same Msg
+// (omitempty fields are absent from the wire, so without the reset a
+// stale User/Nonce would survive).
+func TestRecvIntoResetsBetweenFrames(t *testing.T) {
+	client, server := pair(t)
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		client.Send(&Msg{T: THello, User: "alice", TTY: true, Nonce: []byte{1, 2}})
+		client.Send(&Msg{T: TBye})
+	}()
+	var m Msg
+	if err := server.RecvInto(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.T != THello || m.User != "alice" || !m.TTY {
+		t.Fatalf("first frame = %+v", m)
+	}
+	if err := server.RecvInto(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.T != TBye || m.User != "" || m.TTY || m.Nonce != nil {
+		t.Fatalf("second frame kept stale fields: %+v", m)
+	}
+}
