@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke fuzz cover clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke metrics-lint fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke fuzz cover
+verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke metrics-lint fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,22 @@ bench-obs:
 # (exact equality, race detector on).
 authwatch-smoke:
 	$(GO) test -race -count 1 -run 'TestCrossCheckStreamingMatchesBatch' ./internal/rollout
+
+# Flight recorder gate: the chaos-storm acceptance test (every failed
+# login retrievable by trace ID with a complete four-leg span tree),
+# deterministic success sampling across identically seeded runs, the SLO
+# burn-rate / healthz acceptance test, and the torn-tail truncate-at-every-
+# byte recovery sweep — race detector on.
+flightrec-smoke:
+	$(GO) test -race -count 1 -run 'TestFlightRecorderUnderChaosStorm|TestSuccessSamplingReproducibleAcrossRuns|TestFailureBurstBurnsSLOAndDegradesHealthz' ./internal/core
+	$(GO) test -race -count 1 -run 'TestTornTailSweep|TestRecoveryAfterRestart' ./internal/flightrec
+
+# Metrics hygiene gate: lint the live portal /metrics exposition (typing,
+# sort order, label consistency, unit-suffix conventions) with runtime,
+# SLO, and flight recorder families all registered.
+metrics-lint:
+	$(GO) test -count 1 -run 'TestPortalMetricsExpositionIsLintClean' ./internal/core
+	$(GO) test -count 1 -run 'TestLint' ./internal/obs
 
 # Figure parity gate: regenerate the paper's figures from a fresh
 # full-calendar run with the live authwatch aggregator cross-checking every

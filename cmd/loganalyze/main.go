@@ -3,14 +3,20 @@
 // entries, apply the staff-activity threshold, and list the accounts to
 // contact about their automated workflows.
 //
-// It reads either the classic authlog line format or the eventstream JSONL
-// dump produced by `rollout -events-out` (one JSON event per line), picking
-// the format automatically by default.
+// It reads the classic authlog line format, the eventstream JSONL dump
+// produced by `rollout -events-out` (one JSON event per line), or a flight
+// recorder segment directory (`-format flightrec`), picking the format
+// automatically by default.
+//
+// In flightrec mode it summarises the persisted trace bundles (newest
+// first, with keep-reason tallies) and `-trace <id>` prints one bundle's
+// full span tree, events, and log lines.
 //
 // Example:
 //
 //	loganalyze -log /var/log/openmfa/secure.log \
 //	           -staff cproctor,storm -known-gateways gateway1,tg803
+//	loganalyze -log /var/lib/otpd/flightrec -format flightrec -trace 4fca21...
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"openmfa/internal/authlog"
 	"openmfa/internal/eventstream"
+	"openmfa/internal/flightrec"
 	"openmfa/internal/loganalysis"
 )
 
@@ -35,11 +42,24 @@ func main() {
 		fromStr  = flag.String("from", "", "window start YYYY-MM-DD (default: all)")
 		toStr    = flag.String("to", "", "window end YYYY-MM-DD (default: all)")
 		topN     = flag.Int("top", 20, "ranking rows to print")
-		format   = flag.String("format", "auto", "log format: authlog, jsonl (eventstream dump), or auto")
+		format   = flag.String("format", "auto", "log format: authlog, jsonl (eventstream dump), flightrec (segment dir), or auto")
+		traceID  = flag.String("trace", "", "flightrec only: print this trace's bundle (span tree, events, logs)")
 	)
 	flag.Parse()
 	if *logPath == "" {
 		log.Fatal("loganalyze: -log required")
+	}
+
+	if *format == "auto" {
+		if fi, err := os.Stat(*logPath); err == nil && (fi.IsDir() || strings.HasSuffix(*logPath, ".seg")) {
+			*format = "flightrec"
+		}
+	}
+	if *format == "flightrec" {
+		if err := analyzeFlightrec(*logPath, *traceID, *topN); err != nil {
+			log.Fatalf("loganalyze: %v", err)
+		}
+		return
 	}
 
 	events, bad, err := readEvents(*logPath, *format)
@@ -82,6 +102,42 @@ func main() {
 	}
 	fmt.Printf("these accounts produce %.0f%% of all login events\n",
 		100*report.AutomationShare(targets))
+}
+
+// analyzeFlightrec summarises a flight recorder segment directory, or
+// renders one bundle in full when trace is set.
+func analyzeFlightrec(path, trace string, topN int) error {
+	bundles, err := flightrec.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	if trace != "" {
+		for i := range bundles {
+			if bundles[i].Trace == trace {
+				flightrec.RenderTree(os.Stdout, &bundles[i])
+				return nil
+			}
+		}
+		return fmt.Errorf("no bundle for trace %s (%d bundles read)", trace, len(bundles))
+	}
+	reasons := map[string]int{}
+	for _, b := range bundles {
+		reasons[b.Reason]++
+	}
+	fmt.Printf("flight recorder: %d bundles\n", len(bundles))
+	for _, r := range []string{"failed", "slow", "lockout", "alert", "sampled"} {
+		if reasons[r] > 0 {
+			fmt.Printf("  %-8s %d\n", r, reasons[r])
+		}
+	}
+	fmt.Printf("\nnewest %d:\n", topN)
+	for i := len(bundles) - 1; i >= 0 && i >= len(bundles)-topN; i-- {
+		b := bundles[i]
+		fmt.Printf("  %s %-12s %-8s %-8s %8s  %s\n",
+			b.Time.UTC().Format("2006-01-02T15:04:05Z"), b.User, b.Result, b.Reason,
+			b.Duration.Round(time.Millisecond), b.Trace)
+	}
+	return nil
 }
 
 // readEvents loads the log in the requested format. "auto" sniffs the

@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -21,8 +22,10 @@ import (
 
 	"openmfa/internal/authwatch"
 	"openmfa/internal/eventstream"
+	"openmfa/internal/flightrec"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/slo"
 	"openmfa/internal/otpd"
 	"openmfa/internal/radius"
 	"openmfa/internal/store"
@@ -42,7 +45,13 @@ func main() {
 		shards     = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
 		groupSync  = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
 		coalesce   = flag.Bool("coalesce-writes", true, "batch concurrent record saves into shared WAL frames")
+
+		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
+		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable successful checks the flight recorder keeps")
+		flightSlow   = flag.Duration("flightrec-slow", 750*time.Millisecond, "flight recorder slow-check threshold")
 	)
+	var slos slo.SpecList
+	flag.Var(&slos, "slo", "SLO over check latency, name:target%<threshold/window (e.g. checks:99.5%<750ms/30d); repeatable")
 	flag.Parse()
 	if *adminPass == "" {
 		log.Fatal("otpd: -admin-pass required")
@@ -67,22 +76,80 @@ func main() {
 	}
 	defer db.Close()
 
-	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	// When the flight recorder is on, the log stream is teed so each
+	// trace's lines can ride along in its bundle.
+	var logSink io.Writer = os.Stderr
+	var tee *flightrec.LogTee
+	if *flightDir != "" {
+		tee = flightrec.NewLogTee(os.Stderr, 0, 0)
+		logSink = tee
+	}
+	logger := obs.NewLogger(logSink, obs.LevelInfo)
 	if *logRate > 0 {
 		// Identical lines beyond the per-key budget are sampled out and
 		// counted in log_events_suppressed_total.
 		logger = logger.RateLimit(*logRate, time.Second, reg)
 	}
 
+	// Go runtime telemetry (goroutines, heap, GC pauses) on the registry.
+	rt := obs.StartRuntimeSampler(reg, 0)
+	defer rt.Stop()
+
+	// SLO engine over the check-latency histograms: a decision in any
+	// result class under the spec's threshold is good service (a fast
+	// fail-closed rejection meets the objective; a slow or erroring check
+	// does not).
+	eng := slo.New(slo.Config{Obs: reg})
+	for _, spec := range slos {
+		var src slo.MultiSource
+		for _, res := range []string{"ok", "invalid", "locked_out", "error"} {
+			src = append(src, slo.HistogramSource{
+				H:         reg.Histogram("otpd_check_duration_seconds", nil, "result", res),
+				Threshold: spec.Threshold.Seconds(),
+			})
+		}
+		if err := eng.Add(slo.Objective{
+			Name: spec.Name, Target: spec.Target, Window: spec.Window, Source: src,
+			Description: fmt.Sprintf("%.4g%% of checks decided in <%s over %s", 100*spec.Target, spec.Threshold, spec.Window),
+		}); err != nil {
+			log.Fatalf("otpd: %v", err)
+		}
+	}
+	eng.Start(0)
+	defer eng.Stop()
+
 	// Span store, analytics bus, and streaming aggregator: every check
 	// records an otpd.check span, every decision lands on the bus, and the
 	// watcher turns the stream into live Figure 3-6 aggregates plus alert
-	// rules that degrade /healthz.
+	// rules that degrade /healthz. The SLO engine's fast-burn check rides
+	// on the watcher's Health, so an error-budget burn 503s /healthz too.
 	spans := obs.NewSpanStore(0)
 	bus := eventstream.NewBus(reg)
-	watch := authwatch.New(authwatch.Config{Obs: reg})
+	watch := authwatch.New(authwatch.Config{
+		Obs:         reg,
+		ExtraHealth: []obs.HealthCheck{eng.Health},
+	})
 	watch.Attach(bus, 0)
 	defer watch.Stop()
+
+	// Flight recorder: RADIUS decisions complete a trace; failed, slow,
+	// lockout-coincident, and alert-coincident checks are always kept.
+	var rec *flightrec.Recorder
+	if *flightDir != "" {
+		rec, err = flightrec.New(flightrec.Config{
+			Dir: *flightDir, Bus: bus, Spans: spans, Logs: tee, Obs: reg,
+			CompleteOn: []eventstream.Type{eventstream.TypeRadius},
+			Policy: flightrec.Policy{
+				SampleRate:    *flightSample,
+				SlowThreshold: *flightSlow,
+				AlertActive:   func() bool { return watch.Health() != nil },
+			},
+		})
+		if err != nil {
+			log.Fatalf("otpd: %v", err)
+		}
+		defer rec.Stop()
+	}
 
 	srv, err := otpd.New(otpd.Config{
 		DB: db, EncryptionKey: key, Issuer: *issuer,
@@ -120,9 +187,13 @@ func main() {
 	mux := http.NewServeMux()
 	obs.Mount(mux, reg, watch.Health)
 	watch.Mount(mux)
+	eng.Mount(mux)
+	if rec != nil {
+		rec.Mount(mux)
+	}
 	mux.Handle("/", api.Handler())
 	go func() {
-		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof, /debug/authwatch)", *httpAddr)
+		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof, /debug/authwatch, /debug/slo, /debug/flightrec)", *httpAddr)
 		if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 			log.Fatalf("otpd: http: %v", err)
 		}

@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/slo"
 	"openmfa/internal/otpd"
 	"openmfa/internal/portal"
 	"openmfa/internal/store"
@@ -35,12 +37,36 @@ func main() {
 		shards   = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
 		group    = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
 	)
+	var slos slo.SpecList
+	flag.Var(&slos, "slo", "availability SLO over portal HTTP requests (non-5xx = good), name:target%<threshold/window; repeatable")
 	flag.Parse()
 	if *otpdURL == "" || *otpdPass == "" {
 		log.Fatal("portald: -otpd and -otpd-pass are required")
 	}
 
 	reg := obs.NewRegistry()
+	// Go runtime telemetry (goroutines, heap, GC pauses) on the registry.
+	rt := obs.StartRuntimeSampler(reg, 0)
+	defer rt.Stop()
+
+	// Availability SLOs over the per-route/per-status request counters:
+	// any non-5xx answer is good service. FamilySource follows series as
+	// routes are first hit, so nothing needs pre-registering.
+	eng := slo.New(slo.Config{Obs: reg})
+	for _, spec := range slos {
+		if err := eng.Add(slo.Objective{
+			Name: spec.Name, Target: spec.Target, Window: spec.Window,
+			Source: slo.FamilySource{
+				Reg: reg, Family: "portal_http_requests_total",
+				Good: func(labels string) bool { return !strings.Contains(labels, `code="5`) },
+			},
+		}); err != nil {
+			log.Fatalf("portald: %v", err)
+		}
+	}
+	eng.Start(0)
+	defer eng.Stop()
+
 	var db *store.Store
 	var err error
 	if *dataDir == "" {
@@ -73,9 +99,11 @@ func main() {
 			log.Printf("portald: EMAIL to %s: %s\n%s", to, subject, body)
 			return nil
 		}),
-		SessionKey: cryptoutil.RandomBytes(32),
-		BaseURL:    base,
-		Obs:        reg,
+		SessionKey:   cryptoutil.RandomBytes(32),
+		BaseURL:      base,
+		Obs:          reg,
+		HealthChecks: []obs.HealthCheck{eng.Health},
+		ExtraMounts:  []func(*http.ServeMux){eng.Mount},
 	})
 	if err != nil {
 		log.Fatalf("portald: %v", err)

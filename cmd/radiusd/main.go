@@ -10,6 +10,7 @@ package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -20,7 +21,9 @@ import (
 	"openmfa/internal/authwatch"
 	"openmfa/internal/eventstream"
 	"openmfa/internal/faultnet"
+	"openmfa/internal/flightrec"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/slo"
 	"openmfa/internal/radius"
 )
 
@@ -42,19 +45,75 @@ func main() {
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "probability one byte of each datagram is flipped")
 		faultDelay   = flag.Duration("fault-delay", 0, "base injected latency per send")
 		faultJitter  = flag.Duration("fault-jitter", 0, "uniform extra injected latency per send")
+
+		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
+		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable accepted requests the flight recorder keeps")
+		flightSlow   = flag.Duration("flightrec-slow", 750*time.Millisecond, "flight recorder slow-request threshold")
 	)
+	var slos slo.SpecList
+	flag.Var(&slos, "slo", "SLO over request latency, name:target%<threshold/window (e.g. requests:99.5%<750ms/30d); repeatable")
 	flag.Parse()
 	if *secret == "" || *upstream == "" || *upstreamSecret == "" {
 		log.Fatal("radiusd: -secret, -upstream and -upstream-secret are required")
 	}
 
 	reg := obs.NewRegistry()
+	// Go runtime telemetry (goroutines, heap, GC pauses) on the registry.
+	rt := obs.StartRuntimeSampler(reg, 0)
+	defer rt.Stop()
+
+	// SLO engine over the proxy's request-latency histogram: any decision
+	// (accept or fast fail-closed reject) under the threshold is good.
+	eng := slo.New(slo.Config{Obs: reg})
+	for _, spec := range slos {
+		if err := eng.Add(slo.Objective{
+			Name: spec.Name, Target: spec.Target, Window: spec.Window,
+			Source: slo.HistogramSource{
+				H:         reg.Histogram("radius_request_duration_seconds", nil),
+				Threshold: spec.Threshold.Seconds(),
+			},
+		}); err != nil {
+			log.Fatalf("radiusd: %v", err)
+		}
+	}
+	eng.Start(0)
+	defer eng.Stop()
+
 	// Request decisions stream onto the analytics bus; the watcher's alert
-	// rules (e.g. a failure-rate burn at this proxy) degrade /healthz.
+	// rules (e.g. a failure-rate burn at this proxy) degrade /healthz, and
+	// the SLO engine's fast-burn check rides along via ExtraHealth.
 	bus := eventstream.NewBus(reg)
-	watch := authwatch.New(authwatch.Config{Obs: reg})
+	watch := authwatch.New(authwatch.Config{
+		Obs:         reg,
+		ExtraHealth: []obs.HealthCheck{eng.Health},
+	})
 	watch.Attach(bus, 0)
 	defer watch.Stop()
+
+	var logSink io.Writer = os.Stderr
+	var tee *flightrec.LogTee
+	if *flightDir != "" {
+		tee = flightrec.NewLogTee(os.Stderr, 0, 0)
+		logSink = tee
+	}
+	var rec *flightrec.Recorder
+	if *flightDir != "" {
+		var err error
+		rec, err = flightrec.New(flightrec.Config{
+			Dir: *flightDir, Bus: bus, Logs: tee, Obs: reg,
+			CompleteOn: []eventstream.Type{eventstream.TypeRadius},
+			Policy: flightrec.Policy{
+				SampleRate:    *flightSample,
+				SlowThreshold: *flightSlow,
+				AlertActive:   func() bool { return watch.Health() != nil },
+			},
+		})
+		if err != nil {
+			log.Fatalf("radiusd: %v", err)
+		}
+		defer rec.Stop()
+	}
+
 	upstreamClient := &radius.Client{
 		Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
 	}
@@ -63,7 +122,7 @@ func main() {
 		Handler: &radius.Proxy{Upstream: upstreamClient},
 		Logf:    log.Printf,
 		Obs:     reg,
-		Logger:  obs.NewLogger(os.Stderr, obs.LevelInfo).RateLimit(200, time.Second, reg),
+		Logger:  obs.NewLogger(logSink, obs.LevelInfo).RateLimit(200, time.Second, reg),
 		Events:  bus,
 	}
 	if *faultDrop > 0 || *faultDup > 0 || *faultCorrupt > 0 || *faultDelay > 0 || *faultJitter > 0 {
@@ -86,8 +145,12 @@ func main() {
 		mux := http.NewServeMux()
 		obs.Mount(mux, reg, watch.Health)
 		watch.Mount(mux)
+		eng.Mount(mux)
+		if rec != nil {
+			rec.Mount(mux)
+		}
 		go func() {
-			log.Printf("radiusd: ops endpoints on %s (+ /debug/authwatch)", *obsAddr)
+			log.Printf("radiusd: ops endpoints on %s (+ /debug/authwatch, /debug/slo, /debug/flightrec)", *obsAddr)
 			if err := http.ListenAndServe(*obsAddr, mux); err != nil {
 				log.Fatalf("radiusd: obs: %v", err)
 			}

@@ -89,6 +89,11 @@ type Config struct {
 	InternalNets []*net.IPNet
 	// Rules are the alert thresholds.
 	Rules Rules
+	// ExtraHealth adds further checks consulted by Health alongside the
+	// watcher's own alert state — e.g. an SLO engine's fast-burn check,
+	// so an error-budget burn degrades /healthz exactly like a native
+	// authwatch alert.
+	ExtraHealth []obs.HealthCheck
 }
 
 // maxDayBuckets bounds the daily map (oldest evicted beyond this).
@@ -109,6 +114,7 @@ type hourBucket struct {
 type Watcher struct {
 	internal []*net.IPNet
 	rules    Rules
+	extra    []obs.HealthCheck
 
 	ingestedCtr *obs.Counter
 	alertGauges map[string]*obs.Gauge
@@ -136,6 +142,7 @@ func New(cfg Config) *Watcher {
 	w := &Watcher{
 		internal:    nets,
 		rules:       cfg.Rules.withDefaults(),
+		extra:       cfg.ExtraHealth,
 		ingestedCtr: cfg.Obs.Counter("authwatch_events_ingested_total"),
 		alertGauges: map[string]*obs.Gauge{
 			RuleFailureRate:  cfg.Obs.Gauge("authwatch_alert_active", "rule", RuleFailureRate),
@@ -301,24 +308,33 @@ func (w *Watcher) setAlertLocked(rule string, active bool) {
 	w.alertGauges[rule].Set(v)
 }
 
-// Health implements obs.HealthCheck: non-nil while any alert is active.
+// Health implements obs.HealthCheck: non-nil while any alert is active
+// or any Config.ExtraHealth check fails.
 func (w *Watcher) Health() error {
 	if w == nil {
 		return nil
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	var active []string
 	for rule, on := range w.alerts {
 		if on {
 			active = append(active, rule)
 		}
 	}
-	if len(active) == 0 {
-		return nil
+	w.mu.Unlock()
+	if len(active) > 0 {
+		sort.Strings(active)
+		return fmt.Errorf("authwatch: alerts active: %s", strings.Join(active, ", "))
 	}
-	sort.Strings(active)
-	return fmt.Errorf("authwatch: alerts active: %s", strings.Join(active, ", "))
+	for _, check := range w.extra {
+		if check == nil {
+			continue
+		}
+		if err := check(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Attach subscribes the watcher to a bus and consumes events on a

@@ -25,9 +25,11 @@ import (
 	"openmfa/internal/directory"
 	"openmfa/internal/eventstream"
 	"openmfa/internal/faultnet"
+	"openmfa/internal/flightrec"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/slo"
 	"openmfa/internal/otp"
 	"openmfa/internal/otpd"
 	"openmfa/internal/pam"
@@ -98,6 +100,15 @@ type Options struct {
 	// alert state degrades the portal /healthz. The caller attaches the
 	// watcher to Events and owns its lifecycle.
 	Watch *authwatch.Watcher
+	// FlightRec, when set, is mounted on the portal's ops endpoints at
+	// /debug/flightrec. The caller constructs the recorder over Events,
+	// Spans, and an optional LogTee, and owns its lifecycle (Stop).
+	FlightRec *flightrec.Recorder
+	// SLO, when set, is mounted at /debug/slo and its Health check joins
+	// the portal /healthz (a page-severity fast burn degrades the
+	// deployment). The caller registers objectives and owns the
+	// evaluation cadence (Evaluate or Start/Stop).
+	SLO *slo.Engine
 	// FaultNet, when set, routes every network hop through the fault
 	// injection layer: RADIUS datagrams (client dials and server sockets)
 	// and the login node's TCP listener. Chaos tests use it to model
@@ -401,6 +412,13 @@ func New(opts Options) (*Infrastructure, error) {
 	if opts.Watch != nil {
 		pcfg.HealthChecks = append(pcfg.HealthChecks, opts.Watch.Health)
 		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.Watch.Mount)
+	}
+	if opts.FlightRec != nil {
+		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.FlightRec.Mount)
+	}
+	if opts.SLO != nil {
+		pcfg.HealthChecks = append(pcfg.HealthChecks, opts.SLO.Health)
+		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.SLO.Mount)
 	}
 	p, err := portal.New(pcfg)
 	if err != nil {

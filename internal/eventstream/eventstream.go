@@ -59,6 +59,10 @@ type Event struct {
 	TTY       bool      `json:"tty,omitempty"`
 	Shell     string    `json:"shell,omitempty"`
 	Detail    string    `json:"detail,omitempty"`
+	// Duration is the wall time the decision took, set on completion
+	// events (login, radius) so consumers like the flight recorder can
+	// classify slow traces without re-deriving timing from spans.
+	Duration time.Duration `json:"duration,omitempty"`
 }
 
 // numStripes spreads subscriptions over independent locks. Power of two.

@@ -1,0 +1,144 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"openmfa/internal/obs"
+)
+
+// Handler serves the recorder:
+//
+//	GET /debug/flightrec                      summaries, newest first (JSON)
+//	GET /debug/flightrec?class=reject         filter by result class or keep reason
+//	GET /debug/flightrec?min=750ms            filter by minimum duration
+//	GET /debug/flightrec?limit=50             bound the listing
+//	GET /debug/flightrec?trace=<id>           one full bundle (JSON)
+//	GET /debug/flightrec?trace=<id>&format=tree   ASCII span tree
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		qp := req.URL.Query()
+		if trace := qp.Get("trace"); trace != "" {
+			b, err := r.Get(trace)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if b == nil {
+				http.Error(w, "flightrec: no bundle for trace "+trace, http.StatusNotFound)
+				return
+			}
+			if qp.Get("format") == "tree" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				RenderTree(w, b)
+				return
+			}
+			writeJSON(w, b)
+			return
+		}
+		q := Query{Class: qp.Get("class")}
+		if v := qp.Get("min"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "flightrec: bad min duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			q.MinDuration = d
+		}
+		if v := qp.Get("limit"); v != "" {
+			if _, err := fmt.Sscanf(v, "%d", &q.Limit); err != nil {
+				http.Error(w, "flightrec: bad limit", http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, struct {
+			Bundles []Summary `json:"bundles"`
+		}{r.List(q)})
+	})
+}
+
+// Mount registers the handler at GET /debug/flightrec.
+func (r *Recorder) Mount(mux *http.ServeMux) {
+	mux.Handle("GET /debug/flightrec", r.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// RenderTree writes a human-readable view of one bundle: a header line,
+// the span tree (legs joined by trace ID render as siblings of the
+// in-process root), then the trace's events and log lines.
+func RenderTree(w io.Writer, b *Bundle) {
+	fmt.Fprintf(w, "trace %s user=%s addr=%s result=%s reason=%s duration=%s",
+		b.Trace, b.User, b.Addr, b.Result, b.Reason, b.Duration)
+	if b.Truncated {
+		fmt.Fprint(w, " [span tree truncated by eviction]")
+	}
+	fmt.Fprintln(w)
+
+	children := map[uint64][]obs.SpanData{}
+	var roots []obs.SpanData
+	ids := map[uint64]bool{}
+	for _, sp := range b.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range b.Spans {
+		if sp.Parent != 0 && ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	sortSpans(roots)
+	for id := range children {
+		sortSpans(children[id])
+	}
+	for i, sp := range roots {
+		renderSpan(w, sp, children, "", i == len(roots)-1)
+	}
+	if len(b.Events) > 0 {
+		fmt.Fprintln(w, "events:")
+		for _, ev := range b.Events {
+			fmt.Fprintf(w, "  %s %s component=%s result=%s\n",
+				ev.Time.UTC().Format("15:04:05.000"), ev.Type, ev.Component, ev.Result)
+		}
+	}
+	if len(b.Logs) > 0 {
+		fmt.Fprintln(w, "logs:")
+		for _, line := range b.Logs {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+		if b.LogsDropped > 0 {
+			fmt.Fprintf(w, "  ... %d more lines dropped\n", b.LogsDropped)
+		}
+	}
+}
+
+func sortSpans(spans []obs.SpanData) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+}
+
+func renderSpan(w io.Writer, sp obs.SpanData, children map[uint64][]obs.SpanData, prefix string, last bool) {
+	branch, cont := "├─ ", "│  "
+	if last {
+		branch, cont = "└─ ", "   "
+	}
+	var attrs strings.Builder
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(&attrs, " %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintf(w, "%s%s%s %s%s\n", prefix, branch, sp.Name, sp.Duration(), attrs.String())
+	kids := children[sp.ID]
+	for i, kid := range kids {
+		renderSpan(w, kid, children, prefix+cont, i == len(kids)-1)
+	}
+}

@@ -1,0 +1,145 @@
+package flightrec
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// LogTee wraps a log writer and indexes every line that carries a
+// ` trace=<id>` token (the obs.Logger convention) by its trace ID, so the
+// recorder can attach the relevant log lines to a bundle. Lines pass
+// through to the underlying writer untouched.
+//
+// The index is bounded on both axes: at most MaxLinesPerTrace lines are
+// kept per trace (later lines are dropped and counted in the bundle's
+// LogsDropped), and at most MaxTraces traces are indexed at once (oldest
+// evicted first). Take removes a trace's lines, so a recorder that drains
+// every completed login keeps the tee near-empty in steady state.
+type LogTee struct {
+	w io.Writer
+
+	mu      sync.Mutex
+	lines   map[string][]string
+	dropped map[string]int
+	order   []string // trace insertion order for FIFO eviction
+
+	maxLines  int
+	maxTraces int
+}
+
+// Tee bounds.
+const (
+	DefaultMaxLinesPerTrace = 32
+	DefaultMaxTracedTraces  = 1024
+)
+
+// NewLogTee wraps w. maxLines and maxTraces fall back to the defaults
+// when non-positive.
+func NewLogTee(w io.Writer, maxLines, maxTraces int) *LogTee {
+	if maxLines <= 0 {
+		maxLines = DefaultMaxLinesPerTrace
+	}
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTracedTraces
+	}
+	return &LogTee{
+		w:         w,
+		lines:     make(map[string][]string),
+		dropped:   make(map[string]int),
+		maxLines:  maxLines,
+		maxTraces: maxTraces,
+	}
+}
+
+var traceToken = []byte(" trace=")
+
+// Write implements io.Writer. Each call from obs.Logger is exactly one
+// newline-terminated line, but Write tolerates multi-line payloads from
+// other sources.
+func (t *LogTee) Write(p []byte) (int, error) {
+	if t == nil {
+		return len(p), nil
+	}
+	for rest := p; len(rest) > 0; {
+		line := rest
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = nil
+		}
+		if trace := traceOf(line); trace != "" {
+			t.index(trace, string(line))
+		}
+	}
+	if t.w == nil {
+		return len(p), nil
+	}
+	return t.w.Write(p)
+}
+
+// traceOf extracts the trace ID from a log line, or "".
+func traceOf(line []byte) string {
+	i := bytes.Index(line, traceToken)
+	if i < 0 {
+		return ""
+	}
+	v := line[i+len(traceToken):]
+	if j := bytes.IndexByte(v, ' '); j >= 0 {
+		v = v[:j]
+	}
+	return string(bytes.Trim(v, `"`))
+}
+
+func (t *LogTee) index(trace, line string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ls, known := t.lines[trace]
+	if !known {
+		if len(t.order) >= t.maxTraces {
+			old := t.order[0]
+			t.order = t.order[1:]
+			delete(t.lines, old)
+			delete(t.dropped, old)
+		}
+		t.order = append(t.order, trace)
+	}
+	if len(ls) >= t.maxLines {
+		t.dropped[trace]++
+		return
+	}
+	t.lines[trace] = append(ls, line)
+}
+
+// Take removes and returns the indexed lines for trace, with the count of
+// lines dropped by the per-trace bound. Nil-safe.
+func (t *LogTee) Take(trace string) (lines []string, dropped int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lines = t.lines[trace]
+	dropped = t.dropped[trace]
+	if _, known := t.lines[trace]; known {
+		delete(t.lines, trace)
+		delete(t.dropped, trace)
+		for i, tr := range t.order {
+			if tr == trace {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return lines, dropped
+}
+
+// Traces reports how many traces are currently indexed (for tests).
+func (t *LogTee) Traces() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lines)
+}

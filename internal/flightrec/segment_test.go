@@ -1,0 +1,191 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeBundles(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	rec, err := New(Config{Dir: dir, Policy: Policy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []string
+	rec.mu.Lock()
+	for i := 0; i < n; i++ {
+		trace := fmt.Sprintf("tr-%02d", i)
+		traces = append(traces, trace)
+		if err := rec.persistLocked(&Bundle{
+			Trace: trace, Time: testT0.Add(time.Duration(i) * time.Second),
+			User: "alice", Result: "reject", Reason: ReasonFailed,
+		}); err != nil {
+			rec.mu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Unlock()
+	rec.Stop()
+	return traces
+}
+
+// TestTornTailSweep is the crash-recovery exhaustiveness test: a segment
+// holding several bundles is truncated at EVERY byte offset, and recovery
+// must (a) never error, (b) recover exactly the bundles whose frames lie
+// entirely before the cut, (c) never produce a half-bundle, and (d) leave
+// the directory appendable.
+func TestTornTailSweep(t *testing.T) {
+	src := t.TempDir()
+	traces := writeBundles(t, src, 4)
+	segPath := filepath.Join(src, segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries: recovery at a boundary keeps every frame before it.
+	boundaries := []int{0}
+	for off := 0; off < len(data); {
+		_, frameLen, err := decodeFrame(data[off:])
+		if err != nil {
+			t.Fatalf("intact segment has bad frame at %d: %v", off, err)
+		}
+		off += frameLen
+		boundaries = append(boundaries, off)
+	}
+	wholeFramesBefore := func(cut int) int {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := len(data); cut >= 0; cut-- {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := New(Config{Dir: dir, Policy: Policy{}})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		want := wholeFramesBefore(cut)
+		if got := rec.Len(); got != want {
+			t.Fatalf("cut=%d: recovered %d bundles, want %d", cut, got, want)
+		}
+		for i := 0; i < want; i++ {
+			b, err := rec.Get(traces[i])
+			if err != nil || b == nil || b.User != "alice" {
+				t.Fatalf("cut=%d: bundle %s unreadable: %+v, %v", cut, traces[i], b, err)
+			}
+		}
+		// The torn segment must have been truncated back to its last
+		// committed frame.
+		fi, err := os.Stat(filepath.Join(dir, segName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		validEnd := 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				validEnd = b
+			}
+		}
+		if fi.Size() != int64(validEnd) {
+			t.Fatalf("cut=%d: segment left at %d bytes, want %d", cut, fi.Size(), validEnd)
+		}
+		// And the recorder must still accept new bundles.
+		rec.mu.Lock()
+		err = rec.persistLocked(&Bundle{Trace: "tr-new", Reason: ReasonFailed})
+		rec.mu.Unlock()
+		if err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if b, err := rec.Get("tr-new"); err != nil || b == nil {
+			t.Fatalf("cut=%d: new bundle unreadable after recovery", cut)
+		}
+		rec.Stop()
+	}
+}
+
+// TestCorruptFrameStopsRecovery flips a payload byte mid-segment:
+// everything before the corruption recovers, everything after is
+// discarded (frame streams have no resync point — mirroring the store
+// WAL's prefix rule).
+func TestCorruptFrameStopsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeBundles(t, dir, 3)
+	segPath := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, err := decodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[first+frameHeaderSize+4] ^= 0xFF // corrupt frame 2's payload
+	if err := os.WriteFile(segPath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(Config{Dir: dir, Policy: Policy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Stop()
+	if rec.Len() != 1 {
+		t.Fatalf("recovered %d bundles past corruption, want 1", rec.Len())
+	}
+	if b, err := rec.Get("tr-00"); err != nil || b == nil {
+		t.Fatalf("pre-corruption bundle lost: %v", err)
+	}
+}
+
+// TestFrameRoundTrip pins the frame layout against the store WAL
+// discipline: length, CRC, payload, commit marker.
+func TestFrameRoundTrip(t *testing.T) {
+	payload, _ := json.Marshal(Bundle{Trace: "x", Reason: ReasonFailed})
+	frame := encodeFrame(payload)
+	if frame[len(frame)-1] != commitMarker {
+		t.Fatal("frame missing trailing commit marker")
+	}
+	got, n, err := decodeFrame(frame)
+	if err != nil || n != len(frame) || string(got) != string(payload) {
+		t.Fatalf("round trip: %q, %d, %v", got, n, err)
+	}
+	for _, mutate := range []func([]byte){
+		func(b []byte) { b[len(b)-1] = 0 },         // marker
+		func(b []byte) { b[frameHeaderSize] ^= 1 }, // payload -> CRC mismatch
+		func(b []byte) { b[0], b[1] = 0xFF, 0xFF }, // absurd length
+	} {
+		c := append([]byte(nil), frame...)
+		mutate(c)
+		if _, _, err := decodeFrame(c); err == nil {
+			t.Fatal("mutated frame decoded cleanly")
+		}
+	}
+}
+
+// TestForeignFilesIgnored: non-segment files in the directory are left
+// alone by recovery and rotation.
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(Config{Dir: dir, Policy: Policy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Stop()
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("foreign file disturbed")
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-format exposition and returns
+// every defect it finds: duplicate or interleaved TYPE declarations,
+// series without a preceding TYPE, malformed metric names or label
+// blocks, unparseable values, duplicate series, counters that render
+// negative, and histogram bucket sequences whose cumulative counts
+// decrease. The `make metrics-lint` gate feeds it the full /metrics
+// output of a running portal so a bad family can never ship silently.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	declared := map[string]string{} // family -> kind
+	seen := map[string]struct{}{}   // full series key
+	var curFamily, curKind string
+	// histogram bucket monotonicity: per series-label block, last cum count
+	bucketCum := map[string]float64{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				addf(n, "malformed comment line %q", line)
+				continue
+			}
+			name, kind := fields[2], fields[3]
+			if !validName(name) {
+				addf(n, "TYPE declares invalid metric name %q", name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf(n, "TYPE declares unknown kind %q", kind)
+			}
+			if _, dup := declared[name]; dup {
+				addf(n, "duplicate TYPE declaration for family %q", name)
+			}
+			declared[name] = kind
+			curFamily, curKind = name, kind
+			continue
+		}
+
+		name, labels, value, err := parseSeries(line)
+		if err != nil {
+			addf(n, "%v", err)
+			continue
+		}
+		base := familyOf(name, curFamily, curKind)
+		if base != curFamily {
+			if kind, ok := declared[base]; ok {
+				// Series re-appearing after its family block closed:
+				// families must be contiguous or scrapers double-count.
+				addf(n, "series %q outside its TYPE %s block (family %q interleaved)", name, kind, base)
+			} else {
+				addf(n, "series %q has no preceding TYPE declaration", name)
+			}
+			continue
+		}
+		key := name + "{" + labels + "}"
+		if _, dup := seen[key]; dup {
+			addf(n, "duplicate series %s", key)
+		}
+		seen[key] = struct{}{}
+		if curKind == "counter" && value < 0 {
+			addf(n, "counter %s has negative value %g", key, value)
+		}
+		if curKind == "histogram" && strings.HasSuffix(name, "_bucket") {
+			// Strip le from the label block to key the bucket run.
+			run := name + "{" + stripLE(labels) + "}"
+			if last, ok := bucketCum[run]; ok && value < last {
+				addf(n, "histogram %s cumulative bucket count decreased (%g < %g)", run, value, last)
+			}
+			bucketCum[run] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+	return errs
+}
+
+// familyOf maps a sample name onto its family, honouring the histogram
+// suffix convention only when the current family is a histogram.
+func familyOf(name, curFamily, curKind string) string {
+	if curKind == "histogram" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.TrimSuffix(name, suf) == curFamily {
+				return curFamily
+			}
+		}
+	}
+	return name
+}
+
+// parseSeries splits `name{labels} value` (labels optional) and validates
+// each piece.
+func parseSeries(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("malformed series line %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+		if err := lintLabels(labels); err != nil {
+			return "", "", 0, fmt.Errorf("series %q: %w", name, err)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", 0, fmt.Errorf("series %q has no value", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("series %q has trailing garbage %q", name, rest)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("series %q has unparseable value %q", name, fields[0])
+	}
+	return name, labels, v, nil
+}
+
+// lintLabels validates a `k="v",k2="v2"` block (the exposition cannot
+// contain escaped quotes mid-value without backslash, which we honour).
+func lintLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label block %q", block)
+		}
+		key := rest[:eq]
+		if !validName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		rest = rest[1:]
+		// Find the closing quote, honouring backslash escapes.
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %q value unterminated", key)
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			return nil
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("label block %q missing comma", block)
+		}
+		rest = rest[1:]
+	}
+	return fmt.Errorf("label block %q has trailing comma", block)
+}
+
+// stripLE removes the le="..." pair from a bucket label block so bucket
+// runs can be grouped per series.
+func stripLE(labels string) string {
+	parts := splitLabelBlock(labels)
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// splitLabels splits on commas outside quoted values.
+func splitLabelBlock(labels string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		parts = append(parts, labels[start:])
+	}
+	return parts
+}

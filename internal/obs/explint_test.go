@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []error { return LintExposition(strings.NewReader(s)) }
+
+func TestLintCleanExpositionFromRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Inc()
+	reg.Counter("b_total", "result", "ok").Add(3)
+	reg.Counter("b_total", "result", `we"ird\v`).Inc()
+	reg.Gauge("c_ratio").Set(0.25)
+	h := reg.Histogram("d_seconds", nil, "class", "x")
+	h.Observe(0.01)
+	h.Observe(99)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if errs := lintString(sb.String()); len(errs) != 0 {
+		t.Fatalf("registry exposition failed its own lint: %v", errs)
+	}
+}
+
+func TestLintCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"duplicate family",
+			"# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n",
+			"duplicate TYPE"},
+		{"duplicate series",
+			"# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+			"duplicate series"},
+		{"no TYPE",
+			"x 1\n",
+			"no preceding TYPE"},
+		{"interleaved family",
+			"# TYPE x counter\nx 1\n# TYPE y counter\ny 1\nx 2\n",
+			"interleaved"},
+		{"bad value",
+			"# TYPE x counter\nx banana\n",
+			"unparseable value"},
+		{"negative counter",
+			"# TYPE x counter\nx -4\n",
+			"negative value"},
+		{"bad name",
+			"# TYPE 0x counter\n0x 1\n",
+			"invalid metric name"},
+		{"unterminated labels",
+			"# TYPE x counter\nx{a=\"1\" 1\n",
+			"unterminated"},
+		{"unquoted label",
+			"# TYPE x counter\nx{a=1} 1\n",
+			"not quoted"},
+		{"decreasing buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_sum 1\nh_count 5\n",
+			"decreased"},
+		{"malformed comment",
+			"# TYPE x\nx 1\n",
+			"malformed comment"},
+	}
+	for _, c := range cases {
+		errs := lintString(c.in)
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint errors %v do not mention %q", c.name, errs, c.want)
+		}
+	}
+}
+
+func TestLintAcceptsHistogramSuffixFamilies(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.5\nh_count 2\n" +
+		"# TYPE h2 counter\nh2 1\n"
+	if errs := lintString(in); len(errs) != 0 {
+		t.Fatalf("valid histogram block flagged: %v", errs)
+	}
+}

@@ -105,6 +105,37 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return m.(*Histogram)
 }
 
+// EachCounter invokes fn for every counter series currently in the named
+// family, passing each series' rendered label key (sorted `k="v"` pairs).
+// Families whose label sets appear dynamically — per-route, per-status
+// request counters — can thus be aggregated, e.g. by an SLO availability
+// source, without pre-registering every series. Nil-safe; a missing or
+// non-counter family is a no-op.
+func (r *Registry) EachCounter(name string, fn func(seriesLabels string, c *Counter)) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	fam := r.families[name]
+	if fam == nil || fam.kind != kindCounter {
+		r.mu.RUnlock()
+		return
+	}
+	keys := make([]string, 0, len(fam.series))
+	for k := range fam.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]*Counter, len(keys))
+	for i, k := range keys {
+		series[i] = fam.series[k].(*Counter)
+	}
+	r.mu.RUnlock()
+	for i, k := range keys {
+		fn(k, series[i])
+	}
+}
+
 func (r *Registry) metric(name string, kind metricKind, buckets []float64, labels []string) any {
 	if !validName(name) {
 		panic("obs: invalid metric name " + name)
@@ -326,6 +357,25 @@ func (h *Histogram) Count() uint64 {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// CountBelow is the number of observations that landed in buckets whose
+// upper bound is <= bound — the "good events" count for a latency SLO.
+// The answer is quantised to the bucket layout: observations are credited
+// against the largest bucket bound not exceeding bound, so a threshold
+// between two bounds is evaluated conservatively. Nil-safe.
+func (h *Histogram) CountBelow(bound float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		if ub > bound {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
 }
 
 // Sum is the sum of all observed values.

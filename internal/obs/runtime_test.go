@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/leakcheck"
+)
+
+func TestRuntimeSamplerExportsGauges(t *testing.T) {
+	leakcheck.Check(t)
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour) // ticker idle; initial sample counts
+	defer s.Stop()
+
+	if v := reg.Gauge("go_goroutines").Value(); v < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("go_heap_inuse_bytes").Value(); v <= 0 {
+		t.Errorf("go_heap_inuse_bytes = %v, want > 0", v)
+	}
+	if v := reg.Gauge("go_gomaxprocs").Value(); v < 1 {
+		t.Errorf("go_gomaxprocs = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("go_gc_pause_p99_seconds").Value(); v < 0 {
+		t.Errorf("go_gc_pause_p99_seconds = %v, want >= 0", v)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, name := range []string{
+		"go_goroutines", "go_heap_inuse_bytes", "go_gc_pause_p99_seconds", "go_gomaxprocs",
+	} {
+		if !strings.Contains(sb.String(), "# TYPE "+name+" gauge") {
+			t.Errorf("exposition missing gauge %s", name)
+		}
+	}
+}
+
+func TestRuntimeSamplerStopIsIdempotentAndLeakFree(t *testing.T) {
+	leakcheck.Check(t)
+	s := StartRuntimeSampler(NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let the ticker fire at least once
+	s.Stop()
+	s.Stop()
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop()
+	nilSampler.Sample()
+	StartRuntimeSampler(nil, time.Millisecond).Stop() // nil registry: no goroutine
+}
+
+func TestHistogramCountBelow(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", []float64{0.1, 0.5, 1}, "k", "v")
+	for _, v := range []float64{0.05, 0.09, 0.3, 0.7, 2.0} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.05, 0}, // below the first bucket bound: nothing credited
+		{0.1, 2},
+		{0.4, 2}, // between bounds quantises down
+		{0.5, 3},
+		{1, 4},
+		{10, 4}, // +Inf observations are never "good"
+	}
+	for _, c := range cases {
+		if got := h.CountBelow(c.bound); got != c.want {
+			t.Errorf("CountBelow(%v) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.CountBelow(1) != 0 {
+		t.Error("nil histogram CountBelow != 0")
+	}
+}

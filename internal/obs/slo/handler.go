@@ -1,0 +1,107 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the engine's state:
+//
+//	GET /debug/slo  JSON []ObjectiveStatus
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(e.Status())
+	})
+}
+
+// Mount registers the handler at GET /debug/slo.
+func (e *Engine) Mount(mux *http.ServeMux) {
+	mux.Handle("GET /debug/slo", e.Handler())
+}
+
+// Spec is the parsed form of a daemon -slo flag. The flag syntax is
+//
+//	name:target%<threshold/window
+//
+// e.g. "logins:99.5%<750ms/30d" — 99.5% of logins decided in under 750ms,
+// budgeted over 30 days. The threshold applies to whichever latency
+// histogram the daemon binds the spec to.
+type Spec struct {
+	Name      string
+	Target    float64       // as a ratio (0.995)
+	Threshold time.Duration // latency bound
+	Window    time.Duration // budget window
+}
+
+// ParseSpec parses the -slo flag syntax.
+func ParseSpec(s string) (Spec, error) {
+	bad := func(why string) (Spec, error) {
+		return Spec{}, fmt.Errorf("slo: bad spec %q (want name:target%%<threshold/window, e.g. logins:99.5%%<750ms/30d): %s", s, why)
+	}
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return bad("missing name")
+	}
+	pct, rest, ok := strings.Cut(rest, "%<")
+	if !ok {
+		return bad("missing target%<")
+	}
+	target, err := strconv.ParseFloat(pct, 64)
+	if err != nil || target <= 0 || target >= 100 {
+		return bad("target must be a percentage in (0,100)")
+	}
+	thrStr, winStr, ok := strings.Cut(rest, "/")
+	if !ok {
+		return bad("missing /window")
+	}
+	thr, err := parseDur(thrStr)
+	if err != nil || thr <= 0 {
+		return bad("bad threshold duration")
+	}
+	win, err := parseDur(winStr)
+	if err != nil || win <= 0 {
+		return bad("bad window duration")
+	}
+	return Spec{Name: name, Target: target / 100, Threshold: thr, Window: win}, nil
+}
+
+// parseDur accepts time.ParseDuration syntax plus a day suffix (30d).
+func parseDur(s string) (time.Duration, error) {
+	if strings.HasSuffix(s, "d") {
+		days, err := strconv.ParseFloat(strings.TrimSuffix(s, "d"), 64)
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(days * 24 * float64(time.Hour)), nil
+	}
+	return time.ParseDuration(s)
+}
+
+// SpecList is a repeatable flag.Value collecting -slo specs.
+type SpecList []Spec
+
+// String implements flag.Value.
+func (l *SpecList) String() string {
+	parts := make([]string, len(*l))
+	for i, s := range *l {
+		parts[i] = s.Name
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (l *SpecList) Set(v string) error {
+	spec, err := ParseSpec(v)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, spec)
+	return nil
+}

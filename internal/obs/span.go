@@ -54,15 +54,26 @@ type Span struct {
 
 // SpanStore records finished spans in a bounded ring; when the ring is
 // full the oldest span is evicted (counted, never blocking the auth path).
+//
+// Eviction is visible at query time: the store remembers, for every trace
+// that still has at least one span in the ring, whether any of its spans
+// have already been evicted, and Lookup reports that as a truncation flag
+// so consumers (the flight recorder, /debug/flightrec) never mistake a
+// partial tree for a complete one. The bookkeeping is self-bounding: a
+// trace whose last span leaves the ring is forgotten entirely (an empty
+// result cannot masquerade as a complete tree), so both maps hold at most
+// as many entries as the ring holds distinct traces.
 type SpanStore struct {
 	seq     atomic.Uint64
 	evicted atomic.Uint64
 	now     func() time.Time // test hook; nil = time.Now
 
-	mu   sync.Mutex
-	ring []SpanData
-	head int
-	size int
+	mu        sync.Mutex
+	ring      []SpanData
+	head      int
+	size      int
+	live      map[string]int      // trace -> spans currently in the ring
+	truncated map[string]struct{} // traces with >=1 live span and >=1 evicted span
 }
 
 // DefaultSpanCapacity bounds the store when NewSpanStore is given a
@@ -75,7 +86,11 @@ func NewSpanStore(capacity int) *SpanStore {
 	if capacity <= 0 {
 		capacity = DefaultSpanCapacity
 	}
-	return &SpanStore{ring: make([]SpanData, capacity)}
+	return &SpanStore{
+		ring:      make([]SpanData, capacity),
+		live:      make(map[string]int),
+		truncated: make(map[string]struct{}),
+	}
 }
 
 func (s *SpanStore) clock() time.Time {
@@ -165,11 +180,24 @@ func (sp *Span) End() {
 
 func (s *SpanStore) record(d SpanData) {
 	s.mu.Lock()
+	if s.live == nil { // stores built by struct literal in tests
+		s.live = make(map[string]int)
+		s.truncated = make(map[string]struct{})
+	}
 	if s.size == len(s.ring) {
 		s.evicted.Add(1)
+		old := s.ring[s.head].Trace
+		if n := s.live[old] - 1; n > 0 {
+			s.live[old] = n
+			s.truncated[old] = struct{}{}
+		} else {
+			delete(s.live, old)
+			delete(s.truncated, old)
+		}
 	} else {
 		s.size++
 	}
+	s.live[d.Trace]++
 	s.ring[s.head] = d
 	s.head = (s.head + 1) % len(s.ring)
 	s.mu.Unlock()
@@ -177,19 +205,27 @@ func (s *SpanStore) record(d SpanData) {
 
 // Trace returns the recorded spans for a trace ID, oldest first. Nil-safe.
 func (s *SpanStore) Trace(trace string) []SpanData {
+	spans, _ := s.Lookup(trace)
+	return spans
+}
+
+// Lookup returns the recorded spans for a trace ID, oldest first, plus a
+// truncation flag: true means at least one span of this trace has already
+// been evicted from the ring, so the returned tree is incomplete. Nil-safe.
+func (s *SpanStore) Lookup(trace string) (spans []SpanData, truncated bool) {
 	if s == nil || trace == "" {
-		return nil
+		return nil, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []SpanData
 	for i := 0; i < s.size; i++ {
 		d := &s.ring[(s.head-s.size+i+2*len(s.ring))%len(s.ring)]
 		if d.Trace == trace {
-			out = append(out, *d)
+			spans = append(spans, *d)
 		}
 	}
-	return out
+	_, truncated = s.truncated[trace]
+	return spans, truncated
 }
 
 // Len is the number of recorded spans currently held. Nil-safe.

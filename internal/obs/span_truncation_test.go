@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"openmfa/internal/leakcheck"
+)
+
+// TestTraceTruncationVisibleAfterEviction is the regression for silent
+// partial trees: a trace whose early spans were evicted mid-trace must
+// come back flagged as truncated, and a trace fully resident must not.
+func TestTraceTruncationVisibleAfterEviction(t *testing.T) {
+	s := NewSpanStore(4)
+
+	// Record two spans of trace "aaaa", then flood the ring with other
+	// traffic so exactly the first span of "aaaa" is evicted.
+	for i := 0; i < 2; i++ {
+		sp := s.Start("aaaa", fmt.Sprintf("leg%d", i))
+		sp.End()
+	}
+	for i := 0; i < 3; i++ {
+		sp := s.Start(fmt.Sprintf("bbb%d", i), "filler")
+		sp.End()
+	}
+
+	spans, truncated := s.Lookup("aaaa")
+	if len(spans) != 1 {
+		t.Fatalf("Lookup(aaaa) = %d spans, want 1 survivor", len(spans))
+	}
+	if !truncated {
+		t.Fatal("Lookup(aaaa) reported a complete tree after mid-trace eviction")
+	}
+
+	// The filler traces are fully resident: not truncated.
+	for i := 1; i < 3; i++ {
+		id := fmt.Sprintf("bbb%d", i)
+		spans, truncated := s.Lookup(id)
+		if len(spans) != 1 || truncated {
+			t.Errorf("Lookup(%s) = %d spans truncated=%v, want 1, false", id, len(spans), truncated)
+		}
+	}
+
+	// Once the last span of a trace leaves the ring the bookkeeping is
+	// dropped with it: the maps stay bounded by ring occupancy.
+	for i := 0; i < 8; i++ {
+		sp := s.Start(fmt.Sprintf("ccc%d", i), "filler")
+		sp.End()
+	}
+	s.mu.Lock()
+	live, trunc := len(s.live), len(s.truncated)
+	s.mu.Unlock()
+	if live > 4 {
+		t.Errorf("live-trace map holds %d entries, ring capacity is 4", live)
+	}
+	if trunc > live {
+		t.Errorf("truncated map (%d) outgrew live map (%d)", trunc, live)
+	}
+	if spans, truncated := s.Lookup("aaaa"); len(spans) != 0 || truncated {
+		t.Errorf("fully evicted trace: Lookup = %d spans truncated=%v, want empty, false", len(spans), truncated)
+	}
+}
+
+// TestSpanStoreConcurrentEviction races Start/StartChild/SetAttr/End/
+// Trace/Lookup against constant ring eviction under -race: a tiny ring
+// guarantees every recording evicts, which is exactly where the
+// truncation bookkeeping mutates shared maps.
+func TestSpanStoreConcurrentEviction(t *testing.T) {
+	leakcheck.Check(t)
+	s := NewSpanStore(8)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				trace := fmt.Sprintf("%04x%04x00000000", w, i%16)
+				root := s.Start(trace, "root")
+				root.SetAttr("w", fmt.Sprint(w))
+				child := root.StartChild("child")
+				child.End()
+				root.End()
+				s.Trace(trace)
+				if _, truncated := s.Lookup(trace); truncated {
+					_ = truncated // either answer is valid under eviction
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 8 {
+		t.Fatalf("ring holds %d spans, want full capacity 8", got)
+	}
+	if s.Evicted() == 0 {
+		t.Fatal("expected evictions under a full ring")
+	}
+	s.mu.Lock()
+	live := 0
+	for _, n := range s.live {
+		live += n
+	}
+	s.mu.Unlock()
+	if live != 8 {
+		t.Fatalf("live-span accounting drifted: sum=%d, want 8", live)
+	}
+}

@@ -267,6 +267,7 @@ func (s *Server) handlePacket(conn net.PacketConn, wire []byte, src net.Addr) {
 			Time: now(), Type: eventstream.TypeRadius, Component: "radius",
 			Trace: trace, User: req.GetString(AttrUserName),
 			Addr: src.String(), Result: result,
+			Duration: time.Since(start),
 		})
 	}
 	s.Logger.Info("request", "component", "radius", "trace", trace,

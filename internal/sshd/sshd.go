@@ -416,6 +416,7 @@ func (s *Server) serveConn(raw net.Conn) {
 			Trace: trace, User: user, Addr: ip.String(), Result: result,
 			MFA: mfaUsed && authErr == nil, Method: method,
 			TTY: hello.TTY, Shell: hello.Shell,
+			Duration: time.Since(authStart),
 		})
 	}
 	if authErr != nil {
