@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke metrics-lint fuzz cover clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke repl-smoke metrics-lint fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke metrics-lint fuzz cover
+verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke repl-smoke metrics-lint fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,19 @@ flightrec-smoke:
 	$(GO) test -race -count 1 -run 'TestFlightRecorderUnderChaosStorm|TestSuccessSamplingReproducibleAcrossRuns|TestFailureBurstBurnsSLOAndDegradesHealthz' ./internal/core
 	$(GO) test -race -count 1 -run 'TestTornTailSweep|TestRecoveryAfterRestart' ./internal/flightrec
 
+# Replication / HA gate: the WAL log-shipping protocol tests (catch-up
+# from ring/segments/snapshot, epoch fencing both directions, MinSync
+# fail-closed, torn-stream determinism), the leader-failover capstone
+# (leader killed mid login-storm under a faultnet partition; the promoted
+# standby must show zero double-accepted OTPs and zero lost lockout
+# increments), and the store-side LSN / compaction durability
+# regressions — race detector on.
+repl-smoke:
+	$(GO) test -race -count 1 ./internal/store/repl
+	$(GO) test -race -count 1 -run 'TestLeaderFailoverUnderLoginStorm' ./internal/core
+	$(GO) test -race -count 1 -run 'TestLSNMonotonicAcrossCompactReopen|TestCompact|TestEpoch|TestFollowerMode|TestApplyReplicated|TestReplica|TestSegmentFrames' ./internal/store
+	$(GO) test -race -count 1 -run 'TestCompactThenCrash' ./internal/store/crashtest
+
 # Metrics hygiene gate: lint the live portal /metrics exposition (typing,
 # sort order, label consistency, unit-suffix conventions) with runtime,
 # SLO, and flight recorder families all registered.
@@ -87,11 +100,12 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzRecoverWAL$$' -fuzztime 10s -fuzzminimizetime 10x ./internal/store
 
 # Durability-layer coverage gate: the sharded store (with its crashtest
-# harness exercising it) must keep >= 90% statement coverage.
+# harness and the replication protocol exercising it) must keep >= 90%
+# statement coverage.
 cover:
 	$(GO) test -count 1 -coverprofile .cover.store.out \
 		-coverpkg openmfa/internal/store \
-		./internal/store ./internal/store/crashtest
+		./internal/store ./internal/store/crashtest ./internal/store/repl
 	@$(GO) tool cover -func .cover.store.out | awk '/^total:/ { \
 		pct = $$3 + 0; \
 		printf "internal/store statement coverage: %.1f%% (floor 90%%)\n", pct; \

@@ -29,6 +29,7 @@ import (
 	"openmfa/internal/otpd"
 	"openmfa/internal/radius"
 	"openmfa/internal/store"
+	"openmfa/internal/store/repl"
 )
 
 func main() {
@@ -45,6 +46,11 @@ func main() {
 		shards     = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
 		groupSync  = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
 		coalesce   = flag.Bool("coalesce-writes", true, "batch concurrent record saves into shared WAL frames")
+
+		replListen  = flag.String("repl-listen", "", "replication leader listen address (empty = not a leader)")
+		replFollow  = flag.String("repl-follow", "", "leader replication address to follow; makes this otpd a standby (no RADIUS listener, local writes refused)")
+		replMinSync = flag.Int("repl-min-sync", 0, "follower acknowledgements required before a commit returns (0 = asynchronous)")
+		replSyncTO  = flag.Duration("repl-sync-timeout", 2*time.Second, "bound on the -repl-min-sync wait; past it the write (and the login) fails closed")
 
 		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
 		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable successful checks the flight recorder keeps")
@@ -75,6 +81,9 @@ func main() {
 		}
 	}
 	defer db.Close()
+	if *replListen != "" && *replFollow != "" {
+		log.Fatal("otpd: -repl-listen and -repl-follow are mutually exclusive")
+	}
 
 	// When the flight recorder is on, the log stream is teed so each
 	// trace's lines can ride along in its bundle.
@@ -89,6 +98,38 @@ func main() {
 		// Identical lines beyond the per-key budget are sampled out and
 		// counted in log_events_suppressed_total.
 		logger = logger.RateLimit(*logRate, time.Second, reg)
+	}
+
+	// Replication endpoints. A leader bumps the store's fencing epoch and
+	// streams committed WAL frames; a standby refuses local writes and
+	// replays the leader's log. Promotion is a restart of the standby
+	// with -repl-listen in place of -repl-follow.
+	if *replListen != "" {
+		leader, err := repl.StartLeader(db, repl.LeaderOptions{
+			Addr:        *replListen,
+			MinSync:     *replMinSync,
+			SyncTimeout: *replSyncTO,
+			Obs:         reg,
+			Logger:      logger,
+		})
+		if err != nil {
+			log.Fatalf("otpd: repl: %v", err)
+		}
+		defer leader.Close()
+		log.Printf("otpd: replication leader on %s (epoch %d, min-sync %d)",
+			leader.Addr(), db.Epoch(), *replMinSync)
+	}
+	if *replFollow != "" {
+		follower, err := repl.StartFollower(db, repl.FollowerOptions{
+			Addr:   *replFollow,
+			Obs:    reg,
+			Logger: logger,
+		})
+		if err != nil {
+			log.Fatalf("otpd: repl: %v", err)
+		}
+		defer follower.Stop()
+		log.Printf("otpd: standby following %s (local writes refused until promotion)", *replFollow)
 	}
 
 	// Go runtime telemetry (goroutines, heap, GC pauses) on the registry.
@@ -161,19 +202,25 @@ func main() {
 		log.Fatalf("otpd: %v", err)
 	}
 
-	rsrv := &radius.Server{
-		Secret:  []byte(*secret),
-		Handler: &otpd.RadiusHandler{OTP: srv},
-		Logf:    log.Printf,
-		Obs:     reg,
-		Logger:  logger,
-		Events:  bus,
+	// A standby keeps the admin API and ops endpoints up for health
+	// checks, but does not answer RADIUS: the login-node pool is pointed
+	// at leaders only, and a standby's store would refuse the writes a
+	// login needs anyway.
+	if *replFollow == "" {
+		rsrv := &radius.Server{
+			Secret:  []byte(*secret),
+			Handler: &otpd.RadiusHandler{OTP: srv},
+			Logf:    log.Printf,
+			Obs:     reg,
+			Logger:  logger,
+			Events:  bus,
+		}
+		if err := rsrv.ListenAndServe(*radiusAddr); err != nil {
+			log.Fatalf("otpd: radius: %v", err)
+		}
+		defer rsrv.Close()
+		log.Printf("otpd: RADIUS on %s", rsrv.Addr())
 	}
-	if err := rsrv.ListenAndServe(*radiusAddr); err != nil {
-		log.Fatalf("otpd: radius: %v", err)
-	}
-	defer rsrv.Close()
-	log.Printf("otpd: RADIUS on %s", rsrv.Addr())
 
 	api := &otpd.AdminAPI{
 		OTP:   srv,

@@ -38,6 +38,7 @@ import (
 	"openmfa/internal/sms"
 	"openmfa/internal/sshd"
 	"openmfa/internal/store"
+	"openmfa/internal/store/repl"
 )
 
 // Options configures New. The zero value is a working in-memory deployment
@@ -141,6 +142,24 @@ type Options struct {
 	// frames (one frame per burst instead of one per login); composes
 	// with StoreGroupCommit, which only shares the fsyncs.
 	CoalesceWrites bool
+	// ReplListen makes this deployment the replication leader for the
+	// otpd store: it bumps the persisted fencing epoch and streams
+	// committed WAL frames to followers on this TCP address. Mutually
+	// exclusive with ReplFollow.
+	ReplListen string
+	// ReplFollow makes this deployment a standby: the otpd store is put
+	// into follower mode (local writes refused, reads stay live) and
+	// replays the leader's log from this address. Promotion is a restart
+	// with ReplListen set (or repl.StartLeader on the same store).
+	ReplFollow string
+	// ReplMinSync is the number of follower acknowledgements a leader
+	// requires before a commit returns (synchronous replication). Zero
+	// ships asynchronously. Only meaningful with ReplListen.
+	ReplMinSync int
+	// ReplSyncTimeout bounds the ReplMinSync wait; past it the write —
+	// and therefore the login consuming the OTP — fails closed. Zero
+	// keeps the repl default (2s).
+	ReplSyncTimeout time.Duration
 }
 
 // ModeSwitch is a mutable pam.ConfigProvider: operators flip enforcement
@@ -193,6 +212,12 @@ type Infrastructure struct {
 	Spans *obs.SpanStore
 	// Events is the analytics bus (Options.Events; nil disables events).
 	Events *eventstream.Bus
+	// ReplLeader / ReplFollower are the otpd store's replication
+	// endpoints when Options.ReplListen / ReplFollow were set; nil
+	// otherwise. Chaos tests reach through them to kill a leader or
+	// promote a standby.
+	ReplLeader   *repl.Leader
+	ReplFollower *repl.Follower
 
 	radiusServers []*radius.Server
 	dirServer     *directory.Server
@@ -201,7 +226,13 @@ type Infrastructure struct {
 	adminAddr     string
 	portalAddr    string
 	stores        []*store.Store
+	otpStore      *store.Store
 }
+
+// OTPStore exposes the otpd backing store — the replicated one. A chaos
+// harness (or an embedder promoting a standby in process) hands it to
+// repl.StartLeader; everything else should go through inf.OTP.
+func (inf *Infrastructure) OTPStore() *store.Store { return inf.otpStore }
 
 // New builds and starts an Infrastructure.
 func New(opts Options) (*Infrastructure, error) {
@@ -241,6 +272,48 @@ func New(opts Options) (*Infrastructure, error) {
 	otpStore, err := newStore("otpd")
 	if err != nil {
 		return nil, err
+	}
+	inf.otpStore = otpStore
+
+	// Replication endpoints for the otpd store (the one holding consumed
+	// OTP counters and lockout counts — the state a failover must not
+	// lose). Started before anything can write so a standby never sees an
+	// un-fenced local commit.
+	if opts.ReplListen != "" && opts.ReplFollow != "" {
+		inf.Close()
+		return nil, fmt.Errorf("core: ReplListen and ReplFollow are mutually exclusive")
+	}
+	if opts.ReplListen != "" {
+		lo := repl.LeaderOptions{
+			Addr:        opts.ReplListen,
+			MinSync:     opts.ReplMinSync,
+			SyncTimeout: opts.ReplSyncTimeout,
+			Obs:         opts.Obs,
+			Logger:      opts.Logger,
+		}
+		if opts.FaultNet != nil {
+			lo.Listen = opts.FaultNet.Listen
+		}
+		inf.ReplLeader, err = repl.StartLeader(otpStore, lo)
+		if err != nil {
+			inf.Close()
+			return nil, err
+		}
+	}
+	if opts.ReplFollow != "" {
+		fo := repl.FollowerOptions{
+			Addr:   opts.ReplFollow,
+			Obs:    opts.Obs,
+			Logger: opts.Logger,
+		}
+		if opts.FaultNet != nil {
+			fo.Dial = opts.FaultNet.Dial
+		}
+		inf.ReplFollower, err = repl.StartFollower(otpStore, fo)
+		if err != nil {
+			inf.Close()
+			return nil, err
+		}
 	}
 
 	inf.Dir = directory.New()
@@ -537,6 +610,15 @@ func (inf *Infrastructure) Close() error {
 	}
 	if inf.portalHTTP != nil {
 		inf.portalHTTP.Close()
+	}
+	// Replication detaches before the stores close: a leader must stop
+	// streaming (and fail any MinSync waiters) and a follower must stop
+	// applying before Close fsyncs and releases the segments.
+	if inf.ReplLeader != nil {
+		inf.ReplLeader.Close()
+	}
+	if inf.ReplFollower != nil {
+		inf.ReplFollower.Stop()
 	}
 	var firstErr error
 	for _, s := range inf.stores {

@@ -20,6 +20,8 @@ import (
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otp"
 	"openmfa/internal/sshd"
+	"openmfa/internal/store"
+	"openmfa/internal/store/repl"
 )
 
 // settleFlightrec waits until the recorder has decided (kept or dropped)
@@ -409,8 +411,20 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	inf := newInfra(t, Options{Obs: reg, Spans: spans, Events: bus, FlightRec: rec, SLO: eng})
+	// A replication leader with a live follower on the same registry puts
+	// every repl_* family (both ends) under the linter too.
+	inf := newInfra(t, Options{Obs: reg, Spans: spans, Events: bus, FlightRec: rec, SLO: eng,
+		ReplListen: "127.0.0.1:0"})
 	sim := inf.Clock.(*clock.Sim)
+	standby := store.OpenMemory()
+	defer standby.Close()
+	follower, err := repl.StartFollower(standby, repl.FollowerOptions{
+		Addr: inf.ReplLeader.Addr(), Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Stop()
 
 	if _, err := inf.CreateUser("lint", "l@x", "pw", idm.ClassUser); err != nil {
 		t.Fatal(err)
@@ -430,9 +444,20 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if errs := obs.LintExposition(resp.Body); len(errs) != 0 {
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintExposition(strings.NewReader(string(page))); len(errs) != 0 {
 		for _, e := range errs {
 			t.Errorf("exposition lint: %v", e)
+		}
+	}
+	// The replication families really were on the linted page — leader
+	// side and follower side.
+	for _, fam := range []string{"repl_followers", "repl_epoch", "repl_frames_shipped_total", "repl_frames_applied_total", "repl_lag_lsns"} {
+		if !strings.Contains(string(page), fam) {
+			t.Errorf("lint page missing %s family", fam)
 		}
 	}
 }

@@ -42,6 +42,14 @@ type Config struct {
 	// probed per segment (sampled evenly plus all frame boundaries);
 	// zero probes every byte offset.
 	Truncations int
+	// CompactAfterBatch, when N > 0, runs Compact after the Nth committed
+	// batch: the snapshot then covers batches 1..N durably, the segments
+	// restart from zero, and truncation may only ever drop later batches.
+	// This is the compact-then-crash variant: it catches both a lost
+	// snapshot rename (the directory-fsync-before-truncate ordering) and
+	// an LSN clock reset (snapshot header frame) — either one makes the
+	// reopened state diverge from the oracle or the reopen fail outright.
+	CompactAfterBatch int
 }
 
 // history records what was committed: each batch, the segment its WAL
@@ -50,8 +58,10 @@ type history struct {
 	batches  [][]store.Op
 	segment  []int     // batches[i]'s WAL segment
 	sizeTo   [][]int64 // sizeTo[i][seg] = segment seg's size after batch i
+	snapped  []bool    // batches[i] was folded into a snapshot by Compact
 	segPaths []string
 	shards   int
+	snapLSN  uint64 // store's LSN when Compact ran (0 if it never did)
 }
 
 // Run executes the harness. Any property violation fails t with enough
@@ -90,6 +100,7 @@ func commitHistory(t *testing.T, rng *rand.Rand, cfg Config) *history {
 	for i := range keyspace {
 		keyspace[i] = fmt.Sprintf("user/%02d", i)
 	}
+	prevSizes := make([]int64, len(h.segPaths))
 	for b := 0; b < cfg.Batches; b++ {
 		nops := 1 + rng.Intn(cfg.MaxOpsPerBatch)
 		var homeShard = -1
@@ -123,11 +134,7 @@ func commitHistory(t *testing.T, rng *rand.Rand, cfg Config) *history {
 				t.Fatalf("seed %d: stat %s: %v", cfg.Seed, p, err)
 			}
 			sizes[i] = fi.Size()
-			prev := int64(0)
-			if b > 0 {
-				prev = h.sizeTo[b-1][i]
-			}
-			if sizes[i] > prev {
+			if sizes[i] > prevSizes[i] {
 				if grew != -1 {
 					t.Fatalf("seed %d: batch %d grew two segments (%d and %d): a batch must be one frame in one segment", cfg.Seed, b, grew, i)
 				}
@@ -139,6 +146,30 @@ func commitHistory(t *testing.T, rng *rand.Rand, cfg Config) *history {
 		}
 		h.sizeTo = append(h.sizeTo, sizes)
 		h.segment = append(h.segment, grew)
+		h.snapped = append(h.snapped, false)
+		copy(prevSizes, sizes)
+
+		if cfg.CompactAfterBatch > 0 && b+1 == cfg.CompactAfterBatch {
+			if err := s.Compact(); err != nil {
+				t.Fatalf("seed %d: compact after batch %d: %v", cfg.Seed, b, err)
+			}
+			h.snapLSN = s.LSN()
+			for i := range h.snapped {
+				h.snapped[i] = true
+			}
+			// Segments restart from zero; later sizeTo entries are offsets
+			// in the post-compaction file contents.
+			for i, p := range h.segPaths {
+				fi, err := os.Stat(p)
+				if err != nil {
+					t.Fatalf("seed %d: stat %s after compact: %v", cfg.Seed, p, err)
+				}
+				if fi.Size() != 0 {
+					t.Fatalf("seed %d: segment %s is %d bytes after compact, want 0", cfg.Seed, p, fi.Size())
+				}
+				prevSizes[i] = 0
+			}
+		}
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("seed %d: close: %v", cfg.Seed, err)
@@ -174,7 +205,7 @@ func chooseOffsets(rng *rand.Rand, cfg Config, h *history, seg, size int) []int 
 	}
 	seen := map[int]bool{0: true, size: true}
 	for b, s := range h.segment {
-		if s == seg {
+		if s == seg && !h.snapped[b] {
 			edge := int(h.sizeTo[b][seg])
 			for _, o := range []int{edge - 1, edge, edge + 1} {
 				if o >= 0 && o <= size {
@@ -213,11 +244,12 @@ func checkTruncation(t *testing.T, cfg Config, h *history, seg int, full []byte,
 	defer s.Close()
 
 	// Oracle: replay committed batches, dropping those in seg whose
-	// frame did not fully survive the cut.
+	// frame did not fully survive the cut. Batches folded into a snapshot
+	// by Compact are durable no matter where the segment is cut.
 	want := map[string][]byte{}
 	kept := 0
 	for b, batch := range h.batches {
-		if h.segment[b] == seg && h.sizeTo[b][seg] > int64(cut) {
+		if h.segment[b] == seg && !h.snapped[b] && h.sizeTo[b][seg] > int64(cut) {
 			continue
 		}
 		if h.segment[b] == seg {
@@ -232,10 +264,11 @@ func checkTruncation(t *testing.T, cfg Config, h *history, seg int, full []byte,
 		}
 	}
 	// The survivors in seg must be a *prefix* of its batches: a later
-	// batch must never survive an earlier one's truncation.
+	// batch must never survive an earlier one's truncation. (Snapshotted
+	// batches sit below every cut, so they are always the prefix's head.)
 	sawDrop := false
 	for b := range h.batches {
-		if h.segment[b] != seg {
+		if h.segment[b] != seg || h.snapped[b] {
 			continue
 		}
 		survived := h.sizeTo[b][seg] <= int64(cut)
@@ -245,6 +278,12 @@ func checkTruncation(t *testing.T, cfg Config, h *history, seg int, full []byte,
 		if !survived {
 			sawDrop = true
 		}
+	}
+	// The LSN clock must never rewind below the compaction point: a
+	// reissued LSN after a crash would poison replication.
+	if lsn := s.LSN(); lsn < h.snapLSN {
+		t.Fatalf("seed %d: seg %d cut %d: recovered LSN %d below compaction LSN %d (clock reset)",
+			cfg.Seed, seg, cut, lsn, h.snapLSN)
 	}
 
 	got, err := s.Scan("")

@@ -32,6 +32,28 @@ func TestTruncationCrossShardBatches(t *testing.T) {
 	Run(t, Config{Seed: 4, Batches: 16, Shards: 4, MaxOpsPerBatch: 5, CrossShard: true, Truncations: 120})
 }
 
+// TestCompactThenCrashSingleShard runs Compact mid-history, then probes
+// every truncation offset of the post-compaction segment: the snapshotted
+// batches must survive every cut (the directory fsync makes the snapshot
+// renames durable before the segments are truncated), later batches obey
+// the usual prefix rule, and the recovered LSN clock never rewinds below
+// the compaction point.
+func TestCompactThenCrashSingleShard(t *testing.T) {
+	Run(t, Config{Seed: 11, Batches: 12, Shards: 1, MaxOpsPerBatch: 4, CompactAfterBatch: 7})
+}
+
+// TestCompactThenCrashSync re-runs the compact-then-crash property in
+// durable mode.
+func TestCompactThenCrashSync(t *testing.T) {
+	Run(t, Config{Seed: 12, Batches: 8, Shards: 1, MaxOpsPerBatch: 4, Sync: true, CompactAfterBatch: 4})
+}
+
+// TestCompactThenCrashAcrossShards spans four segments with cross-shard
+// batches either side of the compaction.
+func TestCompactThenCrashAcrossShards(t *testing.T) {
+	Run(t, Config{Seed: 13, Batches: 16, Shards: 4, MaxOpsPerBatch: 5, CrossShard: true, Truncations: 120, CompactAfterBatch: 9})
+}
+
 // TestSeededRandomVariants is the seeded-random sweep (run under -race by
 // the tier-1 `make race` gate): fresh seeds every run would not replay, so
 // seeds derive from a fixed generator and are printed on failure by Run's
@@ -49,6 +71,9 @@ func TestSeededRandomVariants(t *testing.T) {
 			MaxOpsPerBatch: 1 + rng.Intn(6),
 			CrossShard:     rng.Intn(2) == 0,
 			Truncations:    80,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.CompactAfterBatch = 1 + rng.Intn(cfg.Batches)
 		}
 		Run(t, cfg)
 	}

@@ -1,0 +1,154 @@
+// Package repl ships the store's write-ahead log between otpd replicas:
+// one leader streams committed, CRC-framed WAL batches (the store's
+// format-v2 frames, untouched) over TCP to any number of followers, so
+// every member of a RADIUS-fronted otpd farm agrees on consumed OTP
+// counters and lockout counts.
+//
+// The protocol is a thin envelope around the store's own log:
+//
+//	handshake  follower→leader  "OMRP" | u16 version | u64 epoch | u64 lastLSN
+//	handshake  leader→follower  "OMRP" | u16 version | u64 epoch | u64 leaderLSN
+//	message    either direction u8 type | u32 shard | u32 len | payload
+//
+// All integers are little-endian, matching the WAL encoding. A joining
+// or lagging follower is caught up from whatever source still covers its
+// position — the in-memory frame ring, the on-disk segments, or a full
+// snapshot — and then switches to live streaming. Leader changes are
+// fenced with a monotonically increasing epoch persisted in the store
+// meta file: a promotion bumps the epoch, and both ends refuse a peer
+// whose epoch is behind their own, so a partitioned ex-leader can never
+// feed stale frames to the farm.
+//
+// Replication is synchronous when Leader.MinSync > 0: Apply on the
+// leader blocks until that many followers have acknowledged the batch's
+// LSN (or fails after SyncTimeout — and otpd treats a failed save as a
+// failed login, so an OTP is only ever accepted once its consumption is
+// replicated). See DESIGN.md §12.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	magic   = "OMRP"
+	version = 1
+
+	// Message types. Frame/snapshot/heartbeat flow leader→follower; ack
+	// flows follower→leader.
+	msgFrame     = 1 // payload: one store WAL frame, shipped verbatim
+	msgSnapBegin = 2 // payload: u64 snapshot LSN | u64 total kv count
+	msgSnapKV    = 3 // payload: u32 n | n × (u32 klen | key | u32 vlen | value)
+	msgSnapEnd   = 4 // payload: u64 snapshot LSN (must match SnapBegin)
+	msgHeartbeat = 5 // payload: u64 leader LSN
+	msgAck       = 6 // payload: u64 highest LSN applied by the follower
+
+	// maxPayload bounds a single message so a corrupt length prefix
+	// cannot allocate unbounded memory.
+	maxPayload = 64 << 20
+
+	// snapKVChunk bounds the bytes of kv entries packed into one
+	// msgSnapKV message.
+	snapKVChunk = 256 << 10
+)
+
+// errStaleEpoch fences a peer whose epoch is behind ours.
+var errStaleEpoch = errors.New("repl: peer epoch behind local epoch (stale leader fenced)")
+
+// handshake is either side's hello: the sender's fencing epoch plus its
+// log position (lastLSN from a follower, current LSN from a leader).
+type handshake struct {
+	epoch uint64
+	lsn   uint64
+}
+
+const handshakeLen = 4 + 2 + 8 + 8
+
+func writeHandshake(w io.Writer, h handshake) error {
+	var buf [handshakeLen]byte
+	copy(buf[:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint64(buf[6:14], h.epoch)
+	binary.LittleEndian.PutUint64(buf[14:22], h.lsn)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (handshake, error) {
+	var buf [handshakeLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return handshake{}, err
+	}
+	if string(buf[:4]) != magic {
+		return handshake{}, fmt.Errorf("repl: bad magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != version {
+		return handshake{}, fmt.Errorf("repl: unsupported protocol version %d", v)
+	}
+	return handshake{
+		epoch: binary.LittleEndian.Uint64(buf[6:14]),
+		lsn:   binary.LittleEndian.Uint64(buf[14:22]),
+	}, nil
+}
+
+const msgHeaderLen = 1 + 4 + 4
+
+// writeMsg frames one message. Callers flush the bufio layer themselves
+// so a catch-up burst coalesces into few writes.
+func writeMsg(w io.Writer, typ byte, shard uint32, payload []byte) error {
+	var hdr [msgHeaderLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], shard)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readMsg(r io.Reader) (typ byte, shard uint32, payload []byte, err error) {
+	var hdr [msgHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > maxPayload {
+		return 0, 0, nil, fmt.Errorf("repl: message of %d bytes exceeds cap", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr[0], binary.LittleEndian.Uint32(hdr[1:5]), payload, nil
+}
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func u64payload(v uint64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return buf[:]
+}
+
+func readU64(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("repl: u64 payload is %d bytes", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// bufConn pairs a connection with its buffered reader/writer.
+type bufConn struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newBufConn(rw io.ReadWriter) bufConn {
+	return bufConn{br: bufio.NewReaderSize(rw, 64<<10), bw: bufio.NewWriterSize(rw, 64<<10)}
+}

@@ -1,0 +1,539 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"openmfa/internal/leakcheck"
+	"openmfa/internal/obs"
+	"openmfa/internal/store"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func assertSameState(t *testing.T, leader, follower *store.Store) {
+	t.Helper()
+	want, err := leader.Scan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.Scan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("follower has %d keys, leader %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("state mismatch at %d: follower %q=%q, leader %q=%q",
+				i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+}
+
+func TestLiveStreamingReplication(t *testing.T) {
+	leakcheck.Check(t)
+	lst, err := store.Open(t.TempDir(), store.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	lobs := obs.NewRegistry()
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0", Obs: lobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	if got := lst.Epoch(); got != 1 {
+		t.Fatalf("leader epoch = %d, want 1 (bumped at promotion)", got)
+	}
+
+	fst, err := store.Open(t.TempDir(), store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fst.Close() })
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	for i := 0; i < 20; i++ {
+		if err := lst.Put(fmt.Sprintf("user/%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lst.Delete("user/07"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower to converge", func() bool { return fst.LSN() == lst.LSN() })
+	assertSameState(t, lst, fst)
+	if fst.Epoch() != 1 {
+		t.Fatalf("follower epoch = %d, want 1 (adopted from leader)", fst.Epoch())
+	}
+	if v := fobs.Counter("repl_frames_applied_total").Value(); v < 21 {
+		t.Fatalf("repl_frames_applied_total = %d, want >= 21", v)
+	}
+	if v := lobs.Counter("repl_frames_shipped_total").Value(); v < 21 {
+		t.Fatalf("repl_frames_shipped_total = %d, want >= 21", v)
+	}
+	waitFor(t, "lag to drain", func() bool { return fobs.Gauge("repl_lag_lsns").Value() == 0 })
+
+	// Local writes on the follower are refused: the log has one author.
+	if err := fst.Put("local", []byte("x")); !errors.Is(err, store.ErrFollower) {
+		t.Fatalf("follower-local Put = %v, want ErrFollower", err)
+	}
+}
+
+func TestFollowerCatchesUpFromSegments(t *testing.T) {
+	leakcheck.Check(t)
+	lst, err := store.Open(t.TempDir(), store.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	// History exists before the leader (and any follower) starts: the
+	// ring never saw it, so catch-up must come from the segments.
+	for i := 0; i < 30; i++ {
+		if err := lst.Put(fmt.Sprintf("user/%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+
+	fst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { fst.Close() })
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	waitFor(t, "segment catch-up", func() bool { return fst.LSN() == lst.LSN() })
+	assertSameState(t, lst, fst)
+
+	// And the stream continues live after the replay.
+	if err := lst.Put("after/catchup", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live frame after catch-up", func() bool { return fst.LSN() == lst.LSN() })
+	assertSameState(t, lst, fst)
+}
+
+func TestFollowerCatchesUpFromSnapshot(t *testing.T) {
+	leakcheck.Check(t)
+	lst, err := store.Open(t.TempDir(), store.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	for i := 0; i < 40; i++ {
+		if err := lst.Put(fmt.Sprintf("user/%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction truncates the segments: a fresh follower's cursor (0) is
+	// below the floor, so only a full snapshot can serve it.
+	if err := lst.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lst.Put("post/compact", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	lobs := obs.NewRegistry()
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0", Obs: lobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+
+	fst := store.OpenMemoryShards(4)
+	t.Cleanup(func() { fst.Close() })
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	waitFor(t, "snapshot catch-up", func() bool { return fst.LSN() == lst.LSN() })
+	assertSameState(t, lst, fst)
+	if v := fobs.Counter("repl_snapshots_installed_total").Value(); v != 1 {
+		t.Fatalf("repl_snapshots_installed_total = %d, want 1", v)
+	}
+	if v := lobs.Counter("repl_snapshots_shipped_total").Value(); v != 1 {
+		t.Fatalf("repl_snapshots_shipped_total = %d, want 1", v)
+	}
+}
+
+func TestMinSyncGateFailsClosedWithoutFollowers(t *testing.T) {
+	leakcheck.Check(t)
+	lst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { lst.Close() })
+	lobs := obs.NewRegistry()
+	leader, err := StartLeader(lst, LeaderOptions{
+		Addr:        "127.0.0.1:0",
+		MinSync:     1,
+		SyncTimeout: 80 * time.Millisecond,
+		Obs:         lobs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+
+	// No follower connected: the write applies locally but the caller is
+	// told the farm did not take it — fail closed.
+	if err := lst.Put("k", []byte("v")); !errors.Is(err, ErrNotReplicated) {
+		t.Fatalf("Put without followers = %v, want ErrNotReplicated", err)
+	}
+	if v := lobs.Counter("repl_wait_timeouts_total").Value(); v != 1 {
+		t.Fatalf("repl_wait_timeouts_total = %d, want 1", v)
+	}
+
+	// Once a follower is acking, the same write path succeeds.
+	fst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { fst.Close() })
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+	waitFor(t, "follower session", func() bool { return leader.Followers() == 1 })
+	waitFor(t, "initial catch-up ack", func() bool { return fst.LSN() == lst.LSN() })
+	if err := lst.Put("k2", []byte("v")); err != nil {
+		t.Fatalf("Put with acking follower: %v", err)
+	}
+	if fst.LSN() != lst.LSN() {
+		// MinSync=1 means the ack arrived before Put returned.
+		t.Fatalf("synchronous put returned before follower ack: follower %d, leader %d", fst.LSN(), lst.LSN())
+	}
+}
+
+func TestStaleLeaderFencedByFollower(t *testing.T) {
+	leakcheck.Check(t)
+	// A fake leader speaking epoch 0 — lower than the follower's persisted
+	// epoch. The follower must refuse the session and keep its state.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				bc := newBufConn(c)
+				if _, err := readHandshake(bc.br); err != nil {
+					return
+				}
+				// Claim epoch 0 regardless of what the follower said.
+				writeHandshake(bc.bw, handshake{epoch: 0, lsn: 999})
+				bc.bw.Flush()
+				// Try to feed a frame from the stale history.
+				writeMsg(bc.bw, msgFrame, 0, store.EncodeFrame(1, []store.Op{{Key: "poison", Value: []byte("x")}}))
+				bc.bw.Flush()
+				readMsg(bc.br) // wait for the follower to hang up
+			}(conn)
+		}
+	}()
+
+	fst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { fst.Close() })
+	if err := fst.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: ln.Addr().String(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	waitFor(t, "fenced reconnect attempts", func() bool {
+		return fobs.Counter("repl_reconnects_total").Value() >= 2
+	})
+	if fst.LSN() != 0 || fst.Has("poison") {
+		t.Fatal("follower applied frames from a fenced stale leader")
+	}
+	if fst.Epoch() != 3 {
+		t.Fatalf("follower epoch moved to %d after stale leader contact", fst.Epoch())
+	}
+}
+
+func TestStaleFollowerEpochRefusedByLeader(t *testing.T) {
+	leakcheck.Check(t)
+	lst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { lst.Close() })
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0"}) // epoch 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+
+	// A follower that has seen epoch 5 proves a newer leader exists
+	// somewhere: this leader must refuse to serve rather than fork the
+	// farm's history.
+	fst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { fst.Close() })
+	if err := fst.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	if err := lst.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "refused reconnect attempts", func() bool {
+		return fobs.Counter("repl_reconnects_total").Value() >= 2
+	})
+	if fst.LSN() != 0 {
+		t.Fatal("leader streamed to a follower from a newer epoch")
+	}
+}
+
+// TestCatchUpDeterministicUnderDuplicatesAndTornStream is the satellite-4
+// property: the same history delivered twice — first torn mid-stream,
+// then replayed in full from LSN 0 — leaves the follower in exactly the
+// leader's state, with every redelivered frame skipped as a duplicate and
+// no partial application at the tear.
+func TestCatchUpDeterministicUnderDuplicatesAndTornStream(t *testing.T) {
+	leakcheck.Check(t)
+	src := store.OpenMemoryShards(4)
+	t.Cleanup(func() { src.Close() })
+	rec := &frameRecorder{}
+	src.SetReplicator(rec)
+	for i := 0; i < 24; i++ {
+		if err := src.Apply([]store.Op{
+			{Key: fmt.Sprintf("user/%02d", i), Value: []byte{byte(i)}},
+			{Key: fmt.Sprintf("count/%02d", i%5), Value: []byte{byte(i)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := rec.sorted()
+
+	// Scripted leader: session 1 streams the first 13 frames then drops
+	// the link mid-stream; session 2 replays everything from scratch.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for sess := 0; ; sess++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			bc := newBufConn(conn)
+			if _, err := readHandshake(bc.br); err != nil {
+				conn.Close()
+				continue
+			}
+			writeHandshake(bc.bw, handshake{epoch: 1, lsn: uint64(len(frames))})
+			cut := 13
+			if sess > 0 {
+				cut = len(frames)
+			}
+			for i := 0; i < cut; i++ {
+				writeMsg(bc.bw, msgFrame, 0, frames[i])
+			}
+			bc.bw.Flush()
+			if sess == 0 {
+				// Read the 13 acks first so the close is a clean FIN (an
+				// RST could discard frames still in the follower's receive
+				// queue and make the dup count nondeterministic), then
+				// tear the link mid-stream.
+				for i := 0; i < cut; i++ {
+					if _, _, _, err := readMsg(bc.br); err != nil {
+						break
+					}
+				}
+				conn.Close()
+			} else {
+				writeMsg(bc.bw, msgHeartbeat, 0, u64payload(uint64(len(frames))))
+				bc.bw.Flush()
+				go func(c net.Conn) { // drain acks until the follower stops
+					b := make([]byte, 4096)
+					for {
+						if _, err := c.Read(b); err != nil {
+							c.Close()
+							return
+						}
+					}
+				}(conn)
+			}
+		}
+	}()
+
+	fst := store.OpenMemoryShards(2)
+	t.Cleanup(func() { fst.Close() })
+	fobs := obs.NewRegistry()
+	follower, err := StartFollower(fst, FollowerOptions{Addr: ln.Addr().String(), Obs: fobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	waitFor(t, "full redelivered catch-up", func() bool { return fst.LSN() == src.LSN() })
+	assertSameState(t, src, fst)
+	dups := fobs.Counter("repl_frames_duplicate_total").Value()
+	if dups != 13 {
+		t.Fatalf("repl_frames_duplicate_total = %d, want 13 (the torn prefix, redelivered)", dups)
+	}
+	if v := fobs.Counter("repl_frames_applied_total").Value(); v != int64(len(frames)) {
+		t.Fatalf("repl_frames_applied_total = %d, want %d (each frame applied exactly once)", v, len(frames))
+	}
+}
+
+// frameRecorder captures OnCommit frames for scripted-replay tests.
+type frameRecorder struct {
+	mu     sync.Mutex
+	frames []recordedFrame
+}
+
+type recordedFrame struct {
+	lsn   uint64
+	frame []byte
+}
+
+func (r *frameRecorder) OnCommit(lsn uint64, shard int, frame []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames = append(r.frames, recordedFrame{lsn: lsn, frame: frame})
+}
+
+func (r *frameRecorder) WaitCommitted(uint64) error { return nil }
+
+func (r *frameRecorder) sorted() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]recordedFrame, len(r.frames))
+	copy(out, r.frames)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].lsn > out[j].lsn; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	frames := make([][]byte, len(out))
+	for i, f := range out {
+		frames[i] = f.frame
+	}
+	return frames
+}
+
+func TestFollowerPromotionAfterLeaderLoss(t *testing.T) {
+	leakcheck.Check(t)
+	lst, err := store.Open(t.TempDir(), store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fst, err := store.Open(t.TempDir(), store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fst.Close() })
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := lst.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "replication", func() bool { return fst.LSN() == lst.LSN() })
+
+	// Leader dies; the follower is promoted: epoch bumps past the dead
+	// leader's, local writes work again, and the promoted node can serve
+	// the farm as the new leader.
+	leader.Close()
+	follower.Stop()
+	if err := fst.Put("blocked", nil); !errors.Is(err, store.ErrFollower) {
+		t.Fatalf("Put between Stop and promotion = %v, want ErrFollower (no unfenced writes)", err)
+	}
+	leader2, err := StartLeader(fst, LeaderOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader2.Close() })
+	if got := fst.Epoch(); got != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", got)
+	}
+	if err := fst.Put("promoted", []byte("v")); err != nil {
+		t.Fatalf("Put after promotion: %v", err)
+	}
+	if fst.LSN() != lst.LSN()+1 {
+		t.Fatalf("promoted LSN = %d, want %d (continues the shipped log)", fst.LSN(), lst.LSN()+1)
+	}
+}
+
+func TestRingContiguityAndEviction(t *testing.T) {
+	r := newFrameRing(4, 0)
+	// Out-of-order arrival: 2 before 1.
+	r.add(2, 0, []byte("b"))
+	if _, ok, evicted, wait := r.next(0); ok || evicted || wait == nil {
+		t.Fatal("lsn 1 absent and unevicted: must wait")
+	}
+	r.add(1, 0, []byte("a"))
+	e, ok, _, _ := r.next(0)
+	if !ok || e.lsn != 1 {
+		t.Fatalf("next(0) = (%v, %v), want lsn 1", e, ok)
+	}
+	e, ok, _, _ = r.next(1)
+	if !ok || e.lsn != 2 {
+		t.Fatalf("next(1) = (%v, %v), want lsn 2", e, ok)
+	}
+	// Overflow evicts the lowest LSNs.
+	for lsn := uint64(3); lsn <= 8; lsn++ {
+		r.add(lsn, 0, []byte("x"))
+	}
+	if _, ok, evicted, _ := r.next(0); ok || !evicted {
+		t.Fatal("lsn 1 must be evicted after overflow")
+	}
+	if e, ok, _, _ := r.next(7); !ok || e.lsn != 8 {
+		t.Fatal("highest frames must survive eviction")
+	}
+	// Frames at or below the eviction floor are dropped on arrival.
+	r.add(1, 0, []byte("stale"))
+	if _, ok, evicted, _ := r.next(0); ok || !evicted {
+		t.Fatal("re-added stale frame must stay evicted")
+	}
+}

@@ -42,6 +42,16 @@ var ErrNotFound = errors.New("store: key not found")
 // ErrClosed is returned by all operations after Close.
 var ErrClosed = errors.New("store: closed")
 
+// ErrFollower is returned by Apply (and Put/Delete) while the store is in
+// follower mode: a replica applies frames shipped from its leader via
+// ApplyReplicated and must never mint LSNs of its own, or the two logs
+// would diverge.
+var ErrFollower = errors.New("store: follower (read-only) mode")
+
+// ErrStaleSnapshot is returned by InstallReplicaSnapshot when the offered
+// snapshot is older than the state already present.
+var ErrStaleSnapshot = errors.New("store: replica snapshot older than local state")
+
 // MaxShards caps the shard count; more shards than this buys nothing and
 // bloats the file-descriptor footprint.
 const MaxShards = 256
@@ -101,6 +111,22 @@ type shard struct {
 	gerr    error
 }
 
+// Replicator observes and gates committed batches; a repl.Leader is the
+// production implementation. OnCommit runs under the logging segment's
+// shard lock immediately after the frame is flushed, so per-segment hook
+// order matches commit order; WaitCommitted runs after the shard locks are
+// released and may block (a synchronous leader waits for follower acks). A
+// non-nil WaitCommitted error is returned from Apply: the batch is applied
+// and durable locally but its farm-level durability is unknown, so callers
+// must treat the operation as failed (fail closed).
+type Replicator interface {
+	OnCommit(lsn uint64, shard int, frame []byte)
+	WaitCommitted(lsn uint64) error
+}
+
+// replicatorBox wraps the interface so it can live in an atomic.Pointer.
+type replicatorBox struct{ r Replicator }
+
 // Store is a sharded WAL-backed KV store safe for concurrent use.
 type Store struct {
 	dir    string // empty for pure in-memory stores
@@ -111,6 +137,21 @@ type Store struct {
 	lsn    atomic.Uint64
 	closed atomic.Bool
 
+	// snapFloor is the highest LSN covered by the on-disk snapshots: WAL
+	// segments hold exactly the frames with LSN > snapFloor. A follower
+	// whose cursor is at or below the floor cannot catch up from segments
+	// and needs a full snapshot.
+	snapFloor atomic.Uint64
+	// epoch is the replication fencing epoch persisted in the meta file;
+	// epochMu serialises bump-and-persist so a lower epoch can never land
+	// on disk after a higher one.
+	epoch   atomic.Uint64
+	epochMu sync.Mutex
+	// follower blocks local Apply while the store replicates from a leader.
+	follower atomic.Bool
+	// replicator, when set, observes and gates every committed batch.
+	replicator atomic.Pointer[replicatorBox]
+
 	applyTotal *obs.Counter
 	fsyncTotal *obs.Counter
 	fsyncBatch *obs.Histogram
@@ -119,6 +160,12 @@ type Store struct {
 	// after it claims the sync slot and before the fsync, widening the
 	// coalescing window deterministically.
 	syncDelay func()
+	// dirSync, when set (tests only), replaces the data-directory fsync
+	// that orders snapshot renames before WAL truncation in Compact.
+	dirSync func(dir string) error
+	// compactFault, when set (tests only), is consulted before each
+	// shard's WAL truncation during compaction to inject failures.
+	compactFault func(shard int) error
 }
 
 // defaultShards scales the shard count with GOMAXPROCS (4× rounded up to a
@@ -180,12 +227,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	n, err := resolveShardCount(dir, opts.Shards)
+	n, epoch, err := resolveMeta(dir, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
 	s := newStore(n, opts)
 	s.dir = dir
+	s.epoch.Store(epoch)
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -208,37 +256,132 @@ const metaHeader = "openmfa-store v2"
 
 func metaPath(dir string) string { return filepath.Join(dir, "meta") }
 
-// resolveShardCount reads the persisted shard count, or persists the
-// requested one for a fresh directory. The count is immutable after
-// creation because keys hash to shards: rehashing on reopen would strand
-// records in the wrong segment.
-func resolveShardCount(dir string, requested int) (int, error) {
+// syncDir fsyncs a directory so preceding renames inside it are durable.
+// Without this, a crash can lose a rename that later operations (a WAL
+// truncate) already assumed was on disk.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Store) syncDataDir() error {
+	if s.dirSync != nil {
+		return s.dirSync(s.dir)
+	}
+	return syncDir(s.dir)
+}
+
+// writeMeta atomically rewrites the meta file (write-temp, rename, fsync
+// the directory).
+func writeMeta(dir string, shards int, epoch uint64) error {
+	body := metaHeader + "\nshards " + strconv.Itoa(shards) + "\nepoch " + strconv.FormatUint(epoch, 10) + "\n"
+	tmp := metaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, metaPath(dir)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// resolveMeta reads the persisted shard count and replication epoch, or
+// persists the requested count for a fresh directory. The count is
+// immutable after creation because keys hash to shards: rehashing on
+// reopen would strand records in the wrong segment. Meta files written
+// before the epoch line existed parse as epoch 0.
+func resolveMeta(dir string, requested int) (int, uint64, error) {
 	b, err := os.ReadFile(metaPath(dir))
 	if errors.Is(err, os.ErrNotExist) {
 		n := normalizeShards(requested)
-		body := metaHeader + "\nshards " + strconv.Itoa(n) + "\n"
-		tmp := metaPath(dir) + ".tmp"
-		if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
-			return 0, fmt.Errorf("store: %w", err)
+		if err := writeMeta(dir, n, 0); err != nil {
+			return 0, 0, err
 		}
-		if err := os.Rename(tmp, metaPath(dir)); err != nil {
-			return 0, fmt.Errorf("store: %w", err)
-		}
-		return n, nil
+		return n, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+		return 0, 0, fmt.Errorf("store: %w", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
-	if len(lines) != 2 || lines[0] != metaHeader || !strings.HasPrefix(lines[1], "shards ") {
-		return 0, fmt.Errorf("store: corrupt meta file %s", metaPath(dir))
+	if len(lines) < 2 || len(lines) > 3 || lines[0] != metaHeader || !strings.HasPrefix(lines[1], "shards ") {
+		return 0, 0, fmt.Errorf("store: corrupt meta file %s", metaPath(dir))
 	}
 	n, err := strconv.Atoi(strings.TrimPrefix(lines[1], "shards "))
 	if err != nil || n < 1 || n > MaxShards || n&(n-1) != 0 {
-		return 0, fmt.Errorf("store: corrupt meta file %s: bad shard count", metaPath(dir))
+		return 0, 0, fmt.Errorf("store: corrupt meta file %s: bad shard count", metaPath(dir))
 	}
-	return n, nil
+	var epoch uint64
+	if len(lines) == 3 {
+		if !strings.HasPrefix(lines[2], "epoch ") {
+			return 0, 0, fmt.Errorf("store: corrupt meta file %s: bad epoch line", metaPath(dir))
+		}
+		epoch, err = strconv.ParseUint(strings.TrimPrefix(lines[2], "epoch "), 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: corrupt meta file %s: bad epoch", metaPath(dir))
+		}
+	}
+	return n, epoch, nil
 }
+
+// Epoch returns the replication fencing epoch (0 until a leader bumps it).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// SetEpoch persists a new fencing epoch. Epochs are monotonic: lowering
+// one is an error, re-asserting the current value is a no-op. On-disk
+// stores survive restarts with the epoch intact (it lives in the meta
+// file); in-memory stores keep it for the process lifetime only.
+func (s *Store) SetEpoch(e uint64) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	cur := s.epoch.Load()
+	if e < cur {
+		return fmt.Errorf("store: epoch %d below current %d", e, cur)
+	}
+	if e == cur {
+		return nil
+	}
+	if s.dir != "" {
+		if err := writeMeta(s.dir, len(s.shards), e); err != nil {
+			return err
+		}
+	}
+	s.epoch.Store(e)
+	return nil
+}
+
+// SetFollowerMode switches local Apply on (false) or off (true). While a
+// follower, only ApplyReplicated mutates the store.
+func (s *Store) SetFollowerMode(on bool) { s.follower.Store(on) }
+
+// FollowerMode reports whether local Apply is blocked.
+func (s *Store) FollowerMode() bool { return s.follower.Load() }
+
+// SetReplicator installs (or, with nil, removes) the replication observer
+// consulted by Apply.
+func (s *Store) SetReplicator(r Replicator) {
+	if r == nil {
+		s.replicator.Store(nil)
+		return
+	}
+	s.replicator.Store(&replicatorBox{r: r})
+}
+
+// LSN returns the highest committed log sequence number.
+func (s *Store) LSN() uint64 { return s.lsn.Load() }
+
+// SnapshotLSN returns the compaction floor: the highest LSN covered by
+// the on-disk snapshots. WAL segments hold exactly the frames above it.
+func (s *Store) SnapshotLSN() uint64 { return s.snapFloor.Load() }
 
 func (s *Store) walPath(i int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.wal", i))
@@ -290,13 +433,14 @@ func (s *Store) shardFor(key string) *shard { return s.shards[s.shardIndex(key)]
 func (s *Store) recover() error {
 	n := len(s.shards)
 	segBatches := make([][]walBatch, n)
+	snapLSNs := make([]uint64, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			segBatches[i], errs[i] = s.recoverShard(i)
+			segBatches[i], snapLSNs[i], errs[i] = s.recoverShard(i)
 		}(i)
 	}
 	wg.Wait()
@@ -316,7 +460,19 @@ func (s *Store) recover() error {
 	sort.Slice(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
 
 	perShard := make([][]Op, n)
-	var maxLSN uint64
+	// The LSN clock resumes from the highest LSN seen anywhere: WAL
+	// frames, or — after a compaction emptied the segments — the snapshot
+	// header frames that record where the clock stood at compact time.
+	// Without the header, a compact+reopen would reissue LSNs from 1.
+	var maxLSN, floor uint64
+	for _, l := range snapLSNs {
+		if l > maxLSN {
+			maxLSN = l
+		}
+		if l > floor {
+			floor = l
+		}
+	}
 	for _, b := range all {
 		if b.lsn > maxLSN {
 			maxLSN = b.lsn
@@ -335,43 +491,50 @@ func (s *Store) recover() error {
 	}
 	wg.Wait()
 	s.lsn.Store(maxLSN)
+	s.snapFloor.Store(floor)
 	return nil
 }
 
 // recoverShard loads shard i's snapshot (strict) and WAL segment
-// (truncating a torn tail), returning the segment's committed batches.
-// Only this goroutine touches shard i during recovery.
-func (s *Store) recoverShard(i int) ([]walBatch, error) {
+// (truncating a torn tail), returning the segment's committed batches and
+// the LSN recorded in the snapshot header frame (0 for headerless
+// snapshots written before the LSN fix, and for absent snapshots). Only
+// this goroutine touches shard i during recovery.
+func (s *Store) recoverShard(i int) ([]walBatch, uint64, error) {
 	sh := s.shards[i]
+	var snapLSN uint64
 	snap, err := os.ReadFile(s.snapshotPath(i))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, 0, fmt.Errorf("store: %w", err)
 	}
 	if len(snap) > 0 {
 		recs, err := parseSnapshot(snap)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, b := range recs {
+			if b.lsn > snapLSN {
+				snapLSN = b.lsn
+			}
 			applyOps(sh.data, b.ops)
 		}
 	}
 	wal, err := os.ReadFile(s.walPath(i))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, 0, fmt.Errorf("store: %w", err)
 	}
 	batches, valid := recoverSegment(wal)
 	if valid < len(wal) {
 		// Torn tail from a crash mid-append: drop the incomplete frame
 		// on disk too, so the next append starts at a frame boundary.
 		if err := os.Truncate(s.walPath(i), int64(valid)); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+			return nil, 0, fmt.Errorf("store: %w", err)
 		}
 	}
 	for _, b := range batches {
 		sh.walLen += len(b.ops)
 	}
-	return batches, nil
+	return batches, snapLSN, nil
 }
 
 func applyOps(data map[string][]byte, ops []Op) {
@@ -433,6 +596,9 @@ func (s *Store) Apply(batch []Op) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.follower.Load() {
+		return ErrFollower
+	}
 	if len(batch) == 0 {
 		return nil
 	}
@@ -465,14 +631,16 @@ func (s *Store) Apply(batch []Op) error {
 	}
 
 	seg := s.shards[idxs[0]]
-	var mySeq uint64
+	var mySeq, lsn uint64
+	repl := s.replicator.Load()
 	if s.dir != "" {
 		if seg.walErr != nil {
 			err := seg.walErr
 			unlock()
 			return err
 		}
-		rec := encodeBatchRecord(s.lsn.Add(1), batch)
+		lsn = s.lsn.Add(1)
+		rec := encodeBatchRecord(lsn, batch)
 		if _, err := seg.walBuf.Write(rec); err != nil {
 			seg.walErr = fmt.Errorf("store: wal append: %w", err)
 			err = seg.walErr
@@ -499,6 +667,16 @@ func (s *Store) Apply(batch []Op) error {
 		if s.sync && s.group {
 			mySeq = seg.seq.Add(1)
 		}
+		if repl != nil {
+			// Under the segment lock, so per-segment hook order matches
+			// commit order; rec is freshly allocated and never reused.
+			repl.r.OnCommit(lsn, idxs[0], rec)
+		}
+	} else {
+		lsn = s.lsn.Add(1)
+		if repl != nil {
+			repl.r.OnCommit(lsn, idxs[0], encodeBatchRecord(lsn, batch))
+		}
 	}
 	for _, op := range batch {
 		sh := s.shardFor(op.Key)
@@ -513,7 +691,16 @@ func (s *Store) Apply(batch []Op) error {
 	unlock()
 	s.applyTotal.Inc()
 	if s.dir != "" && s.sync && s.group {
-		return s.waitGroupSync(seg, mySeq)
+		if err := s.waitGroupSync(seg, mySeq); err != nil {
+			return err
+		}
+	}
+	if repl != nil {
+		// Outside every lock: a synchronous leader may block here waiting
+		// for follower acks. An error means farm-level durability is
+		// unknown — the batch is applied locally, but the caller must
+		// treat the operation as failed.
+		return repl.r.WaitCommitted(lsn)
 	}
 	return nil
 }
@@ -555,6 +742,265 @@ func (s *Store) waitGroupSync(sh *shard, mySeq uint64) error {
 		sh.gcond.Broadcast()
 	}
 	return nil
+}
+
+// ErrReplGap is returned by ApplyReplicated when a frame skips ahead of
+// the next expected LSN; the follower must resynchronise (segments or
+// snapshot) instead of applying a log with a hole.
+var ErrReplGap = errors.New("store: replicated frame leaves an LSN gap")
+
+// ApplyReplicated applies one leader-shipped WAL frame. It is the follower
+// half of log shipping: the frame's ops are applied under the involved
+// shard locks and the frame bytes are appended verbatim to the local
+// segment, so a follower's directory recovers exactly like a leader's.
+//
+// Delivery is idempotent and prefix-consistent: a frame at or below the
+// local LSN is skipped (applied=false, nil error — a duplicate from a
+// reconnect or a re-fed segment stream), the frame at LSN+1 is applied,
+// and a frame beyond LSN+1 is rejected with ErrReplGap (leader logs are
+// gapless, so a gap means this follower missed history and must catch up
+// again). Works in follower mode — that guard only blocks local Apply.
+func (s *Store) ApplyReplicated(frame []byte) (applied bool, err error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	b, n, err := decodeBatchRecord(frame)
+	if err != nil {
+		return false, err
+	}
+	if n != len(frame) {
+		return false, fmt.Errorf("store: %d trailing bytes after replicated frame", len(frame)-n)
+	}
+	if len(b.ops) == 0 {
+		return false, errors.New("store: replicated frame carries no ops")
+	}
+	if b.lsn <= s.lsn.Load() {
+		return false, nil // duplicate delivery
+	}
+
+	var idxBuf [8]int
+	idxs := idxBuf[:0]
+	for _, op := range b.ops {
+		d := s.shardIndex(op.Key)
+		pos := sort.SearchInts(idxs, d)
+		if pos < len(idxs) && idxs[pos] == d {
+			continue
+		}
+		idxs = append(idxs, 0)
+		copy(idxs[pos+1:], idxs[pos:])
+		idxs[pos] = d
+	}
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			s.shards[idxs[j]].mu.Unlock()
+		}
+	}
+	if s.closed.Load() {
+		unlock()
+		return false, ErrClosed
+	}
+	switch cur := s.lsn.Load(); {
+	case b.lsn <= cur:
+		unlock()
+		return false, nil
+	case b.lsn != cur+1:
+		unlock()
+		return false, fmt.Errorf("%w: frame lsn %d, local lsn %d", ErrReplGap, b.lsn, cur)
+	}
+
+	seg := s.shards[idxs[0]]
+	var mySeq uint64
+	repl := s.replicator.Load()
+	if s.dir != "" {
+		if seg.walErr != nil {
+			err := seg.walErr
+			unlock()
+			return false, err
+		}
+		if _, err := seg.walBuf.Write(frame); err != nil {
+			seg.walErr = fmt.Errorf("store: wal append: %w", err)
+			err = seg.walErr
+			unlock()
+			return false, err
+		}
+		if err := seg.walBuf.Flush(); err != nil {
+			seg.walErr = fmt.Errorf("store: wal flush: %w", err)
+			err = seg.walErr
+			unlock()
+			return false, err
+		}
+		if s.sync && !s.group {
+			if err := seg.wal.Sync(); err != nil {
+				seg.walErr = fmt.Errorf("store: wal sync: %w", err)
+				err = seg.walErr
+				unlock()
+				return false, err
+			}
+			s.fsyncTotal.Inc()
+			s.fsyncBatch.Observe(1)
+		}
+		seg.walLen += len(b.ops)
+		if s.sync && s.group {
+			mySeq = seg.seq.Add(1)
+		}
+	}
+	if repl != nil {
+		// Chained replication: a follower that is itself a leader for
+		// further replicas re-ships the frame (asynchronously — the
+		// WaitCommitted gate is only consulted for local Apply).
+		fc := make([]byte, len(frame))
+		copy(fc, frame)
+		repl.r.OnCommit(b.lsn, idxs[0], fc)
+	}
+	s.applyOpsSharded(b.ops)
+	s.lsn.Store(b.lsn)
+	unlock()
+	s.applyTotal.Inc()
+	if s.dir != "" && s.sync && s.group {
+		if err := s.waitGroupSync(seg, mySeq); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// applyOpsSharded applies ops routing each key to its shard (caller
+// holds the involved shard locks).
+func (s *Store) applyOpsSharded(ops []Op) {
+	for _, op := range ops {
+		sh := s.shards[s.shardIndex(op.Key)]
+		if op.Delete {
+			delete(sh.data, op.Key)
+		} else {
+			v := make([]byte, len(op.Value))
+			copy(v, op.Value)
+			sh.data[op.Key] = v
+		}
+	}
+}
+
+// ReplicationSnapshot captures a consistent cut of the whole store: the
+// LSN and every key-value pair as of a moment when no Apply was in
+// flight (all shard read locks held). Leaders use it to bootstrap a
+// follower that is too far behind the segments.
+func (s *Store) ReplicationSnapshot() (lsn uint64, kvs []KV, err error) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for j := len(s.shards) - 1; j >= 0; j-- {
+			s.shards[j].mu.RUnlock()
+		}
+	}()
+	if s.closed.Load() {
+		return 0, nil, ErrClosed
+	}
+	lsn = s.lsn.Load()
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.data)
+	}
+	kvs = make([]KV, 0, total)
+	for _, sh := range s.shards {
+		for k, v := range sh.data {
+			val := make([]byte, len(v))
+			copy(val, v)
+			kvs = append(kvs, KV{Key: k, Value: val})
+		}
+	}
+	return lsn, kvs, nil
+}
+
+// ReplFrame is one committed WAL frame read back from a segment: the raw
+// frame bytes plus its decoded LSN and originating shard.
+type ReplFrame struct {
+	LSN   uint64
+	Shard int
+	Frame []byte
+}
+
+// SegmentFrames returns every committed frame with LSN > sinceLSN still
+// present in the WAL segments, sorted by LSN (nil for in-memory stores).
+// Combined with SnapshotLSN it is the catch-up source for a lagging
+// follower: segments hold exactly the frames above the compaction floor.
+func (s *Store) SegmentFrames(sinceLSN uint64) ([]ReplFrame, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	var out []ReplFrame
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		if s.closed.Load() {
+			sh.mu.RUnlock()
+			return nil, ErrClosed
+		}
+		// Appends to this segment and compaction both need this shard's
+		// write lock, so the file is frame-complete and stable here.
+		data, err := os.ReadFile(s.walPath(i))
+		sh.mu.RUnlock()
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			b, n, err := decodeBatchRecord(data[off:])
+			if err != nil {
+				return nil, fmt.Errorf("store: segment %d corrupt at offset %d: %w", i, off, err)
+			}
+			if b.lsn > sinceLSN {
+				out = append(out, ReplFrame{LSN: b.lsn, Shard: i, Frame: data[off : off+n]})
+			}
+			off += n
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out, nil
+}
+
+// InstallReplicaSnapshot replaces the entire store state with a leader's
+// ReplicationSnapshot cut: state becomes exactly kvs, the LSN clock jumps
+// to lsn, the snapshots are rewritten on disk and the segments truncated
+// (so a follower restart recovers the installed state). Installing a
+// snapshot older than local state is refused with ErrStaleSnapshot.
+func (s *Store) InstallReplicaSnapshot(lsn uint64, kvs []KV) error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for j := len(s.shards) - 1; j >= 0; j-- {
+			s.shards[j].mu.Unlock()
+		}
+	}()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if lsn < s.lsn.Load() {
+		return fmt.Errorf("%w: snapshot lsn %d, local lsn %d", ErrStaleSnapshot, lsn, s.lsn.Load())
+	}
+	for _, sh := range s.shards {
+		if sh.walErr != nil {
+			return sh.walErr
+		}
+		sh.data = make(map[string][]byte, len(sh.data))
+	}
+	s.applyOpsSharded(kvsToOps(kvs))
+	s.lsn.Store(lsn)
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	s.snapFloor.Store(lsn)
+	return nil
+}
+
+func kvsToOps(kvs []KV) []Op {
+	ops := make([]Op, len(kvs))
+	for i, kv := range kvs {
+		ops[i] = Op{Key: kv.Key, Value: kv.Value}
+	}
+	return ops
 }
 
 // Scan returns all pairs whose key starts with prefix, sorted by key. The
@@ -693,40 +1139,72 @@ func (s *Store) Compact() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	return s.compactLocked()
+}
+
+// compactLocked is Compact's body; the caller holds every shard lock (so
+// s.lsn is stable — no Apply can be in flight).
+func (s *Store) compactLocked() error {
 	if s.dir == "" {
 		return nil // in-memory: nothing to do
 	}
+	lsn := s.lsn.Load()
 	for i, sh := range s.shards {
 		if sh.walErr != nil {
 			return sh.walErr
 		}
-		if err := s.writeSnapshot(i, sh); err != nil {
+		if err := s.writeSnapshot(i, sh, lsn); err != nil {
 			return err
 		}
 	}
-	// Every snapshot is durable; now the segments can drop.
-	for _, sh := range s.shards {
+	// Make the renames themselves durable before touching the segments: a
+	// crash here must never leave a truncated WAL next to a directory
+	// entry that still points at the old snapshot.
+	if err := s.syncDataDir(); err != nil {
+		return fmt.Errorf("store: compact: sync dir: %w", err)
+	}
+	// Every snapshot is durable; now the segments can drop. A truncation
+	// failure is fail-stop for its shard, exactly like an append or fsync
+	// failure: the segment is in an unknown half-reset state, so later
+	// Applies must not append to it.
+	for i, sh := range s.shards {
+		if s.compactFault != nil {
+			if err := s.compactFault(i); err != nil {
+				sh.walErr = fmt.Errorf("store: compact: %w", err)
+				return sh.walErr
+			}
+		}
 		if err := sh.wal.Truncate(0); err != nil {
-			return fmt.Errorf("store: compact: %w", err)
+			sh.walErr = fmt.Errorf("store: compact: %w", err)
+			return sh.walErr
 		}
 		if _, err := sh.wal.Seek(0, 0); err != nil {
-			return fmt.Errorf("store: compact: %w", err)
+			sh.walErr = fmt.Errorf("store: compact: %w", err)
+			return sh.walErr
 		}
 		sh.walBuf.Reset(sh.wal)
 		sh.walLen = 0
 	}
+	s.snapFloor.Store(lsn)
 	return nil
 }
 
 // writeSnapshot persists shard i's map as chunked snapshot frames via
-// write-to-temp, fsync, rename.
-func (s *Store) writeSnapshot(i int, sh *shard) error {
+// write-to-temp, fsync, rename. The first frame is a zero-op header
+// carrying lsn — the position of the LSN clock at compaction — so a
+// reopen after the segments are truncated resumes the clock instead of
+// reissuing LSNs from 1.
+func (s *Store) writeSnapshot(i int, sh *shard, lsn uint64) error {
 	tmp := s.snapshotPath(i) + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	w := bufio.NewWriter(f)
+	if _, err := w.Write(encodeBatchRecord(lsn, nil)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
 	keys := make([]string, 0, len(sh.data))
 	for k := range sh.data {
 		keys = append(keys, k)

@@ -88,6 +88,23 @@ func encodeBatchRecord(lsn uint64, batch []Op) []byte {
 	return buf
 }
 
+// EncodeFrame renders one complete WAL frame — the exact bytes Apply
+// would log for this batch at this LSN. Replication tests and tooling
+// use it to synthesise leader streams.
+func EncodeFrame(lsn uint64, batch []Op) []byte { return encodeBatchRecord(lsn, batch) }
+
+// DecodeFrame parses one complete WAL frame (strict: no trailing bytes).
+func DecodeFrame(frame []byte) (lsn uint64, ops []Op, err error) {
+	b, n, err := decodeBatchRecord(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n != len(frame) {
+		return 0, nil, fmt.Errorf("store: %d trailing bytes after frame", len(frame)-n)
+	}
+	return b.lsn, b.ops, nil
+}
+
 // decodeBatchRecord parses the frame at the head of data. frameLen is the
 // number of bytes the frame occupies when err is nil. Decoded keys and
 // values are copies; they do not alias data.
