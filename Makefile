@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke repl-smoke metrics-lint fuzz cover clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke repl-smoke prof-smoke metrics-lint fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke repl-smoke metrics-lint fuzz cover
+verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke repl-smoke prof-smoke metrics-lint fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -39,12 +39,14 @@ bench-concurrency:
 
 # Observability overhead gates: vet the obs package and prove that (a) the
 # metrics-instrumented otpd.Check hot path stays within 5% of the
-# uninstrumented one (TestObsOverheadGate) and (b) the span + event
-# pipeline stays within 5% of metrics-only (TestSpanEventOverheadGate).
-# Both are interleaved min-of-trials comparisons.
+# uninstrumented one (TestObsOverheadGate), (b) the span + event pipeline
+# stays within 5% of metrics-only (TestSpanEventOverheadGate), and (c) the
+# continuous profiler sampling at its structural ceiling keeps Check
+# within 5% of profiler-off (TestProfOverheadGate). All are interleaved
+# min-of-trials comparisons.
 bench-obs:
 	$(GO) vet ./internal/obs/
-	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run 'TestObsOverheadGate|TestSpanEventOverheadGate' -count 1 -v
+	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run 'TestObsOverheadGate|TestSpanEventOverheadGate|TestProfOverheadGate' -count 1 -v -timeout 20m
 
 # Streaming-analytics smoke: a short rollout with the event bus attached,
 # cross-checking the live authwatch day buckets against the batch report
@@ -73,6 +75,16 @@ repl-smoke:
 	$(GO) test -race -count 1 -run 'TestLeaderFailoverUnderLoginStorm' ./internal/core
 	$(GO) test -race -count 1 -run 'TestLSNMonotonicAcrossCompactReopen|TestCompact|TestEpoch|TestFollowerMode|TestApplyReplicated|TestReplica|TestSegmentFrames' ./internal/store
 	$(GO) test -race -count 1 -run 'TestCompactThenCrash' ./internal/store/crashtest
+
+# Black-box gate: the capstone e2e (a login storm trips the SLO fast-burn
+# trigger and exactly one debounced incident bundle lands with a CPU delta
+# profile, goroutine dump, metrics snapshot, and the storm's trace IDs),
+# the concurrent diagnostics-endpoint scrape, the incident torn-tail
+# truncate-at-every-byte sweep, the shared segment-log layer, and the
+# offline loganalyze incident reader — race detector on.
+prof-smoke:
+	$(GO) test -race -count 1 -run 'TestLoginStormTripsOneIncidentBundle|TestDiagnosticsEndpointsConcurrentScrape' ./internal/core
+	$(GO) test -race -count 1 ./internal/obs/prof ./internal/seglog ./cmd/loganalyze
 
 # Metrics hygiene gate: lint the live portal /metrics exposition (typing,
 # sort order, label consistency, unit-suffix conventions) with runtime,
@@ -119,11 +131,11 @@ bench:
 # Recorded perf trajectory: run the wire-to-WAL hot-path benchmarks with
 # -benchmem and write BENCH_$(BENCH_PR).json (see DESIGN.md §10). The
 # -require list fails the target if any expected benchmark disappears.
-BENCH_PR ?= 6
+BENCH_PR ?= 9
 BENCH_JSON_TIME ?= 1s
-BENCH_JSON_PATTERN = BenchmarkHOTP$$|BenchmarkEncode$$|BenchmarkDecode$$|BenchmarkHidePassword$$|BenchmarkExchange$$|BenchmarkCheckSuccess$$|BenchmarkSecretCacheHit$$|BenchmarkSecretOpenMiss$$|BenchmarkApplyParallel$$|BenchmarkBatcherParallel$$|BenchmarkGroupCommitSync$$|BenchmarkEndToEndMFALogin$$
+BENCH_JSON_PATTERN = BenchmarkHOTP$$|BenchmarkEncode$$|BenchmarkDecode$$|BenchmarkHidePassword$$|BenchmarkExchange$$|BenchmarkCheckSuccess$$|BenchmarkSecretCacheHit$$|BenchmarkSecretOpenMiss$$|BenchmarkApplyParallel$$|BenchmarkBatcherParallel$$|BenchmarkGroupCommitSync$$|BenchmarkEndToEndMFALogin$$|BenchmarkCheckUnderProfiler$$
 BENCH_JSON_PKGS = ./internal/otp ./internal/radius ./internal/otpd ./internal/store .
-BENCH_JSON_REQUIRE = HOTP,Encode,Decode,HidePassword,Exchange,CheckSuccess,SecretCacheHit,SecretOpenMiss,ApplyParallel,BatcherParallel,GroupCommitSync,EndToEndMFALogin
+BENCH_JSON_REQUIRE = HOTP,Encode,Decode,HidePassword,Exchange,CheckSuccess,SecretCacheHit,SecretOpenMiss,ApplyParallel,BatcherParallel,GroupCommitSync,EndToEndMFALogin,CheckUnderProfiler
 
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCH_JSON_PATTERN)' -benchmem \

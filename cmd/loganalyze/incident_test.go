@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openmfa/internal/clock"
+	"openmfa/internal/obs/prof"
+	"openmfa/internal/seglog"
+)
+
+// newIncidentDir persists one manual incident bundle and returns its
+// directory and ID.
+func newIncidentDir(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	sim := clock.NewSim(time.Date(2016, 10, 4, 3, 12, 0, 0, time.UTC))
+	e, err := prof.New(prof.Config{
+		Dir: dir, Clock: sim, CPUDuration: time.Millisecond, Retention: 2,
+	})
+	if err != nil {
+		t.Fatalf("prof.New: %v", err)
+	}
+	defer e.Stop()
+	e.CaptureOnce()
+	inc, err := e.Fire("manual", "loganalyze smoke")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	return dir, inc.ID
+}
+
+func TestSniffSegments(t *testing.T) {
+	dir, _ := newIncidentDir(t)
+	if got := sniffSegments(dir, true); got != "incident" {
+		t.Errorf("incident dir sniffed as %q", got)
+	}
+	seg := filepath.Join(dir, seglog.SegName(prof.SegPrefix, 1))
+	if _, err := os.Stat(seg); err != nil {
+		t.Fatalf("expected segment: %v", err)
+	}
+	if got := sniffSegments(seg, false); got != "incident" {
+		t.Errorf("incident segment sniffed as %q", got)
+	}
+	if got := sniffSegments(filepath.Join(dir, "flightrec-000001.seg"), false); got != "flightrec" {
+		t.Errorf("flightrec segment sniffed as %q", got)
+	}
+	if got := sniffSegments(t.TempDir(), true); got != "flightrec" {
+		t.Errorf("empty dir sniffed as %q, want flightrec default", got)
+	}
+}
+
+func TestAnalyzeIncidents(t *testing.T) {
+	dir, id := newIncidentDir(t)
+	if err := analyzeIncidents(dir, "", "", "", 5); err != nil {
+		t.Errorf("summary: %v", err)
+	}
+	if err := analyzeIncidents(dir, id, "", "", 5); err != nil {
+		t.Errorf("detail: %v", err)
+	}
+	out := filepath.Join(t.TempDir(), "cpu.pb.gz")
+	if err := analyzeIncidents(dir, id, "cpu", out, 5); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read extracted profile: %v", err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Errorf("extracted CPU profile is not gzip (got % x...)", b[:min(len(b), 4)])
+	}
+
+	if err := analyzeIncidents(dir, "inc-999999", "", "", 5); err == nil {
+		t.Error("unknown incident: want error")
+	}
+	if err := analyzeIncidents(dir, id, "no-such-kind", "", 5); err == nil ||
+		!strings.Contains(err.Error(), "no-such-kind") {
+		t.Errorf("unknown profile kind: got %v", err)
+	}
+	if err := analyzeIncidents(dir, "", "cpu", "", 5); err == nil {
+		t.Error("-profile without -incident: want error")
+	}
+}

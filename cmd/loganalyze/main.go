@@ -4,19 +4,27 @@
 // contact about their automated workflows.
 //
 // It reads the classic authlog line format, the eventstream JSONL dump
-// produced by `rollout -events-out` (one JSON event per line), or a flight
-// recorder segment directory (`-format flightrec`), picking the format
-// automatically by default.
+// produced by `rollout -events-out` (one JSON event per line), a flight
+// recorder segment directory (`-format flightrec`), or an incident
+// bundle directory written by the continuous profiler (`-format
+// incident`), picking the format automatically by default.
 //
 // In flightrec mode it summarises the persisted trace bundles (newest
 // first, with keep-reason tallies) and `-trace <id>` prints one bundle's
 // full span tree, events, and log lines.
+//
+// In incident mode it summarises the diagnostic bundles (newest first,
+// with trigger tallies), `-incident <id>` prints one bundle in full, and
+// `-incident <id> -profile cpu -out f.pb.gz` extracts a raw pprof
+// profile for `go tool pprof`. Both segment readers are strictly
+// read-only, so they are safe to point at a live daemon's directory.
 //
 // Example:
 //
 //	loganalyze -log /var/log/openmfa/secure.log \
 //	           -staff cproctor,storm -known-gateways gateway1,tg803
 //	loganalyze -log /var/lib/otpd/flightrec -format flightrec -trace 4fca21...
+//	loganalyze -log /var/lib/otpd/prof -format incident -incident inc-000001
 package main
 
 import (
@@ -25,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -32,6 +42,8 @@ import (
 	"openmfa/internal/eventstream"
 	"openmfa/internal/flightrec"
 	"openmfa/internal/loganalysis"
+	"openmfa/internal/obs/prof"
+	"openmfa/internal/seglog"
 )
 
 func main() {
@@ -42,8 +54,11 @@ func main() {
 		fromStr  = flag.String("from", "", "window start YYYY-MM-DD (default: all)")
 		toStr    = flag.String("to", "", "window end YYYY-MM-DD (default: all)")
 		topN     = flag.Int("top", 20, "ranking rows to print")
-		format   = flag.String("format", "auto", "log format: authlog, jsonl (eventstream dump), flightrec (segment dir), or auto")
+		format   = flag.String("format", "auto", "log format: authlog, jsonl (eventstream dump), flightrec (segment dir), incident (prof bundle dir), or auto")
 		traceID  = flag.String("trace", "", "flightrec only: print this trace's bundle (span tree, events, logs)")
+		incID    = flag.String("incident", "", "incident only: print this incident bundle in full")
+		profKind = flag.String("profile", "", "incident only: extract this pprof profile (cpu, heap, goroutine, mutex, block) from the -incident bundle's newest capture")
+		outPath  = flag.String("out", "", "incident only: file for the extracted -profile (default <id>-<kind>.pb.gz)")
 	)
 	flag.Parse()
 	if *logPath == "" {
@@ -52,11 +67,17 @@ func main() {
 
 	if *format == "auto" {
 		if fi, err := os.Stat(*logPath); err == nil && (fi.IsDir() || strings.HasSuffix(*logPath, ".seg")) {
-			*format = "flightrec"
+			*format = sniffSegments(*logPath, fi.IsDir())
 		}
 	}
 	if *format == "flightrec" {
 		if err := analyzeFlightrec(*logPath, *traceID, *topN); err != nil {
+			log.Fatalf("loganalyze: %v", err)
+		}
+		return
+	}
+	if *format == "incident" {
+		if err := analyzeIncidents(*logPath, *incID, *profKind, *outPath, *topN); err != nil {
 			log.Fatalf("loganalyze: %v", err)
 		}
 		return
@@ -138,6 +159,132 @@ func analyzeFlightrec(path, trace string, topN int) error {
 			b.Duration.Round(time.Millisecond), b.Trace)
 	}
 	return nil
+}
+
+// sniffSegments picks between the two segment-log consumers sharing the
+// .seg layout: incident-NNNNNN.seg bundles select the incident reader,
+// anything else keeps the flight recorder default.
+func sniffSegments(path string, isDir bool) string {
+	if !isDir {
+		if strings.HasPrefix(filepath.Base(path), prof.SegPrefix) {
+			return "incident"
+		}
+		return "flightrec"
+	}
+	if entries, err := os.ReadDir(path); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), prof.SegPrefix) && strings.HasSuffix(e.Name(), seglog.SegSuffix) {
+				return "incident"
+			}
+		}
+	}
+	return "flightrec"
+}
+
+// analyzeIncidents summarises an incident bundle directory; with id set
+// it renders one bundle, and with profile set it extracts that bundle's
+// newest raw pprof profile instead.
+func analyzeIncidents(path, id, profile, out string, topN int) error {
+	incidents, err := prof.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	if id == "" {
+		if profile != "" {
+			return fmt.Errorf("-profile requires -incident")
+		}
+		triggers := map[string]int{}
+		for _, inc := range incidents {
+			triggers[inc.Trigger]++
+		}
+		fmt.Printf("incident bundles: %d\n", len(incidents))
+		names := make([]string, 0, len(triggers))
+		for t := range triggers {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			fmt.Printf("  %-16s %d\n", t, triggers[t])
+		}
+		fmt.Printf("\nnewest %d:\n", topN)
+		for i := len(incidents) - 1; i >= 0 && i >= len(incidents)-topN; i-- {
+			inc := incidents[i]
+			fmt.Printf("  %s %s %-16s captures=%d traces=%d  %s\n",
+				inc.ID, inc.Time.UTC().Format("2006-01-02T15:04:05Z"), inc.Trigger,
+				len(inc.Captures), len(inc.TraceIDs), inc.Detail)
+		}
+		return nil
+	}
+	for _, inc := range incidents {
+		if inc.ID != id {
+			continue
+		}
+		if profile != "" {
+			return extractProfile(inc, profile, out)
+		}
+		renderIncident(inc)
+		return nil
+	}
+	return fmt.Errorf("no incident %s (%d bundles read)", id, len(incidents))
+}
+
+// extractProfile writes the newest capture's raw pprof bytes for one
+// profile kind, ready for `go tool pprof <file>`.
+func extractProfile(inc *prof.Incident, kind, out string) error {
+	for i := len(inc.Captures) - 1; i >= 0; i-- {
+		b, ok := inc.Captures[i].Profiles[kind]
+		if !ok {
+			continue
+		}
+		if out == "" {
+			out = fmt.Sprintf("%s-%s.pb.gz", inc.ID, kind)
+		}
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %s profile from capture %d (%d bytes) to %s\n",
+			inc.ID, kind, i, len(b), out)
+		return nil
+	}
+	return fmt.Errorf("%s has no %q profile in any capture", inc.ID, kind)
+}
+
+func renderIncident(inc *prof.Incident) {
+	fmt.Printf("incident %s\n", inc.ID)
+	fmt.Printf("  time:    %s\n", inc.Time.UTC().Format(time.RFC3339))
+	fmt.Printf("  trigger: %s\n", inc.Trigger)
+	if inc.Detail != "" {
+		fmt.Printf("  detail:  %s\n", inc.Detail)
+	}
+	r := inc.Runtime
+	fmt.Printf("  runtime: %s cpus=%d gomaxprocs=%d goroutines=%d heap=%dB objects=%d gc=%d pause=%s\n",
+		r.GoVersion, r.NumCPU, r.GOMAXPROCS, r.NumGoroutine,
+		r.HeapAlloc, r.HeapObjects, r.NumGC, time.Duration(r.PauseTotalNs))
+	if len(inc.TraceIDs) > 0 {
+		fmt.Printf("  flight-recorder traces (inspect with -format flightrec -trace <id>):\n")
+		for _, t := range inc.TraceIDs {
+			fmt.Printf("    %s\n", t)
+		}
+	}
+	fmt.Printf("  captures (%d, oldest first; extract with -profile <kind> [-out file]):\n", len(inc.Captures))
+	for i, c := range inc.Captures {
+		kinds := make([]string, 0, len(c.Profiles))
+		for k := range c.Profiles {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("    [%d] %s cpu_window=%.3gs bytes=%d kinds=%v",
+			i, c.Time.UTC().Format("2006-01-02T15:04:05Z"), c.CPUSeconds, c.Bytes, kinds)
+		if c.Err != "" {
+			fmt.Printf(" err=%q", c.Err)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  metrics snapshot: %d bytes\n", len(inc.Metrics))
+	fmt.Printf("  goroutine dump (%d bytes, truncated=%v):\n", len(inc.Goroutines), inc.GoroutinesTruncated)
+	for _, line := range strings.Split(strings.TrimRight(inc.Goroutines, "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
 }
 
 // readEvents loads the log in the requested format. "auto" sniffs the

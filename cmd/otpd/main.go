@@ -25,6 +25,7 @@ import (
 	"openmfa/internal/flightrec"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otpd"
 	"openmfa/internal/radius"
@@ -55,6 +56,13 @@ func main() {
 		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
 		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable successful checks the flight recorder keeps")
 		flightSlow   = flag.Duration("flightrec-slow", 750*time.Millisecond, "flight recorder slow-check threshold")
+
+		profDir      = flag.String("prof-dir", "", "incident bundle segment directory; enables the continuous profiler + incident engine (empty = disabled)")
+		profPeriod   = flag.Duration("prof-period", 30*time.Second, "continuous profiler sampling period")
+		profCPU      = flag.Duration("prof-cpu", 250*time.Millisecond, "delta CPU profile window per sample (clamped to a tenth of -prof-period)")
+		profRetain   = flag.Int("prof-retain", 8, "profile captures kept in the in-memory ring")
+		profDebounce = flag.Duration("prof-debounce", 10*time.Minute, "minimum spacing between trigger-fired incident bundles")
+		profSlow     = flag.Duration("prof-slow", 750*time.Millisecond, "latency-spike trigger threshold on otpd check duration")
 	)
 	var slos slo.SpecList
 	flag.Var(&slos, "slo", "SLO over check latency, name:target%<threshold/window (e.g. checks:99.5%<750ms/30d); repeatable")
@@ -104,8 +112,9 @@ func main() {
 	// streams committed WAL frames; a standby refuses local writes and
 	// replays the leader's log. Promotion is a restart of the standby
 	// with -repl-listen in place of -repl-follow.
+	var leader *repl.Leader
 	if *replListen != "" {
-		leader, err := repl.StartLeader(db, repl.LeaderOptions{
+		leader, err = repl.StartLeader(db, repl.LeaderOptions{
 			Addr:        *replListen,
 			MinSync:     *replMinSync,
 			SyncTimeout: *replSyncTO,
@@ -192,6 +201,48 @@ func main() {
 		defer rec.Stop()
 	}
 
+	// Continuous profiler + incident engine: the black box. Triggers
+	// cover every existing signal — SLO fast burn, authwatch alert,
+	// latency spike on the check histograms, a sticky store WAL fault —
+	// and /debug/prof/capture fires manually. Debounce keeps a flapping
+	// alert from filling the disk.
+	var profEng *prof.Engine
+	if *profDir != "" {
+		profEng, err = prof.New(prof.Config{
+			Dir:           *profDir,
+			Obs:           reg,
+			Period:        *profPeriod,
+			CPUDuration:   *profCPU,
+			Retention:     *profRetain,
+			Debounce:      *profDebounce,
+			MutexFraction: 100,
+			TraceIDs: func(n int) []string {
+				if rec == nil {
+					return nil
+				}
+				sums := rec.List(flightrec.Query{Limit: n})
+				ids := make([]string, 0, len(sums))
+				for _, s := range sums {
+					ids = append(ids, s.Trace)
+				}
+				return ids
+			},
+		})
+		if err != nil {
+			log.Fatalf("otpd: %v", err)
+		}
+		profEng.AddTrigger("slo_fast_burn", prof.HealthTrigger(eng.Health))
+		profEng.AddTrigger("authwatch_alert", prof.HealthTrigger(watch.Health))
+		var hists []*obs.Histogram
+		for _, res := range []string{"ok", "invalid", "locked_out", "error"} {
+			hists = append(hists, reg.Histogram("otpd_check_duration_seconds", nil, "result", res))
+		}
+		profEng.AddTrigger("latency_spike", prof.LatencySpikeTrigger(hists, profSlow.Seconds(), 20))
+		profEng.AddTrigger("store_error", prof.HealthTrigger(db.Err))
+		profEng.Start()
+		defer profEng.Stop()
+	}
+
 	srv, err := otpd.New(otpd.Config{
 		DB: db, EncryptionKey: key, Issuer: *issuer,
 		Obs: reg, Logger: logger,
@@ -238,9 +289,11 @@ func main() {
 	if rec != nil {
 		rec.Mount(mux)
 	}
+	profEng.Mount(mux)
+	leader.Mount(mux)
 	mux.Handle("/", api.Handler())
 	go func() {
-		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof, /debug/authwatch, /debug/slo, /debug/flightrec)", *httpAddr)
+		log.Printf("otpd: admin API on %s (+ /metrics, /healthz, /debug/pprof, /debug/authwatch, /debug/slo, /debug/flightrec, /debug/prof, /debug/repl)", *httpAddr)
 		if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 			log.Fatalf("otpd: http: %v", err)
 		}

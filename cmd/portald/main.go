@@ -14,11 +14,13 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"openmfa/internal/cryptoutil"
 	"openmfa/internal/directory"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otpd"
 	"openmfa/internal/portal"
@@ -36,6 +38,12 @@ func main() {
 		demo     = flag.Bool("demo", false, "create a demo account (demo/demo-pass)")
 		shards   = flag.Int("store-shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS-scaled; existing data dirs keep their count)")
 		group    = flag.Bool("store-group-commit", true, "coalesce concurrent commits into shared fsyncs")
+
+		profDir      = flag.String("prof-dir", "", "incident bundle segment directory; enables the continuous profiler + incident engine (empty = disabled)")
+		profPeriod   = flag.Duration("prof-period", 30*time.Second, "continuous profiler sampling period")
+		profCPU      = flag.Duration("prof-cpu", 250*time.Millisecond, "delta CPU profile window per sample (clamped to a tenth of -prof-period)")
+		profRetain   = flag.Int("prof-retain", 8, "profile captures kept in the in-memory ring")
+		profDebounce = flag.Duration("prof-debounce", 10*time.Minute, "minimum spacing between trigger-fired incident bundles")
 	)
 	var slos slo.SpecList
 	flag.Var(&slos, "slo", "availability SLO over portal HTTP requests (non-5xx = good), name:target%<threshold/window; repeatable")
@@ -78,6 +86,29 @@ func main() {
 	}
 	defer db.Close()
 
+	// Continuous profiler + incident engine (see cmd/otpd): the portal
+	// wires SLO fast-burn, a sticky IDM-store WAL fault, and the manual
+	// endpoint; it has no flight recorder, so bundles carry no trace IDs.
+	var profEng *prof.Engine
+	if *profDir != "" {
+		profEng, err = prof.New(prof.Config{
+			Dir:           *profDir,
+			Obs:           reg,
+			Period:        *profPeriod,
+			CPUDuration:   *profCPU,
+			Retention:     *profRetain,
+			Debounce:      *profDebounce,
+			MutexFraction: 100,
+		})
+		if err != nil {
+			log.Fatalf("portald: %v", err)
+		}
+		profEng.AddTrigger("slo_fast_burn", prof.HealthTrigger(eng.Health))
+		profEng.AddTrigger("store_error", prof.HealthTrigger(db.Err))
+		profEng.Start()
+		defer profEng.Stop()
+	}
+
 	dir := directory.New()
 	users := idm.New(db, dir, nil)
 	if *demo {
@@ -103,7 +134,7 @@ func main() {
 		BaseURL:      base,
 		Obs:          reg,
 		HealthChecks: []obs.HealthCheck{eng.Health},
-		ExtraMounts:  []func(*http.ServeMux){eng.Mount},
+		ExtraMounts:  []func(*http.ServeMux){eng.Mount, profEng.Mount},
 	})
 	if err != nil {
 		log.Fatalf("portald: %v", err)

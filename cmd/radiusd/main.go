@@ -23,6 +23,7 @@ import (
 	"openmfa/internal/faultnet"
 	"openmfa/internal/flightrec"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/radius"
 )
@@ -49,6 +50,13 @@ func main() {
 		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
 		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable accepted requests the flight recorder keeps")
 		flightSlow   = flag.Duration("flightrec-slow", 750*time.Millisecond, "flight recorder slow-request threshold")
+
+		profDir      = flag.String("prof-dir", "", "incident bundle segment directory; enables the continuous profiler + incident engine (empty = disabled)")
+		profPeriod   = flag.Duration("prof-period", 30*time.Second, "continuous profiler sampling period")
+		profCPU      = flag.Duration("prof-cpu", 250*time.Millisecond, "delta CPU profile window per sample (clamped to a tenth of -prof-period)")
+		profRetain   = flag.Int("prof-retain", 8, "profile captures kept in the in-memory ring")
+		profDebounce = flag.Duration("prof-debounce", 10*time.Minute, "minimum spacing between trigger-fired incident bundles")
+		profSlow     = flag.Duration("prof-slow", 750*time.Millisecond, "latency-spike trigger threshold on proxied request duration")
 	)
 	var slos slo.SpecList
 	flag.Var(&slos, "slo", "SLO over request latency, name:target%<threshold/window (e.g. requests:99.5%<750ms/30d); repeatable")
@@ -114,6 +122,43 @@ func main() {
 		defer rec.Stop()
 	}
 
+	// Continuous profiler + incident engine (see cmd/otpd for the trigger
+	// rationale); the proxy's latency spike watches its request histogram.
+	var profEng *prof.Engine
+	if *profDir != "" {
+		var err error
+		profEng, err = prof.New(prof.Config{
+			Dir:           *profDir,
+			Obs:           reg,
+			Period:        *profPeriod,
+			CPUDuration:   *profCPU,
+			Retention:     *profRetain,
+			Debounce:      *profDebounce,
+			MutexFraction: 100,
+			TraceIDs: func(n int) []string {
+				if rec == nil {
+					return nil
+				}
+				sums := rec.List(flightrec.Query{Limit: n})
+				ids := make([]string, 0, len(sums))
+				for _, s := range sums {
+					ids = append(ids, s.Trace)
+				}
+				return ids
+			},
+		})
+		if err != nil {
+			log.Fatalf("radiusd: %v", err)
+		}
+		profEng.AddTrigger("slo_fast_burn", prof.HealthTrigger(eng.Health))
+		profEng.AddTrigger("authwatch_alert", prof.HealthTrigger(watch.Health))
+		profEng.AddTrigger("latency_spike", prof.LatencySpikeTrigger(
+			[]*obs.Histogram{reg.Histogram("radius_request_duration_seconds", nil)},
+			profSlow.Seconds(), 20))
+		profEng.Start()
+		defer profEng.Stop()
+	}
+
 	upstreamClient := &radius.Client{
 		Addr: *upstream, Secret: []byte(*upstreamSecret), Timeout: *timeout,
 	}
@@ -149,8 +194,9 @@ func main() {
 		if rec != nil {
 			rec.Mount(mux)
 		}
+		profEng.Mount(mux)
 		go func() {
-			log.Printf("radiusd: ops endpoints on %s (+ /debug/authwatch, /debug/slo, /debug/flightrec)", *obsAddr)
+			log.Printf("radiusd: ops endpoints on %s (+ /debug/authwatch, /debug/slo, /debug/flightrec, /debug/prof)", *obsAddr)
 			if err := http.ListenAndServe(*obsAddr, mux); err != nil {
 				log.Fatalf("radiusd: obs: %v", err)
 			}

@@ -29,6 +29,7 @@ import (
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/idm"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otp"
 	"openmfa/internal/otpd"
@@ -110,6 +111,12 @@ type Options struct {
 	// deployment). The caller registers objectives and owns the
 	// evaluation cadence (Evaluate or Start/Stop).
 	SLO *slo.Engine
+	// Prof, when set, is mounted at /debug/prof and /debug/prof/capture
+	// on the portal's ops endpoints: the continuous profiler + incident
+	// engine. The caller registers triggers (typically against SLO.Health,
+	// Watch.Health, and OTPStore().Err) and owns the lifecycle
+	// (Start/Stop).
+	Prof *prof.Engine
 	// FaultNet, when set, routes every network hop through the fault
 	// injection layer: RADIUS datagrams (client dials and server sockets)
 	// and the login node's TCP listener. Chaos tests use it to model
@@ -492,6 +499,12 @@ func New(opts Options) (*Infrastructure, error) {
 	if opts.SLO != nil {
 		pcfg.HealthChecks = append(pcfg.HealthChecks, opts.SLO.Health)
 		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.SLO.Mount)
+	}
+	if opts.Prof != nil {
+		pcfg.ExtraMounts = append(pcfg.ExtraMounts, opts.Prof.Mount)
+	}
+	if inf.ReplLeader != nil {
+		pcfg.ExtraMounts = append(pcfg.ExtraMounts, inf.ReplLeader.Mount)
 	}
 	p, err := portal.New(pcfg)
 	if err != nil {

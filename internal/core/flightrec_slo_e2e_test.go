@@ -17,6 +17,7 @@ import (
 	"openmfa/internal/idm"
 	"openmfa/internal/leakcheck"
 	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otp"
 	"openmfa/internal/sshd"
@@ -411,10 +412,18 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// A continuous profiler on the registry puts the prof_* families
+	// under the linter as well.
+	profEng, err := prof.New(prof.Config{Obs: reg, CPUDuration: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer profEng.Stop()
+	profEng.CaptureOnce()
 	// A replication leader with a live follower on the same registry puts
 	// every repl_* family (both ends) under the linter too.
 	inf := newInfra(t, Options{Obs: reg, Spans: spans, Events: bus, FlightRec: rec, SLO: eng,
-		ReplListen: "127.0.0.1:0"})
+		Prof: profEng, ReplListen: "127.0.0.1:0"})
 	sim := inf.Clock.(*clock.Sim)
 	standby := store.OpenMemory()
 	defer standby.Close()
@@ -448,14 +457,17 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := obs.LintExposition(strings.NewReader(string(page))); len(errs) != 0 {
+	if errs := obs.LintExposition(strings.NewReader(string(page)), obs.ConventionFamilies()...); len(errs) != 0 {
 		for _, e := range errs {
 			t.Errorf("exposition lint: %v", e)
 		}
 	}
-	// The replication families really were on the linted page — leader
-	// side and follower side.
-	for _, fam := range []string{"repl_followers", "repl_epoch", "repl_frames_shipped_total", "repl_frames_applied_total", "repl_lag_lsns"} {
+	// The replication families (leader side — including the new commit
+	// LSN and follower-lag gauges — and follower side) and the profiler
+	// families really were on the linted page.
+	for _, fam := range []string{"repl_followers", "repl_epoch", "repl_frames_shipped_total",
+		"repl_frames_applied_total", "repl_lag_lsns", "repl_commit_lsn", "repl_follower_lag_lsns",
+		"prof_captures_total", "prof_ring_captures"} {
 		if !strings.Contains(string(page), fam) {
 			t.Errorf("lint page missing %s family", fam)
 		}

@@ -24,11 +24,10 @@ package flightrec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -36,6 +35,7 @@ import (
 
 	"openmfa/internal/eventstream"
 	"openmfa/internal/obs"
+	"openmfa/internal/seglog"
 )
 
 // Bundle is one recorded trace: the completion event's identity fields,
@@ -172,10 +172,7 @@ type Recorder struct {
 	order   []string // pending FIFO
 	index   map[string]*summary
 	bySeq   []*summary // insertion (= persistence) order
-	active  *os.File
-	actSeq  uint64
-	actSize int64
-	segs    []uint64 // live segment seqs, ascending
+	log     *seglog.Log
 
 	kept      map[string]*obs.Counter
 	dropped   *obs.Counter
@@ -207,9 +204,6 @@ func New(cfg Config) (*Recorder, error) {
 	}
 	if cfg.Policy.SuccessResult == "" {
 		cfg.Policy.SuccessResult = "accept"
-	}
-	if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
-		return nil, fmt.Errorf("flightrec: %w", err)
 	}
 	completeOn := map[eventstream.Type]bool{}
 	if len(cfg.CompleteOn) == 0 {
@@ -243,12 +237,30 @@ func New(cfg Config) (*Recorder, error) {
 	r.recovered = cfg.Obs.Counter("flightrec_recovered_bundles_total")
 	r.torn = cfg.Obs.Counter("flightrec_torn_tails_total")
 
-	if err := r.recover(); err != nil {
-		return nil, err
+	// Recovery and rotation live in the shared seglog layer: replay every
+	// committed frame into the index and truncate torn tails. Any segment,
+	// not just the last, can have a torn tail if a crash raced rotation.
+	log, torn, err := seglog.Open(seglog.Options{
+		Dir:            cfg.Dir,
+		Prefix:         segPrefix,
+		MaxSegmentSize: cfg.MaxSegmentSize,
+		MaxSegments:    cfg.MaxSegments,
+	}, func(payload []byte, ref frameRef) error {
+		var b Bundle
+		if err := json.Unmarshal(payload, &b); err != nil {
+			// A committed frame that is not a bundle is foreign; skip it
+			// rather than fail recovery.
+			return nil
+		}
+		r.indexBundle(&b, ref)
+		r.recovered.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: %w", err)
 	}
-	if err := r.openActive(); err != nil {
-		return nil, err
-	}
+	r.log = log
+	r.torn.Add(int64(torn))
 
 	if cfg.Bus != nil {
 		r.sub = cfg.Bus.Subscribe(cfg.Buffer)
@@ -257,56 +269,6 @@ func New(cfg Config) (*Recorder, error) {
 		close(r.done)
 	}
 	return r, nil
-}
-
-// recover replays every committed frame into the index and truncates
-// torn tails. Any segment, not just the last, can have a torn tail if a
-// crash raced rotation.
-func (r *Recorder) recover() error {
-	seqs, err := listSegments(r.cfg.Dir)
-	if err != nil {
-		return fmt.Errorf("flightrec: %w", err)
-	}
-	for _, seq := range seqs {
-		validEnd, err := scanSegment(r.cfg.Dir, seq, func(payload []byte, ref frameRef) error {
-			var b Bundle
-			if err := json.Unmarshal(payload, &b); err != nil {
-				// A committed frame that is not a bundle is foreign;
-				// skip it rather than fail recovery.
-				return nil
-			}
-			r.indexBundle(&b, ref)
-			r.recovered.Inc()
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("flightrec: recover segment %d: %w", seq, err)
-		}
-		path := filepath.Join(r.cfg.Dir, segName(seq))
-		if fi, err := os.Stat(path); err == nil && fi.Size() > validEnd {
-			if err := os.Truncate(path, validEnd); err != nil {
-				return fmt.Errorf("flightrec: truncate torn tail: %w", err)
-			}
-			r.torn.Inc()
-		}
-		r.segs = append(r.segs, seq)
-	}
-	return nil
-}
-
-// openActive opens a fresh segment after the highest recovered one.
-func (r *Recorder) openActive() error {
-	next := uint64(1)
-	if n := len(r.segs); n > 0 {
-		next = r.segs[n-1] + 1
-	}
-	f, err := os.OpenFile(filepath.Join(r.cfg.Dir, segName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
-	if err != nil {
-		return fmt.Errorf("flightrec: %w", err)
-	}
-	r.active, r.actSeq, r.actSize = f, next, 0
-	r.segs = append(r.segs, next)
-	return nil
 }
 
 func (r *Recorder) indexBundle(b *Bundle, ref frameRef) {
@@ -441,46 +403,29 @@ func sampleHash(user string, t time.Time) uint64 {
 	return h.Sum64()
 }
 
-// persistLocked frames and appends the bundle, rotating first when the
-// active segment is full. Caller holds r.mu.
+// persistLocked frames and appends the bundle through the segment log
+// (which rotates and evicts as needed), then indexes it. Caller holds
+// r.mu.
 func (r *Recorder) persistLocked(b *Bundle) error {
 	payload, err := json.Marshal(b)
 	if err != nil {
 		return err
 	}
-	frame := encodeFrame(payload)
-	if r.actSize > 0 && r.actSize+int64(len(frame)) > r.cfg.MaxSegmentSize {
-		if err := r.rotateLocked(); err != nil {
-			return err
+	res, err := r.log.Append(payload)
+	if err != nil {
+		if errors.Is(err, seglog.ErrClosed) {
+			return fmt.Errorf("flightrec: recorder closed")
 		}
-	}
-	if r.active == nil {
-		return fmt.Errorf("flightrec: recorder closed")
-	}
-	if _, err := r.active.Write(frame); err != nil {
 		return err
 	}
-	ref := frameRef{seg: r.actSeq, offset: r.actSize, length: len(frame)}
-	r.actSize += int64(len(frame))
-	r.indexBundle(b, ref)
-	return nil
-}
-
-// rotateLocked closes the active segment, opens the next, and expires the
-// oldest past MaxSegments (dropping its index entries).
-func (r *Recorder) rotateLocked() error {
-	r.active.Close()
-	if err := r.openActive(); err != nil {
-		return err
+	if res.Rotated {
+		r.rotations.Inc()
 	}
-	r.rotations.Inc()
-	for len(r.segs) > r.cfg.MaxSegments {
-		old := r.segs[0]
-		r.segs = r.segs[1:]
-		os.Remove(filepath.Join(r.cfg.Dir, segName(old)))
+	// Evicted segments take their bundles' index entries with them.
+	for _, old := range res.Evicted {
 		kept := r.bySeq[:0]
 		for _, s := range r.bySeq {
-			if s.ref.seg == old {
+			if s.ref.Seg == old {
 				delete(r.index, s.Trace)
 				continue
 			}
@@ -488,6 +433,7 @@ func (r *Recorder) rotateLocked() error {
 		}
 		r.bySeq = kept
 	}
+	r.indexBundle(b, res.Ref)
 	return nil
 }
 
@@ -503,12 +449,7 @@ func (r *Recorder) Stop() {
 			r.sub.Close()
 		}
 		<-r.done
-		r.mu.Lock()
-		if r.active != nil {
-			r.active.Close()
-			r.active = nil
-		}
-		r.mu.Unlock()
+		r.log.Close()
 	})
 }
 
@@ -524,7 +465,7 @@ func (r *Recorder) Get(trace string) (*Bundle, error) {
 	if !ok {
 		return nil, nil
 	}
-	payload, err := readFrame(r.cfg.Dir, s.ref)
+	payload, err := r.log.Read(s.ref)
 	if err != nil {
 		return nil, err
 	}

@@ -1,170 +1,41 @@
 package flightrec
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
-)
+import "openmfa/internal/seglog"
 
-// Segment framing mirrors the store WAL's format-v2 discipline: every
-// persisted bundle is exactly one frame,
+// The recorder's segment framing lives in internal/seglog — the shared
+// crash-safe layer it now has in common with the incident profiler
+// (internal/obs/prof) — with the same on-disk format this package always
+// used: every persisted bundle is exactly one
 //
 //	[u32 payload length][u32 CRC32-IEEE of payload][JSON payload][0xC3]
 //
-// little-endian, committed only when all four pieces are present and
-// consistent. Recovery scans each segment frame-by-frame and truncates at
-// the first incomplete or corrupt frame, so a crash mid-append can lose
-// at most the bundle being written — a torn tail never yields a
-// half-bundle to a reader.
-//
-// Segments are named flightrec-NNNNNN.seg and rotate by size: when the
-// active segment exceeds MaxSegmentSize a new one is opened, and when the
-// directory holds more than MaxSegments the oldest is deleted. Queries
-// read frames back off disk, so the recorder's memory footprint is just
-// the per-trace index.
+// frame, recovery truncates torn tails, rotation is size-capped with
+// oldest-segment eviction. Existing flightrec-NNNNNN.seg directories read
+// back unchanged. The aliases below keep the recorder and its frame-level
+// tests on the historical names.
 const (
-	commitMarker    = 0xC3
-	frameHeaderSize = 8
-	maxPayloadSize  = 1 << 26 // 64 MiB; a bundle is a few KiB in practice
+	commitMarker    = seglog.CommitMarker
+	frameHeaderSize = seglog.FrameHeaderSize
 
 	segPrefix = "flightrec-"
-	segSuffix = ".seg"
+	segSuffix = seglog.SegSuffix
 )
-
-var (
-	errShortFrame  = errors.New("flightrec: incomplete segment frame")
-	errBadLength   = errors.New("flightrec: segment frame length out of range")
-	errBadChecksum = errors.New("flightrec: segment frame checksum mismatch")
-	errBadMarker   = errors.New("flightrec: segment frame missing commit marker")
-)
-
-// encodeFrame renders one complete frame around payload.
-func encodeFrame(payload []byte) []byte {
-	buf := make([]byte, frameHeaderSize+len(payload)+1)
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[frameHeaderSize:], payload)
-	buf[frameHeaderSize+len(payload)] = commitMarker
-	return buf
-}
-
-// decodeFrame parses the frame at the start of b, returning the payload
-// and the total frame size consumed. Any defect (short data, bad length,
-// checksum mismatch, missing commit marker) is an error; callers treat it
-// as the torn tail and stop.
-func decodeFrame(b []byte) (payload []byte, frameLen int, err error) {
-	if len(b) < frameHeaderSize {
-		return nil, 0, errShortFrame
-	}
-	plen := int(binary.LittleEndian.Uint32(b[0:4]))
-	if plen <= 0 || plen > maxPayloadSize {
-		return nil, 0, errBadLength
-	}
-	total := frameHeaderSize + plen + 1
-	if len(b) < total {
-		return nil, 0, errShortFrame
-	}
-	payload = b[frameHeaderSize : frameHeaderSize+plen]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:8]) {
-		return nil, 0, errBadChecksum
-	}
-	if b[frameHeaderSize+plen] != commitMarker {
-		return nil, 0, errBadMarker
-	}
-	return payload, total, nil
-}
-
-// segName renders the segment filename for seq.
-func segName(seq uint64) string {
-	return fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix)
-}
-
-// segSeq parses a segment filename, reporting ok=false for foreign files.
-func segSeq(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-		return 0, false
-	}
-	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
-	n, err := strconv.ParseUint(mid, 10, 64)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
-}
-
-// listSegments returns the segment sequence numbers present in dir,
-// ascending.
-func listSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var seqs []uint64
-	for _, ent := range ents {
-		if seq, ok := segSeq(ent.Name()); ok && !ent.IsDir() {
-			seqs = append(seqs, seq)
-		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	return seqs, nil
-}
 
 // frameRef locates one committed frame on disk.
-type frameRef struct {
-	seg    uint64
-	offset int64
-	length int // full frame length including header and marker
+type frameRef = seglog.Ref
+
+func encodeFrame(payload []byte) []byte { return seglog.EncodeFrame(payload) }
+
+func decodeFrame(b []byte) (payload []byte, frameLen int, err error) {
+	return seglog.DecodeFrame(b)
 }
 
-// scanSegment walks every committed frame in one segment file, invoking
-// fn with each payload and its location. It returns the byte offset of
-// the first torn or corrupt frame (== file size when the segment is
-// clean), which the recorder uses to truncate the recovered tail.
+func segName(seq uint64) string { return seglog.SegName(segPrefix, seq) }
+
+func segSeq(name string) (uint64, bool) { return seglog.SegSeq(segPrefix, name) }
+
+func listSegments(dir string) ([]uint64, error) { return seglog.ListSegments(dir, segPrefix) }
+
 func scanSegment(dir string, seq uint64, fn func(payload []byte, ref frameRef) error) (validEnd int64, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
-	if err != nil {
-		return 0, err
-	}
-	off := 0
-	for off < len(data) {
-		payload, frameLen, derr := decodeFrame(data[off:])
-		if derr != nil {
-			// Torn tail: everything before off is intact.
-			return int64(off), nil
-		}
-		if fn != nil {
-			if err := fn(payload, frameRef{seg: seq, offset: int64(off), length: frameLen}); err != nil {
-				return int64(off), err
-			}
-		}
-		off += frameLen
-	}
-	return int64(off), nil
-}
-
-// readFrame fetches one frame's payload back off disk by reference,
-// re-verifying the checksum so a post-write disk corruption surfaces as
-// an error rather than bad JSON.
-func readFrame(dir string, ref frameRef) ([]byte, error) {
-	f, err := os.Open(filepath.Join(dir, segName(ref.seg)))
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	buf := make([]byte, ref.length)
-	if _, err := io.ReadFull(io.NewSectionReader(f, ref.offset, int64(ref.length)), buf); err != nil {
-		return nil, fmt.Errorf("flightrec: read frame: %w", err)
-	}
-	payload, _, err := decodeFrame(buf)
-	if err != nil {
-		return nil, err
-	}
-	return payload, nil
+	return seglog.ScanSegment(dir, segPrefix, seq, fn)
 }

@@ -13,9 +13,12 @@ import (
 // series without a preceding TYPE, malformed metric names or label
 // blocks, unparseable values, duplicate series, counters that render
 // negative, and histogram bucket sequences whose cumulative counts
-// decrease. The `make metrics-lint` gate feeds it the full /metrics
-// output of a running portal so a bad family can never ship silently.
-func LintExposition(r io.Reader) []error {
+// decrease. Each family named in required must additionally be present —
+// gates pass ConventionFamilies() here so a mount that stops exporting
+// process_start_time_seconds or build_info fails lint. The
+// `make metrics-lint` gate feeds it the full /metrics output of a
+// running portal so a bad family can never ship silently.
+func LintExposition(r io.Reader, required ...string) []error {
 	var errs []error
 	addf := func(line int, format string, args ...any) {
 		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
@@ -97,6 +100,11 @@ func LintExposition(r io.Reader) []error {
 	}
 	if err := sc.Err(); err != nil {
 		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+	for _, fam := range required {
+		if _, ok := declared[fam]; !ok {
+			errs = append(errs, fmt.Errorf("required family %q missing from exposition", fam))
+		}
 	}
 	return errs
 }

@@ -4,11 +4,34 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"time"
 )
 
-// processStart anchors the /healthz uptime report.
+// processStart anchors the /healthz uptime report and the
+// process_start_time_seconds convention gauge.
 var processStart = time.Now()
+
+// ConventionFamilies lists the metric families every exposition mounted
+// through this package is expected to carry; metrics-lint gates on them
+// via LintExposition's required argument.
+func ConventionFamilies() []string {
+	return []string{"process_start_time_seconds", "build_info"}
+}
+
+// registerConventions populates the Prometheus convention families:
+// process_start_time_seconds lets scrapers detect restarts and compute
+// counter resets, build_info is the standard constant-1 gauge carrying
+// version identity in labels.
+func registerConventions(reg *Registry) {
+	reg.Gauge("process_start_time_seconds").Set(float64(processStart.UnixNano()) / 1e9)
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.Gauge("build_info", "goversion", runtime.Version(), "version", version).Set(1)
+}
 
 // HealthCheck reports a degraded condition: nil means healthy, an error
 // both flips /healthz to 503 and names the condition in its body.
@@ -25,6 +48,7 @@ type HealthCheck func() error
 // these alongside their application routes; standalone daemons serve
 // Handler on a dedicated -obs-addr listener.
 func Mount(mux *http.ServeMux, reg *Registry, checks ...HealthCheck) {
+	registerConventions(reg)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMountConventionFamilies covers the Prometheus-convention
+// satellite: Mount must export process_start_time_seconds and a
+// constant build_info gauge, and the exposition must pass lint with
+// ConventionFamilies required.
+func TestMountConventionFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("auth_total", "result", "accept").Inc()
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, _ := io.ReadAll(resp.Body)
+	text := string(page)
+
+	if errs := LintExposition(strings.NewReader(text), ConventionFamilies()...); len(errs) != 0 {
+		t.Fatalf("exposition fails lint with required conventions: %v", errs)
+	}
+
+	start := reg.Gauge("process_start_time_seconds").Value()
+	if start <= 0 || time.Unix(int64(start), 0).After(time.Now()) {
+		t.Errorf("process_start_time_seconds = %v, want a past unix time", start)
+	}
+	if !strings.Contains(text, "process_start_time_seconds") {
+		t.Error("process_start_time_seconds absent from /metrics")
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	if got := reg.Gauge("build_info", "goversion", runtime.Version(), "version", version).Value(); got != 1 {
+		t.Errorf("build_info = %v, want constant 1", got)
+	}
+	if !strings.Contains(text, `build_info{goversion="`+runtime.Version()+`"`) {
+		t.Error("build_info missing goversion label on /metrics")
+	}
+}
+
+// TestLintRequiredFamilies: a clean exposition that lacks a required
+// family must fail lint with exactly that complaint.
+func TestLintRequiredFamilies(t *testing.T) {
+	exp := "# TYPE auth_total counter\nauth_total 1\n"
+	if errs := LintExposition(strings.NewReader(exp)); len(errs) != 0 {
+		t.Fatalf("baseline exposition unexpectedly dirty: %v", errs)
+	}
+	errs := LintExposition(strings.NewReader(exp), "process_start_time_seconds", "auth_total")
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "process_start_time_seconds") {
+		t.Fatalf("required-family lint = %v, want one missing-family error", errs)
+	}
+}

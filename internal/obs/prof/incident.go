@@ -1,0 +1,380 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"openmfa/internal/seglog"
+)
+
+// Incident is one diagnostic bundle: the frozen profile ring (with a
+// fresh capture appended, so every bundle ends in a CPU delta profile
+// taken at fire time), a goroutine dump, a metrics snapshot, runtime
+// stats, and recent flight-recorder trace IDs.
+type Incident struct {
+	ID      string    `json:"id"`
+	Time    time.Time `json:"time"`
+	Trigger string    `json:"trigger"`
+	Detail  string    `json:"detail,omitempty"`
+	// TraceIDs are recent flight-recorder traces from the burn window.
+	TraceIDs []string `json:"trace_ids,omitempty"`
+	// Captures is the frozen ring, oldest first; the last entry was
+	// taken when the trigger fired.
+	Captures []*Capture `json:"captures"`
+	// Goroutines is a debug=2 text dump, possibly truncated.
+	Goroutines          string `json:"goroutines"`
+	GoroutinesTruncated bool   `json:"goroutines_truncated,omitempty"`
+	// Metrics is the registry's Prometheus exposition at fire time.
+	Metrics string       `json:"metrics"`
+	Runtime RuntimeStats `json:"runtime"`
+}
+
+// Summary is an incident index entry.
+type Summary struct {
+	ID       string    `json:"id"`
+	Time     time.Time `json:"time"`
+	Trigger  string    `json:"trigger"`
+	Detail   string    `json:"detail,omitempty"`
+	Captures int       `json:"captures"`
+	TraceIDs int       `json:"trace_ids"`
+	Bytes    int       `json:"bytes"`
+}
+
+func summarize(inc *Incident, bytes int) Summary {
+	return Summary{
+		ID:       inc.ID,
+		Time:     inc.Time,
+		Trigger:  inc.Trigger,
+		Detail:   inc.Detail,
+		Captures: len(inc.Captures),
+		TraceIDs: len(inc.TraceIDs),
+		Bytes:    bytes,
+	}
+}
+
+type trigger struct {
+	name  string
+	check func() (active bool, detail string)
+}
+
+// AddTrigger registers a named condition. Evaluate polls triggers in
+// registration order and fires an incident for the first active one.
+func (e *Engine) AddTrigger(name string, check func() (active bool, detail string)) {
+	if e == nil || check == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.triggers = append(e.triggers, trigger{name: name, check: check})
+}
+
+// Evaluate polls the registered triggers and, subject to debounce,
+// captures at most one incident for the first active one. The daemons'
+// sampler loop calls this every period; tests drive it directly.
+func (e *Engine) Evaluate() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	trigs := append([]trigger(nil), e.triggers...)
+	e.mu.Unlock()
+	for _, t := range trigs {
+		active, detail := t.check()
+		if !active {
+			continue
+		}
+		e.fire(t.name, detail, true)
+		return
+	}
+}
+
+// Fire captures an incident immediately, bypassing debounce (but still
+// arming it, so a subsequent trigger fire is suppressed). This is the
+// manual /debug/prof/capture path.
+func (e *Engine) Fire(triggerName, detail string) (*Incident, error) {
+	if e == nil {
+		return nil, fmt.Errorf("prof: no engine")
+	}
+	return e.fire(triggerName, detail, false)
+}
+
+// fire is the single incident path. Debounce is checked and armed
+// before the capture so concurrent fires collapse to one bundle.
+func (e *Engine) fire(triggerName, detail string, debounced bool) (*Incident, error) {
+	now := e.clk.Now()
+	e.mu.Lock()
+	if debounced && e.haveFired && now.Sub(e.lastFire) < e.cfg.Debounce {
+		e.mu.Unlock()
+		e.suppressed.Inc()
+		return nil, nil
+	}
+	e.haveFired, e.lastFire = true, now
+	e.mu.Unlock()
+
+	// Fresh capture first — it sleeps through the CPU window, so it must
+	// run outside the engine lock — guaranteeing every bundle ends with
+	// a CPU delta profile from fire time.
+	e.CaptureOnce()
+
+	var gbuf bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		p.WriteTo(&gbuf, 2)
+	}
+	var mbuf bytes.Buffer
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.WritePrometheus(&mbuf)
+	}
+	var traces []string
+	if e.cfg.TraceIDs != nil {
+		traces = e.cfg.TraceIDs(16)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inc := &Incident{
+		ID:       fmt.Sprintf("inc-%06d", e.store.nextSeq()),
+		Time:     now,
+		Trigger:  triggerName,
+		Detail:   detail,
+		TraceIDs: traces,
+		Captures: append([]*Capture(nil), e.ring...),
+		Metrics:  mbuf.String(),
+		Runtime:  readRuntimeStats(),
+	}
+	dump := gbuf.Bytes()
+	if len(dump) > e.cfg.MaxDumpBytes {
+		dump = dump[:e.cfg.MaxDumpBytes]
+		inc.GoroutinesTruncated = true
+	}
+	inc.Goroutines = string(dump)
+
+	if err := e.store.put(inc); err != nil {
+		return nil, fmt.Errorf("prof: persist incident: %w", err)
+	}
+	e.cfg.Obs.Counter("prof_incidents_total", "trigger", triggerName).Inc()
+	e.incidentsG.Set(float64(e.store.len()))
+	return inc, nil
+}
+
+// List returns incident summaries, newest first.
+func (e *Engine) List() []Summary {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Summary, len(e.store.order))
+	for i, s := range e.store.order {
+		out[len(out)-1-i] = s.sum
+	}
+	return out
+}
+
+// Get fetches one full incident by ID (nil when unknown). Disk-backed
+// incidents are read back through the checksummed frame.
+func (e *Engine) Get(id string) (*Incident, error) {
+	if e == nil {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.get(id)
+}
+
+// Dir reports the incident directory ("" in memory mode).
+func (e *Engine) Dir() string {
+	if e == nil {
+		return ""
+	}
+	return e.cfg.Dir
+}
+
+// memCap bounds memory-mode incident retention.
+const memCap = 64
+
+// stored is one indexed incident: a disk ref or a retained in-memory
+// bundle, never both.
+type stored struct {
+	sum Summary
+	ref seglog.Ref
+	mem *Incident
+}
+
+// incidentStore is the engine's index over persisted incidents; methods
+// are called with Engine.mu held.
+type incidentStore struct {
+	log   *seglog.Log // nil in memory mode
+	seq   uint64      // last issued incident sequence number
+	order []*stored   // persistence order
+	byID  map[string]*stored
+}
+
+func (e *Engine) openStore() error {
+	s := &e.store
+	s.byID = make(map[string]*stored)
+	if e.cfg.Dir == "" {
+		return nil
+	}
+	log, torn, err := seglog.Open(seglog.Options{
+		Dir:            e.cfg.Dir,
+		Prefix:         SegPrefix,
+		MaxSegmentSize: e.cfg.MaxSegmentSize,
+		MaxSegments:    e.cfg.MaxSegments,
+	}, func(payload []byte, ref seglog.Ref) error {
+		var inc Incident
+		if err := json.Unmarshal(payload, &inc); err != nil {
+			// A committed frame that isn't an incident is foreign data;
+			// skip it rather than refuse to start.
+			return nil
+		}
+		st := &stored{sum: summarize(&inc, len(payload)), ref: ref}
+		s.order = append(s.order, st)
+		s.byID[inc.ID] = st
+		if n, ok := incSeq(inc.ID); ok && n > s.seq {
+			s.seq = n
+		}
+		e.recovered.Inc()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	s.log = log
+	e.tornC.Add(int64(torn))
+	return nil
+}
+
+// incSeq parses the numeric part of an "inc-NNNNNN" ID.
+func incSeq(id string) (uint64, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "inc-%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *incidentStore) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+func (s *incidentStore) len() int { return len(s.order) }
+
+func (s *incidentStore) put(inc *Incident) error {
+	if s.log == nil {
+		st := &stored{sum: summarize(inc, 0), mem: inc}
+		s.order = append(s.order, st)
+		s.byID[inc.ID] = st
+		if len(s.order) > memCap {
+			drop := s.order[0]
+			s.order = s.order[1:]
+			delete(s.byID, drop.sum.ID)
+		}
+		return nil
+	}
+	payload, err := json.Marshal(inc)
+	if err != nil {
+		return err
+	}
+	res, err := s.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	for _, old := range res.Evicted {
+		kept := s.order[:0]
+		for _, st := range s.order {
+			if st.ref.Seg == old {
+				delete(s.byID, st.sum.ID)
+				continue
+			}
+			kept = append(kept, st)
+		}
+		s.order = kept
+	}
+	st := &stored{sum: summarize(inc, len(payload)), ref: res.Ref}
+	s.order = append(s.order, st)
+	s.byID[inc.ID] = st
+	return nil
+}
+
+func (s *incidentStore) get(id string) (*Incident, error) {
+	st, ok := s.byID[id]
+	if !ok {
+		return nil, nil
+	}
+	if st.mem != nil {
+		return st.mem, nil
+	}
+	payload, err := s.log.Read(st.ref)
+	if err != nil {
+		return nil, err
+	}
+	var inc Incident
+	if err := json.Unmarshal(payload, &inc); err != nil {
+		return nil, err
+	}
+	return &inc, nil
+}
+
+func (s *incidentStore) close() {
+	if s.log != nil {
+		s.log.Close()
+	}
+}
+
+// ReadDir reads incident bundles offline from a directory of
+// incident-NNNNNN.seg segments or from a single .seg file, oldest
+// first. Read-only: torn tails are skipped, never truncated, so it is
+// safe to point at a live daemon's directory or at segments copied off
+// a crashed host.
+func ReadDir(path string) ([]*Incident, error) {
+	var out []*Incident
+	collect := func(payload []byte, _ seglog.Ref) error {
+		var inc Incident
+		if err := json.Unmarshal(payload, &inc); err != nil {
+			return nil
+		}
+		out = append(out, &inc)
+		return nil
+	}
+	dir, seq, single, err := splitSegPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if single {
+		if _, err := seglog.ScanSegment(dir, SegPrefix, seq, collect); err != nil {
+			return nil, err
+		}
+	} else if err := seglog.ScanDir(dir, SegPrefix, collect); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// splitSegPath classifies an offline-reader path: a directory to scan
+// whole, or one incident-NNNNNN.seg file.
+func splitSegPath(path string) (dir string, seq uint64, single bool, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("prof: %w", err)
+	}
+	if fi.IsDir() {
+		return path, 0, false, nil
+	}
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	seq, ok := seglog.SegSeq(SegPrefix, name)
+	if !ok {
+		return "", 0, false, fmt.Errorf("prof: %s is not a %sNNNNNN%s segment", path, SegPrefix, seglog.SegSuffix)
+	}
+	return dir, seq, true, nil
+}

@@ -1,0 +1,46 @@
+package prof
+
+import (
+	"fmt"
+
+	"openmfa/internal/obs"
+)
+
+// HealthTrigger adapts an obs.HealthCheck-shaped func into a trigger
+// check: active while the check errors, with the error as detail. Wire
+// it to slo.Engine.Health (fast burn), authwatch.Watcher.Health (alert
+// active), or store.Store.Err (sticky WAL fault).
+func HealthTrigger(check func() error) func() (bool, string) {
+	return func() (bool, string) {
+		if err := check(); err != nil {
+			return true, err.Error()
+		}
+		return false, ""
+	}
+}
+
+// LatencySpikeTrigger watches a set of cumulative histograms (e.g. one
+// per result label of a duration family) and fires when, since the
+// previous evaluation, at least minSamples observations arrived and
+// more than half of them exceeded threshold seconds. Deltas — not
+// lifetime totals — so an old spike cannot keep the trigger active.
+// The returned closure is stateful; give each engine its own.
+func LatencySpikeTrigger(hists []*obs.Histogram, threshold float64, minSamples uint64) func() (bool, string) {
+	var lastTotal, lastFast uint64
+	return func() (bool, string) {
+		var total, fast uint64
+		for _, h := range hists {
+			total += h.Count()
+			fast += h.CountBelow(threshold)
+		}
+		dTotal, dFast := total-lastTotal, fast-lastFast
+		lastTotal, lastFast = total, fast
+		if dTotal < minSamples {
+			return false, ""
+		}
+		if slow := dTotal - dFast; slow*2 > dTotal {
+			return true, fmt.Sprintf("latency spike: %d/%d observations over %.3gs since last evaluation", slow, dTotal, threshold)
+		}
+		return false, ""
+	}
+}

@@ -1,0 +1,101 @@
+package otpd
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"openmfa/internal/obs"
+	"openmfa/internal/obs/prof"
+)
+
+// profGateConfig runs the continuous profiler far hotter than the
+// shipped defaults (50ms CPU window every 500ms — the structural 10%
+// clamp ceiling, versus 250ms/30s ≈ 0.8% in production) so the gate
+// bounds the worst case the engine can be configured to.
+func profGateConfig(reg *obs.Registry) prof.Config {
+	return prof.Config{
+		Obs:         reg,
+		Period:      500 * time.Millisecond,
+		CPUDuration: 50 * time.Millisecond,
+	}
+}
+
+// BenchmarkCheckUnderProfiler measures otpd.Check with the continuous
+// profiler sampling at its structural ceiling in the background — the
+// recorded-trajectory companion to TestProfOverheadGate.
+func BenchmarkCheckUnderProfiler(b *testing.B) {
+	reg := obs.NewRegistry()
+	e, err := prof.New(profGateConfig(reg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	benchCheck(b, reg)
+}
+
+// TestProfOverheadGate enforces the tentpole's overhead budget: with the
+// continuous profiler sampling at its structural ceiling, otpd.Check
+// must stay within 5% of the profiler-off cost. Env-gated and measured
+// exactly like TestObsOverheadGate (ABBA interleave, min of trials,
+// repeated attempts), with one extra wrinkle: CPU profiling is
+// process-wide, so the profiler-off arm runs with no engine alive — a
+// fresh engine is started and stopped around each profiled trial.
+func TestProfOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 (make bench-obs) to run the overhead gate")
+	}
+	const (
+		trials   = 5
+		attempts = 3
+		budget   = 0.05
+	)
+	reg := obs.NewRegistry()
+	srv := newBenchServer(t, reg) // one server: the profiler is the only variable
+	run := func() float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				srv.Check("bench", "00000")
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	runProfiled := func() float64 {
+		e, err := prof.New(profGateConfig(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		defer e.Stop()
+		return run()
+	}
+	run() // warm-up: page in both paths before timing
+	runProfiled()
+	measure := func() (off, on float64) {
+		off, on = math.Inf(1), math.Inf(1)
+		for i := 0; i < trials; i++ {
+			if i%2 == 0 {
+				off = math.Min(off, run())
+				on = math.Min(on, runProfiled())
+			} else {
+				on = math.Min(on, runProfiled())
+				off = math.Min(off, run())
+			}
+		}
+		return off, on
+	}
+	overhead := 0.0
+	for attempt := 1; attempt <= attempts; attempt++ {
+		off, on := measure()
+		overhead = (on - off) / off
+		t.Logf("attempt %d: profiler off %.0f ns/op, profiler on %.0f ns/op, overhead %.2f%%",
+			attempt, off, on, 100*overhead)
+		if overhead <= budget {
+			return
+		}
+	}
+	t.Errorf("Check stayed more than %.0f%% slower under the profiler across %d measurements (last: %.2f%%)",
+		100*budget, attempts, 100*overhead)
+}

@@ -1,0 +1,193 @@
+package seglog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testPrefix = "test-"
+
+func openTest(t *testing.T, dir string, replay func([]byte, Ref) error) (*Log, int) {
+	t.Helper()
+	l, torn, err := Open(Options{
+		Dir: dir, Prefix: testPrefix, MaxSegmentSize: 1 << 20, MaxSegments: 8,
+	}, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, torn
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, nil)
+	defer l.Close()
+	var refs []Ref
+	for i := 0; i < 5; i++ {
+		res, err := l.Append([]byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, res.Ref)
+	}
+	for i, ref := range refs {
+		got, err := l.Read(ref)
+		if err != nil || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("Read(%+v) = %q, %v", ref, got, err)
+		}
+	}
+	if _, err := l.Append(nil); err == nil {
+		t.Error("empty payload framed; DecodeFrame would reject length 0")
+	}
+}
+
+// TestTornTailEveryByte is the crash-recovery exhaustiveness sweep at the
+// seglog layer: a segment holding several frames is truncated at EVERY
+// byte offset; recovery must replay exactly the frames committed before
+// the cut, truncate the file back to the last committed frame, and leave
+// the log appendable.
+func TestTornTailEveryByte(t *testing.T) {
+	src := t.TempDir()
+	l, _ := openTest(t, src, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(src, SegName(testPrefix, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boundaries := []int{0}
+	for off := 0; off < len(data); {
+		_, frameLen, err := DecodeFrame(data[off:])
+		if err != nil {
+			t.Fatalf("intact segment has bad frame at %d: %v", off, err)
+		}
+		off += frameLen
+		boundaries = append(boundaries, off)
+	}
+
+	for cut := len(data); cut >= 0; cut-- {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, SegName(testPrefix, 1)), data[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		var replayed []string
+		l, torn := openTest(t, dir, func(p []byte, _ Ref) error {
+			replayed = append(replayed, string(p))
+			return nil
+		})
+		want, validEnd := 0, 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				want++
+				validEnd = b
+			}
+		}
+		if len(replayed) != want {
+			t.Fatalf("cut=%d: replayed %d frames, want %d", cut, len(replayed), want)
+		}
+		for i, p := range replayed {
+			if p != fmt.Sprintf("frame-%d", i) {
+				t.Fatalf("cut=%d: frame %d = %q", cut, i, p)
+			}
+		}
+		if (cut != validEnd) != (torn == 1) {
+			t.Fatalf("cut=%d: torn=%d with validEnd=%d", cut, torn, validEnd)
+		}
+		if fi, err := os.Stat(filepath.Join(dir, SegName(testPrefix, 1))); err != nil || fi.Size() != int64(validEnd) {
+			t.Fatalf("cut=%d: segment left at %v bytes, want %d (err %v)", cut, fi.Size(), validEnd, err)
+		}
+		if res, err := l.Append([]byte("post-recovery")); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		} else if got, err := l.Read(res.Ref); err != nil || string(got) != "post-recovery" {
+			t.Fatalf("cut=%d: post-recovery frame unreadable: %q, %v", cut, got, err)
+		}
+		l.Close()
+	}
+}
+
+func TestRotationAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{
+		Dir: dir, Prefix: testPrefix, MaxSegmentSize: 64, MaxSegments: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("x"), 40) // one frame per segment
+	var rotations, evictions int
+	for i := 0; i < 5; i++ {
+		res, err := l.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rotated {
+			rotations++
+		}
+		evictions += len(res.Evicted)
+	}
+	if rotations != 4 || evictions != 3 {
+		t.Errorf("rotations=%d evictions=%d, want 4 and 3", rotations, evictions)
+	}
+	seqs, err := ListSegments(dir, testPrefix)
+	if err != nil || len(seqs) != 2 {
+		t.Fatalf("segments on disk = %v, want 2 (err %v)", seqs, err)
+	}
+}
+
+func TestScanDirIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, nil)
+	l.Append([]byte("committed"))
+	l.Close()
+	seg := filepath.Join(dir, SegName(testPrefix, 1))
+	data, _ := os.ReadFile(seg)
+	torn := append(append([]byte{}, data...), EncodeFrame([]byte("half"))[:5]...)
+	if err := os.WriteFile(seg, torn, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := ScanDir(dir, testPrefix, func(p []byte, _ Ref) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "committed" {
+		t.Fatalf("ScanDir = %v", got)
+	}
+	if fi, _ := os.Stat(seg); fi.Size() != int64(len(torn)) {
+		t.Error("read-only scan modified the segment file")
+	}
+}
+
+func TestForeignAndClosed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// A different prefix's segment is foreign too.
+	if err := os.WriteFile(filepath.Join(dir, "other-000001.seg"), EncodeFrame([]byte("x")), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	l, _ := openTest(t, dir, func([]byte, Ref) error { n++; return nil })
+	if n != 0 {
+		t.Errorf("replayed %d frames from foreign files", n)
+	}
+	l.Close()
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Error("foreign file disturbed")
+	}
+	if _, err := l.Append([]byte("late")); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,75 @@
+package repl
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// FollowerStatus is one connected follower's view from the leader side.
+type FollowerStatus struct {
+	Addr        string    `json:"addr"`
+	ConnectedAt time.Time `json:"connected_at"`
+	AckedLSN    uint64    `json:"acked_lsn"`
+	LagLSNs     uint64    `json:"lag_lsns"`
+	LastAck     time.Time `json:"last_ack,omitempty"`
+}
+
+// Status is the leader's replication state: the repl_commit_lsn /
+// repl_follower_lag_lsns gauges with the per-follower detail the
+// aggregate hides.
+type Status struct {
+	Epoch      uint64           `json:"epoch"`
+	CommitLSN  uint64           `json:"commit_lsn"`
+	MinSync    int              `json:"min_sync"`
+	MaxLagLSNs uint64           `json:"max_lag_lsns"`
+	Followers  []FollowerStatus `json:"followers"`
+}
+
+// Status reports the leader's replication state. The exported
+// repl_follower_lag_lsns gauge carries only the max; this is where the
+// per-follower breakdown lives.
+func (l *Leader) Status() Status {
+	lsn := l.st.LSN()
+	st := Status{
+		Epoch:     l.st.Epoch(),
+		CommitLSN: lsn,
+		MinSync:   l.minSync,
+		Followers: []FollowerStatus{},
+	}
+	l.mu.Lock()
+	for s := range l.sessions {
+		fs := FollowerStatus{
+			Addr:        s.addr,
+			ConnectedAt: s.connectedAt,
+			AckedLSN:    s.acked.Load(),
+		}
+		if lsn > fs.AckedLSN {
+			fs.LagLSNs = lsn - fs.AckedLSN
+		}
+		if ns := s.lastAck.Load(); ns != 0 {
+			fs.LastAck = time.Unix(0, ns)
+		}
+		if fs.LagLSNs > st.MaxLagLSNs {
+			st.MaxLagLSNs = fs.LagLSNs
+		}
+		st.Followers = append(st.Followers, fs)
+	}
+	l.mu.Unlock()
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].Addr < st.Followers[j].Addr })
+	return st
+}
+
+// Mount registers GET /debug/repl, serving Status as JSON. Nil-safe.
+func (l *Leader) Mount(mux *http.ServeMux) {
+	if l == nil {
+		return
+	}
+	mux.HandleFunc("/debug/repl", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(l.Status())
+	})
+}

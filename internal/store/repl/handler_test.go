@@ -1,0 +1,100 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"openmfa/internal/leakcheck"
+	"openmfa/internal/obs"
+	"openmfa/internal/store"
+)
+
+// TestLeaderLagGaugesAndDebugRepl covers the leader-side lag satellite:
+// repl_commit_lsn and repl_follower_lag_lsns exported from the leader,
+// with per-follower detail on /debug/repl.
+func TestLeaderLagGaugesAndDebugRepl(t *testing.T) {
+	leakcheck.Check(t)
+	lst, err := store.Open(t.TempDir(), store.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	lobs := obs.NewRegistry()
+	leader, err := StartLeader(lst, LeaderOptions{Addr: "127.0.0.1:0", Obs: lobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+
+	// Writes with no followers: commit LSN advances, lag stays zero.
+	for i := 0; i < 10; i++ {
+		if err := lst.Put(fmt.Sprintf("user/%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "commit gauge to track LSN", func() bool {
+		return lobs.Gauge("repl_commit_lsn").Value() == float64(lst.LSN())
+	})
+	if v := lobs.Gauge("repl_follower_lag_lsns").Value(); v != 0 {
+		t.Fatalf("repl_follower_lag_lsns = %v with no followers, want 0", v)
+	}
+
+	fst, err := store.Open(t.TempDir(), store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fst.Close() })
+	follower, err := StartFollower(fst, FollowerOptions{Addr: leader.Addr(), Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(follower.Stop)
+
+	waitFor(t, "follower to converge", func() bool { return fst.LSN() == lst.LSN() })
+	waitFor(t, "leader-side lag to drain", func() bool {
+		return lobs.Gauge("repl_follower_lag_lsns").Value() == 0
+	})
+
+	mux := http.NewServeMux()
+	leader.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/repl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CommitLSN != lst.LSN() || st.Epoch != lst.Epoch() {
+		t.Errorf("status head = %+v, store lsn=%d epoch=%d", st, lst.LSN(), lst.Epoch())
+	}
+	if len(st.Followers) != 1 {
+		t.Fatalf("status followers = %v, want 1", st.Followers)
+	}
+	f := st.Followers[0]
+	if f.Addr == "" || f.ConnectedAt.IsZero() {
+		t.Errorf("follower detail incomplete: %+v", f)
+	}
+	if f.AckedLSN != lst.LSN() || f.LagLSNs != 0 || st.MaxLagLSNs != 0 {
+		t.Errorf("converged follower shows lag: %+v (max %d)", f, st.MaxLagLSNs)
+	}
+	if f.LastAck.IsZero() {
+		t.Errorf("converged follower has no last-ack time")
+	}
+
+	// Follower departure: lag gauge must not keep reporting its backlog.
+	follower.Stop()
+	waitFor(t, "session teardown", func() bool { return leader.Followers() == 0 })
+	if err := lst.Put("late", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "lag reset after departure", func() bool {
+		return lobs.Gauge("repl_follower_lag_lsns").Value() == 0
+	})
+}

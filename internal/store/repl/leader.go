@@ -71,6 +71,8 @@ type Leader struct {
 	waitTimeouts  *obs.Counter
 	followersG    *obs.Gauge
 	epochG        *obs.Gauge
+	commitLSNG    *obs.Gauge
+	lagG          *obs.Gauge
 }
 
 // ErrNotReplicated is wrapped into the error Apply surfaces when a batch
@@ -130,6 +132,8 @@ func StartLeader(st *store.Store, opts LeaderOptions) (*Leader, error) {
 		l.waitTimeouts = opts.Obs.Counter("repl_wait_timeouts_total")
 		l.followersG = opts.Obs.Gauge("repl_followers")
 		l.epochG = opts.Obs.Gauge("repl_epoch")
+		l.commitLSNG = opts.Obs.Gauge("repl_commit_lsn")
+		l.lagG = opts.Obs.Gauge("repl_follower_lag_lsns")
 	}
 	l.epochG.Set(float64(st.Epoch()))
 	st.SetReplicator(l)
@@ -146,6 +150,10 @@ func (l *Leader) Addr() string { return l.ln.Addr().String() }
 // and feeds the frame ring that live sessions consume.
 func (l *Leader) OnCommit(lsn uint64, shard int, frame []byte) {
 	l.ring.add(lsn, uint32(shard), frame)
+	// Cross-shard OnCommit order is not LSN order, so export the store's
+	// high-water mark rather than this call's lsn: the gauge stays
+	// monotone. Both reads are atomic — safe under the shard lock.
+	l.commitLSNG.Set(float64(l.st.LSN()))
 }
 
 // WaitCommitted implements store.Replicator: with MinSync == 0 it is a
@@ -233,7 +241,13 @@ func (l *Leader) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		s := &session{l: l, conn: conn, done: make(chan struct{})}
+		s := &session{
+			l:           l,
+			conn:        conn,
+			done:        make(chan struct{}),
+			addr:        conn.RemoteAddr().String(),
+			connectedAt: time.Now(),
+		}
 		l.mu.Lock()
 		if l.closed {
 			l.mu.Unlock()
@@ -243,6 +257,9 @@ func (l *Leader) acceptLoop() {
 		l.sessions[s] = struct{}{}
 		l.followersG.Set(float64(len(l.sessions)))
 		l.mu.Unlock()
+		// A fresh follower has acknowledged nothing yet, so the exported
+		// lag legitimately jumps to the full backlog until it catches up.
+		l.updateLag()
 		l.wg.Add(1)
 		go s.run()
 	}
@@ -251,10 +268,13 @@ func (l *Leader) acceptLoop() {
 // session is one follower connection: a writer streaming frames and a
 // reader collecting acks.
 type session struct {
-	l     *Leader
-	conn  net.Conn
-	done  chan struct{}
-	acked atomic.Uint64
+	l           *Leader
+	conn        net.Conn
+	done        chan struct{}
+	acked       atomic.Uint64
+	addr        string
+	connectedAt time.Time
+	lastAck     atomic.Int64 // unix nanos of the newest ack, 0 before any
 }
 
 func (s *session) run() {
@@ -308,12 +328,14 @@ func (s *session) run() {
 					break
 				}
 			}
+			s.lastAck.Store(time.Now().UnixNano())
 			l.acksTotal.Inc()
 			l.mu.Lock()
 			notify := l.ackNotify
 			l.ackNotify = make(chan struct{})
 			l.mu.Unlock()
 			close(notify)
+			l.updateLag()
 		}
 	}()
 
@@ -495,6 +517,23 @@ func (s *session) close() {
 	l.ackNotify = make(chan struct{})
 	l.mu.Unlock()
 	close(notify)
+	l.updateLag()
+}
+
+// updateLag re-exports repl_follower_lag_lsns: the worst follower's
+// distance behind the store's committed LSN (0 with no followers).
+// Called on every ack, session open, and session close.
+func (l *Leader) updateLag() {
+	lsn := l.st.LSN()
+	l.mu.Lock()
+	var max uint64
+	for s := range l.sessions {
+		if a := s.acked.Load(); lsn > a && lsn-a > max {
+			max = lsn - a
+		}
+	}
+	l.mu.Unlock()
+	l.lagG.Set(float64(max))
 }
 
 func (l *Leader) logf(format string, args ...any) {

@@ -407,6 +407,26 @@ func (s *Store) WALPaths() []string {
 // NumShards reports the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// Err reports the first shard's sticky WAL fail-stop error, nil while
+// every shard is healthy. A non-nil result is permanent for the life of
+// the process — writes to that shard fail closed — which makes Err a
+// natural incident trigger: the moment it trips, operators need the
+// profile ring from just before the fault, not after a restart.
+func (s *Store) Err() error {
+	if s == nil {
+		return nil
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		err := sh.walErr
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ShardFor reports which shard holds key; exposed for tooling and tests.
 func (s *Store) ShardFor(key string) int { return s.shardIndex(key) }
 
