@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke repl-smoke prof-smoke metrics-lint fuzz cover clean
+.PHONY: verify vet build test race chaos bench-concurrency bench-obs bench bench-json bench-json-smoke figures authwatch-smoke flightrec-smoke repl-smoke prof-smoke risk-smoke metrics-lint fuzz cover clean
 
-verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke repl-smoke prof-smoke metrics-lint fuzz cover
+verify: vet build test race chaos bench-concurrency bench-obs bench-json-smoke authwatch-smoke flightrec-smoke repl-smoke prof-smoke risk-smoke metrics-lint fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -40,13 +40,16 @@ bench-concurrency:
 # Observability overhead gates: vet the obs package and prove that (a) the
 # metrics-instrumented otpd.Check hot path stays within 5% of the
 # uninstrumented one (TestObsOverheadGate), (b) the span + event pipeline
-# stays within 5% of metrics-only (TestSpanEventOverheadGate), and (c) the
+# stays within 5% of metrics-only (TestSpanEventOverheadGate), (c) the
 # continuous profiler sampling at its structural ceiling keeps Check
-# within 5% of profiler-off (TestProfOverheadGate). All are interleaved
-# min-of-trials comparisons.
+# within 5% of profiler-off (TestProfOverheadGate), and (d) the PAM risk
+# gate keeps the full stack's password+gate path within 5% of a gateless
+# stack (TestRiskGateOverheadGate). All are interleaved min-of-trials
+# comparisons.
 bench-obs:
 	$(GO) vet ./internal/obs/
 	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/otpd -run 'TestObsOverheadGate|TestSpanEventOverheadGate|TestProfOverheadGate' -count 1 -v -timeout 20m
+	OBS_OVERHEAD_GATE=1 $(GO) test ./internal/pam -run 'TestRiskGateOverheadGate' -count 1 -v -timeout 20m
 
 # Streaming-analytics smoke: a short rollout with the event bus attached,
 # cross-checking the live authwatch day buckets against the batch report
@@ -86,6 +89,17 @@ prof-smoke:
 	$(GO) test -race -count 1 -run 'TestLoginStormTripsOneIncidentBundle|TestDiagnosticsEndpointsConcurrentScrape' ./internal/core
 	$(GO) test -race -count 1 ./internal/obs/prof ./internal/seglog ./cmd/loganalyze
 
+# Adaptive-MFA gate (DESIGN.md §14), race detector on: the attack-mix
+# evaluation (every scripted breach removed engine-on, zero legitimate
+# lockouts, fewer prompts), byte-identical double runs, exact authwatch
+# parity on the on-arm stream, the JSONL replay regression, the bounded
+# feature store (eviction, ring, concurrency), and the PAM gate semantics
+# (skip/step-up/deny, exemption override, fail-open).
+risk-smoke:
+	$(GO) test -race -count 1 -run 'TestRiskEval' ./internal/rollout
+	$(GO) test -race -count 1 ./internal/risk/... ./internal/geoip
+	$(GO) test -race -count 1 -run 'TestRiskGate|TestRiskFeedbackLoop' ./internal/pam ./internal/sshd
+
 # Metrics hygiene gate: lint the live portal /metrics exposition (typing,
 # sort order, label consistency, unit-suffix conventions) with runtime,
 # SLO, and flight recorder families all registered.
@@ -111,9 +125,10 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzDecodeRecord$$' -fuzztime 10s -fuzzminimizetime 10x ./internal/store
 	$(GO) test -run xxx -fuzz 'FuzzRecoverWAL$$' -fuzztime 10s -fuzzminimizetime 10x ./internal/store
 
-# Durability-layer coverage gate: the sharded store (with its crashtest
-# harness and the replication protocol exercising it) must keep >= 90%
-# statement coverage.
+# Coverage gates, 90% statement floors each: the sharded store (with its
+# crashtest harness and the replication protocol exercising it), and the
+# adaptive-MFA decision layer (risk engine + feature store + geoip) whose
+# skip/deny outcomes are security-critical.
 cover:
 	$(GO) test -count 1 -coverprofile .cover.store.out \
 		-coverpkg openmfa/internal/store \
@@ -123,6 +138,14 @@ cover:
 		printf "internal/store statement coverage: %.1f%% (floor 90%%)\n", pct; \
 		if (pct < 90) { print "FAIL: coverage below floor"; exit 1 } }'
 	@rm -f .cover.store.out
+	$(GO) test -count 1 -coverprofile .cover.risk.out \
+		-coverpkg openmfa/internal/risk,openmfa/internal/risk/feature,openmfa/internal/geoip \
+		./internal/risk/... ./internal/geoip
+	@$(GO) tool cover -func .cover.risk.out | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "risk+feature+geoip statement coverage: %.1f%% (floor 90%%)\n", pct; \
+		if (pct < 90) { print "FAIL: coverage below floor"; exit 1 } }'
+	@rm -f .cover.risk.out
 
 # Full benchmark harness (figures, tables, ablations).
 bench:

@@ -23,12 +23,14 @@ import (
 	"openmfa/internal/authwatch"
 	"openmfa/internal/eventstream"
 	"openmfa/internal/flightrec"
+	"openmfa/internal/geoip"
 	"openmfa/internal/httpdigest"
 	"openmfa/internal/obs"
 	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otpd"
 	"openmfa/internal/radius"
+	"openmfa/internal/risk"
 	"openmfa/internal/store"
 	"openmfa/internal/store/repl"
 )
@@ -52,6 +54,8 @@ func main() {
 		replFollow  = flag.String("repl-follow", "", "leader replication address to follow; makes this otpd a standby (no RADIUS listener, local writes refused)")
 		replMinSync = flag.Int("repl-min-sync", 0, "follower acknowledgements required before a commit returns (0 = asynchronous)")
 		replSyncTO  = flag.Duration("repl-sync-timeout", 2*time.Second, "bound on the -repl-min-sync wait; past it the write (and the login) fails closed")
+
+		riskOn = flag.Bool("risk", false, "attach an advisory risk engine to the event bus: every login is scored (risk_* metrics) and the decision republished as a risk event")
 
 		flightDir    = flag.String("flightrec-dir", "", "flight recorder segment directory (empty = disabled)")
 		flightSample = flag.Float64("flightrec-sample", 0.01, "fraction of unremarkable successful checks the flight recorder keeps")
@@ -181,6 +185,17 @@ func main() {
 	})
 	watch.Attach(bus, 0)
 	defer watch.Stop()
+
+	// Advisory adaptive-MFA engine (DESIGN.md §14): scores every login
+	// event against the account's streaming profile and republishes the
+	// decision. The engine ignores its own risk events, so sharing the bus
+	// does not loop; enforcement (the PAM risk gate) lives login-node side.
+	if *riskOn {
+		riskEng := risk.New(risk.Options{Geo: geoip.Synthetic(), Obs: reg, Events: bus})
+		riskEng.Attach(bus, 1<<12)
+		defer riskEng.Stop()
+		log.Printf("otpd: advisory risk engine attached (risk_* metrics, decisions on the bus)")
+	}
 
 	// Flight recorder: RADIUS decisions complete a trace; failed, slow,
 	// lockout-coincident, and alert-coincident checks are always kept.

@@ -11,6 +11,7 @@
 //	rollout -costs               # the §3.3 SMS cost model
 //	rollout -analysis            # the §4.1 log analysis
 //	rollout -experiments         # EXPERIMENTS.md body (markdown)
+//	rollout -risk                # adaptive-MFA attack-mix evaluation
 //	rollout -users 1200 -seed 1  # population knobs
 package main
 
@@ -39,6 +40,9 @@ func main() {
 		experiments = flag.Bool("experiments", false, "print the EXPERIMENTS.md body")
 		all         = flag.Bool("all", false, "print everything")
 		quiet       = flag.Bool("q", false, "suppress progress output")
+		riskEval    = flag.Bool("risk", false, "run the adaptive-MFA attack-mix evaluation (engine off vs on) instead of the rollout simulation")
+		riskUsers   = flag.Int("risk-users", 24, "accounts per risk scenario")
+		riskDays    = flag.Int("risk-days", 8, "days per risk scenario")
 		authWatch   = flag.Bool("authwatch", false, "stream events through the live authwatch aggregator and cross-check it against the batch report (non-zero exit on mismatch)")
 		eventsOut   = flag.String("events-out", "", "write the run's auth-event stream as JSONL to this file (readable by loganalyze -format jsonl)")
 		shards      = flag.Int("store-shards", 0, "store shard count for the simulated back ends (0 = GOMAXPROCS-scaled)")
@@ -101,13 +105,10 @@ func main() {
 		}()
 	}
 
-	start := time.Now()
-	res, err := rollout.Run(cfg)
-	if err != nil {
-		log.Fatalf("rollout: %v", err)
-	}
-
-	if dumpSub != nil {
+	closeDump := func() {
+		if dumpSub == nil {
+			return
+		}
 		dropped := dumpSub.Dropped()
 		dumpSub.Close()
 		<-dumpDone
@@ -118,6 +119,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rollout: event stream written to %s (%d dropped)\n", *eventsOut, dropped)
 		}
 	}
+
+	if *riskEval {
+		rcfg := rollout.RiskEvalConfig{
+			Users: *riskUsers, Days: *riskDays, Seed: *seed,
+			Events: bus, StoreShards: *shards, Logf: cfg.Logf,
+		}
+		start := time.Now()
+		rres, err := rollout.RunRiskEval(rcfg)
+		if err != nil {
+			log.Fatalf("rollout: %v", err)
+		}
+		closeDump()
+		failed := false
+		if watch != nil {
+			watch.Stop()
+			if err := rollout.RiskCrossCheck(rres, watch); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			} else if !*quiet {
+				fmt.Fprintln(os.Stderr, rollout.RiskCrossCheckSummary(rres, watch))
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "rollout: risk evaluation finished in %s\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println(rres.Report())
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	res, err := rollout.Run(cfg)
+	if err != nil {
+		log.Fatalf("rollout: %v", err)
+	}
+
+	closeDump()
 	crosscheckFailed := false
 	if watch != nil {
 		watch.Stop() // drains the subscription before we compare

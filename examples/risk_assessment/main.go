@@ -42,8 +42,8 @@ func main() {
 		TokenCfg:   inf.Mode,
 		Pairing:    pam.LocalPairing{Dir: inf.Dir},
 		Radius:     inf.Pool,
-	}, engine, func(user string, a risk.Assessment) {
-		fmt.Printf("  [risk alert] %s: %s (score %.2f) %v\n", user, a.Level, a.Score, a.Reasons)
+	}, engine, func(user string, d risk.Decision) {
+		fmt.Printf("  [risk alert] %s: %s (score %.2f) %v\n", user, d.Outcome, d.Score, d.ReasonStrings())
 	})
 	inf.SSHD.Risk = engine
 

@@ -36,6 +36,7 @@ import (
 	"openmfa/internal/pam"
 	"openmfa/internal/portal"
 	"openmfa/internal/radius"
+	"openmfa/internal/risk"
 	"openmfa/internal/sms"
 	"openmfa/internal/sshd"
 	"openmfa/internal/store"
@@ -97,6 +98,14 @@ type Options struct {
 	// publishes typed auth events onto (login results, MFA outcomes, SMS
 	// sends, lockouts, enrolments).
 	Events *eventstream.Bus
+	// Risk, when set, is the adaptive-MFA engine (DESIGN.md §14): the PAM
+	// stack gains a risk gate after password verification (skip the second
+	// factor for low-risk established logins, force it despite exemptions
+	// on elevated risk, deny outright on critical risk), and the login
+	// node feeds every outcome back into the engine's feature store. The
+	// caller constructs it (typically with the shared Obs and Events) and
+	// owns its lifecycle.
+	Risk *risk.Engine
 	// Watch, when set, is mounted on the portal's ops endpoints: its
 	// /debug/authwatch handler joins the portal mux (requires Obs) and its
 	// alert state degrades the portal /healthz. The caller attaches the
@@ -423,18 +432,24 @@ func New(opts Options) (*Infrastructure, error) {
 	}
 	inf.Mode = &ModeSwitch{}
 	inf.Mode.Set(pam.TokenConfig{Mode: mode, Deadline: opts.Deadline, InfoURL: opts.InfoURL})
-	inf.Stack = pam.NewSSHDStack(pam.SSHDStackConfig{
+	scfg := pam.SSHDStackConfig{
 		AuthLog:    inf.AuthLog,
 		IDM:        inf.IDM,
 		Exemptions: inf.ACL,
 		TokenCfg:   inf.Mode,
 		Pairing:    pam.LocalPairing{Dir: inf.Dir},
 		Radius:     inf.Pool,
-	})
+	}
+	if opts.Risk != nil {
+		inf.Stack = pam.NewSSHDStackWithRisk(scfg, opts.Risk, nil)
+	} else {
+		inf.Stack = pam.NewSSHDStack(scfg)
+	}
 
 	// Login node.
 	inf.SSHD = &sshd.Server{
 		IDM: inf.IDM, AuthLog: inf.AuthLog, Stack: inf.Stack,
+		Risk:  opts.Risk,
 		Clock: clk, Banner: opts.Banner,
 		Obs: opts.Obs, Logger: opts.Logger,
 		Spans: opts.Spans, Events: opts.Events,

@@ -20,6 +20,7 @@ import (
 	"openmfa/internal/obs/prof"
 	"openmfa/internal/obs/slo"
 	"openmfa/internal/otp"
+	"openmfa/internal/risk"
 	"openmfa/internal/sshd"
 	"openmfa/internal/store"
 	"openmfa/internal/store/repl"
@@ -420,10 +421,15 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 	}
 	defer profEng.Stop()
 	profEng.CaptureOnce()
+	// The adaptive-MFA engine on the same registry puts the risk_* families
+	// (gate decisions, reasons, feature-store occupancy, assess latency)
+	// under the linter: wiring it into Options.Risk makes the sshd stack
+	// run the gate on the login below.
+	riskEng := risk.New(risk.Options{Policy: risk.AdaptivePolicy(), Obs: reg, Events: bus})
 	// A replication leader with a live follower on the same registry puts
 	// every repl_* family (both ends) under the linter too.
 	inf := newInfra(t, Options{Obs: reg, Spans: spans, Events: bus, FlightRec: rec, SLO: eng,
-		Prof: profEng, ReplListen: "127.0.0.1:0"})
+		Prof: profEng, Risk: riskEng, ReplListen: "127.0.0.1:0"})
 	sim := inf.Clock.(*clock.Sim)
 	standby := store.OpenMemory()
 	defer standby.Close()
@@ -467,7 +473,9 @@ func TestPortalMetricsExpositionIsLintClean(t *testing.T) {
 	// families really were on the linted page.
 	for _, fam := range []string{"repl_followers", "repl_epoch", "repl_frames_shipped_total",
 		"repl_frames_applied_total", "repl_lag_lsns", "repl_commit_lsn", "repl_follower_lag_lsns",
-		"prof_captures_total", "prof_ring_captures"} {
+		"prof_captures_total", "prof_ring_captures",
+		"risk_decisions_total", "risk_reasons_total", "risk_feature_users",
+		"risk_feature_evictions_total", "risk_assess_duration_seconds"} {
 		if !strings.Contains(string(page), fam) {
 			t.Errorf("lint page missing %s family", fam)
 		}

@@ -40,6 +40,7 @@ const (
 	TypeLockout Type = "lockout" // a user crossed the failed-attempt threshold (otpd)
 	TypeEnroll  Type = "enroll"  // a token device was enrolled (otpd/portal)
 	TypeRadius  Type = "radius"  // one RADIUS packet decision (radius server)
+	TypeRisk    Type = "risk"    // one adaptive-MFA risk decision (risk engine)
 )
 
 // Event is one typed auth event. Fields are populated per type: every

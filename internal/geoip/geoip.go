@@ -17,6 +17,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Location describes where an address appears to be.
@@ -102,7 +103,32 @@ func KilometersBetween(a, b Location) float64 {
 	dLon := rad(b.Lon - a.Lon)
 	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
 		math.Cos(rad(a.Lat))*math.Cos(rad(b.Lat))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Floating-point error can push h a hair past 1 for antipodal points,
+	// which would send Asin to NaN; clamp into the valid haversine domain.
+	if h > 1 {
+		h = 1
+	}
+	if h < 0 {
+		h = 0
+	}
 	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Velocity is the implied travel speed in km/h between two sightings
+// separated by dt. It never divides by zero: a non-positive or sub-
+// nanosecond interval across a real distance reads as +Inf (instantaneous
+// relocation — always "impossible travel"), and zero distance in zero
+// time is 0. The result is symmetric in its endpoints and monotonic:
+// non-decreasing in distance, non-increasing in elapsed time.
+func Velocity(a, b Location, dt time.Duration) float64 {
+	km := KilometersBetween(a, b)
+	if dt <= 0 {
+		if km > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return km / dt.Hours()
 }
 
 // Synthetic builds the demo table used by examples, tests, and the risk

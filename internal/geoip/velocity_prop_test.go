@@ -1,0 +1,137 @@
+package geoip
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// randLoc draws a uniformly random surface point (longitude uniform,
+// latitude via uniform sin so the poles are not over-sampled).
+func randLoc(rng *rand.Rand) Location {
+	return Location{
+		Lat: math.Asin(2*rng.Float64()-1) * 180 / math.Pi,
+		Lon: rng.Float64()*360 - 180,
+	}
+}
+
+func TestVelocityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := randLoc(rng), randLoc(rng)
+		dt := time.Duration(rng.Int63n(int64(48 * time.Hour)))
+
+		km := KilometersBetween(a, b)
+		if math.IsNaN(km) || km < 0 {
+			t.Fatalf("KilometersBetween(%+v, %+v) = %v", a, b, km)
+		}
+		if km > 2*math.Pi*6371/2+1 { // no great circle exceeds half the circumference
+			t.Fatalf("distance %v km exceeds half the earth's circumference", km)
+		}
+		if rev := KilometersBetween(b, a); math.Abs(km-rev) > 1e-9*math.Max(1, km) {
+			t.Fatalf("distance asymmetric: %v vs %v", km, rev)
+		}
+
+		v := Velocity(a, b, dt)
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("Velocity(%+v, %+v, %v) = %v", a, b, dt, v)
+		}
+		if rev := Velocity(b, a, dt); v != rev {
+			t.Fatalf("velocity asymmetric: %v vs %v", v, rev)
+		}
+		// Monotonic: more time, same distance → no faster.
+		if dt > 0 {
+			if slower := Velocity(a, b, dt*2); slower > v {
+				t.Fatalf("velocity increased with time: %v -> %v", v, slower)
+			}
+		}
+	}
+}
+
+func TestVelocityDegenerateIntervals(t *testing.T) {
+	austin := Location{Lat: 30.27, Lon: -97.74}
+	beijing := Location{Lat: 39.9, Lon: 116.4}
+	for _, dt := range []time.Duration{0, -time.Hour, time.Nanosecond, time.Microsecond} {
+		v := Velocity(austin, beijing, dt)
+		if math.IsNaN(v) {
+			t.Fatalf("Velocity(dt=%v) = NaN", dt)
+		}
+		if dt <= 0 && !math.IsInf(v, 1) {
+			t.Fatalf("Velocity(dt=%v) = %v, want +Inf for relocation in no time", dt, v)
+		}
+		if dt > 0 && (v <= 0 || math.IsInf(v, 1)) {
+			t.Fatalf("Velocity(dt=%v) = %v, want finite positive", dt, v)
+		}
+	}
+	// Same place in zero time is calm, not infinite.
+	if v := Velocity(austin, austin, 0); v != 0 {
+		t.Fatalf("Velocity(same, 0) = %v, want 0", v)
+	}
+	if v := Velocity(austin, austin, -time.Minute); v != 0 {
+		t.Fatalf("Velocity(same, <0) = %v, want 0", v)
+	}
+}
+
+func TestKilometersBetweenAntipodalClamp(t *testing.T) {
+	// Antipodal and near-antipodal points push the haversine intermediate
+	// past 1 by float error; the clamp keeps Asin in-domain.
+	cases := [][2]Location{
+		{{Lat: 0, Lon: 0}, {Lat: 0, Lon: 180}},
+		{{Lat: 90, Lon: 0}, {Lat: -90, Lon: 0}},
+		{{Lat: 30.0000001, Lon: 50}, {Lat: -30.0000001, Lon: -130}},
+	}
+	for _, c := range cases {
+		km := KilometersBetween(c[0], c[1])
+		if math.IsNaN(km) {
+			t.Fatalf("KilometersBetween(%+v, %+v) = NaN", c[0], c[1])
+		}
+		if km < 6371*math.Pi-10 || km > 6371*math.Pi+10 {
+			t.Fatalf("antipodal distance = %v, want ~%v", km, 6371*math.Pi)
+		}
+	}
+	if km := KilometersBetween(Location{Lat: 1, Lon: 2}, Location{Lat: 1, Lon: 2}); km != 0 {
+		t.Fatalf("zero distance = %v", km)
+	}
+}
+
+func TestLookupConservativeEdges(t *testing.T) {
+	d := Synthetic()
+	// IPv6 and nil addresses resolve to nothing rather than panicking.
+	for _, ip := range []net.IP{
+		net.ParseIP("2001:db8::1"),
+		net.ParseIP("::1"),
+		nil,
+	} {
+		if _, err := d.Lookup(ip); err != ErrNotFound {
+			t.Fatalf("Lookup(%v) err = %v, want ErrNotFound", ip, err)
+		}
+	}
+	// An IPv4-mapped IPv6 address is still IPv4 and resolves.
+	if loc, err := d.Lookup(net.ParseIP("::ffff:129.114.3.7")); err != nil || loc.Country != "US" {
+		t.Fatalf("v4-mapped lookup = %+v, %v", loc, err)
+	}
+}
+
+func TestAddRangeSlashZero(t *testing.T) {
+	d := New()
+	if err := d.AddRange("0.0.0.0/0", Location{Country: "XX"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "8.8.8.8"} {
+		if loc, err := d.Lookup(net.ParseIP(s)); err != nil || loc.Country != "XX" {
+			t.Fatalf("Lookup(%s) under /0 = %+v, %v", s, loc, err)
+		}
+	}
+	// A more specific range added later still wins (longest prefix).
+	if err := d.AddRange("10.0.0.0/8", Location{Country: "YY"}); err != nil {
+		t.Fatal(err)
+	}
+	if loc, _ := d.Lookup(net.ParseIP("10.1.2.3")); loc.Country != "YY" {
+		t.Fatalf("longest prefix lost to /0: %+v", loc)
+	}
+	if err := d.AddRange("2001:db8::/32", Location{}); err == nil {
+		t.Fatal("IPv6 range accepted")
+	}
+}

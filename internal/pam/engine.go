@@ -266,27 +266,42 @@ func (s *Stack) run(ctx *Context) error {
 
 	for i := 0; i < len(s.Entries); i++ {
 		e := s.Entries[i]
-		start := time.Now()
-		span := ctx.startSpan("pam." + e.Module.Name())
+		// Every per-module observability hook is guarded so an
+		// uninstrumented stack pays neither the time.Now() nor the
+		// argument-boxing allocations.
+		var start time.Time
+		if ctx.Metrics != nil {
+			start = time.Now()
+		}
+		var span *obs.Span
+		if ctx.Span != nil || ctx.Spans != nil {
+			span = ctx.startSpan("pam." + e.Module.Name())
+		}
 		prev := ctx.Span
 		if span != nil {
 			ctx.Span = span
 		}
 		res := e.Module.Authenticate(ctx)
 		ctx.Span = prev
-		span.SetAttr("result", res.String())
-		span.End()
+		if span != nil {
+			span.SetAttr("result", res.String())
+			span.End()
+		}
 		act := e.Control.action(res)
-		ctx.logf("pam(%s): %s -> %s", s.Service, e.Module.Name(), res)
+		if ctx.Log != nil {
+			ctx.logf("pam(%s): %s -> %s", s.Service, e.Module.Name(), res)
+		}
 		if ctx.Metrics != nil {
 			ctx.Metrics.Counter("pam_module_result_total",
 				"module", e.Module.Name(), "result", res.String()).Inc()
 			ctx.Metrics.Histogram("pam_module_duration_seconds", nil,
 				"module", e.Module.Name()).ObserveSince(start)
 		}
-		ctx.Logger.Info("module decision", "component", "pam", "trace", ctx.Trace,
-			"service", s.Service, "module", e.Module.Name(), "result", res.String(),
-			"user", ctx.User)
+		if ctx.Logger != nil {
+			ctx.Logger.Info("module decision", "component", "pam", "trace", ctx.Trace,
+				"service", s.Service, "module", e.Module.Name(), "result", res.String(),
+				"user", ctx.User)
+		}
 		switch {
 		case act == ActionIgnore:
 			// nothing

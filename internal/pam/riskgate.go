@@ -2,54 +2,85 @@ package pam
 
 import (
 	"fmt"
+	"strconv"
 
 	"openmfa/internal/risk"
 )
 
-// RiskGate is the dynamic-risk extension module (§6 future work, built
-// out per DESIGN.md): it scores the attempt before the exemption module
-// runs and
+// RiskGate is the adaptive-MFA decision module (§6 future work, built out
+// per DESIGN.md §14): it asks the risk engine to decide the attempt right
+// after the first factor and folds the outcome into the Figure 1 stack:
 //
-//   - Critical  → denies the attempt outright (AuthErr),
-//   - Elevated  → cancels any MFA exemption for this attempt by setting
+//   - deny    → refuses the attempt outright (AuthErr),
+//   - step_up → cancels any MFA exemption for this attempt by setting
 //     DataRiskForceMFA, which the Exempt module honours, so the second
 //     factor is required even for whitelisted origins,
-//   - Low       → abstains (Ignore).
+//   - skip    → the account earned an MFA bypass (policy opt-in): the
+//     gate returns Success and its Control ends the stack before the
+//     token module, so no prompt is shown,
+//   - allow   → abstains (Ignore); the stack runs unchanged.
 //
-// Outcomes feed back into the engine via RecordSuccess/RecordFailure from
-// the caller (sshd does this automatically when a risk engine is wired).
+// The decision (outcome, score, reasons) is attached to the attempt's
+// flight-recorder span. Outcomes feed back into the engine via
+// RecordSuccess/RecordFailure from the caller (sshd does this
+// automatically when a risk engine is wired).
 type RiskGate struct {
 	Engine *risk.Engine
-	// Notify, when set, receives a human-readable line per non-low
-	// assessment (the admin alert channel).
-	Notify func(user string, a risk.Assessment)
+	// Notify, when set, receives every step-up and deny decision (the
+	// admin alert channel).
+	Notify func(user string, d risk.Decision)
 }
 
 // DataRiskForceMFA marks the attempt as too risky for exemptions.
 const DataRiskForceMFA = "risk_force_mfa"
+
+// DataRiskSkipMFA marks the attempt as granted an adaptive MFA bypass.
+const DataRiskSkipMFA = "risk_skip_mfa"
+
+// RiskGateControl is the stack control for the gate: a skip outcome
+// (Success) terminates the stack in success before the token module, an
+// abstain (Ignore) lets it continue, and a deny (AuthErr) kills it.
+func RiskGateControl() Control {
+	return Control{
+		On:      map[Result]Action{Success: ActionDone, Ignore: ActionIgnore},
+		Default: ActionDie,
+	}
+}
 
 // Name implements Module.
 func (m *RiskGate) Name() string { return "pam_risk_gate" }
 
 // Authenticate implements Module.
 func (m *RiskGate) Authenticate(ctx *Context) Result {
-	a := m.Engine.Assess(ctx.User, ctx.RemoteAddr, ctx.now())
-	if a.Level != risk.Low && m.Notify != nil {
-		m.Notify(ctx.User, a)
+	d := m.Engine.Decide(ctx.User, ctx.RemoteAddr, ctx.now())
+	if ctx.Span != nil {
+		ctx.Span.SetAttr("risk.outcome", d.Outcome.String())
+		ctx.Span.SetAttr("risk.score", strconv.FormatFloat(d.Score, 'f', 2, 64))
+		if len(d.Reasons) > 0 {
+			ctx.Span.SetAttr("risk.reasons", d.Detail())
+		}
 	}
-	switch a.Level {
-	case risk.Critical:
+	if m.Notify != nil && (d.Outcome == risk.OutcomeStepUp || d.Outcome == risk.OutcomeDeny) {
+		m.Notify(ctx.User, d)
+	}
+	switch d.Outcome {
+	case risk.OutcomeDeny:
 		ctx.logf("pam_risk_gate: DENY %s from %v: score %.2f (%v)",
-			ctx.User, ctx.RemoteAddr, a.Score, a.Reasons)
+			ctx.User, ctx.RemoteAddr, d.Score, d.ReasonStrings())
 		if ctx.Conv != nil {
-			ctx.Conv.Info(fmt.Sprintf("login blocked by risk policy (%s)", a.Level))
+			ctx.Conv.Info(fmt.Sprintf("login blocked by risk policy (%s)", d.Level()))
 		}
 		return AuthErr
-	case risk.Elevated:
+	case risk.OutcomeStepUp:
 		ctx.logf("pam_risk_gate: force MFA for %s from %v: score %.2f (%v)",
-			ctx.User, ctx.RemoteAddr, a.Score, a.Reasons)
+			ctx.User, ctx.RemoteAddr, d.Score, d.ReasonStrings())
 		ctx.Data[DataRiskForceMFA] = true
 		return Ignore
+	case risk.OutcomeSkip:
+		ctx.logf("pam_risk_gate: MFA skip for %s from %v: history %d, score %.2f",
+			ctx.User, ctx.RemoteAddr, d.History, d.Score)
+		ctx.Data[DataRiskSkipMFA] = true
+		return Success
 	default:
 		return Ignore
 	}

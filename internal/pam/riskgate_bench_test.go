@@ -1,0 +1,39 @@
+package pam
+
+import (
+	"testing"
+
+	"openmfa/internal/geoip"
+	"openmfa/internal/risk"
+)
+
+// BenchmarkRiskGatedLogin compares the Figure 1 password+exemption hot
+// path with and without the risk gate (the enforced comparison lives in
+// TestRiskGateOverheadGate).
+func BenchmarkRiskGatedLogin(b *testing.B) {
+	h := newHarness(b, "permit : bench : ALL : ALL")
+	h.addUser(b, "bench", "pw")
+	cfg := SSHDStackConfig{
+		AuthLog:    h.authLog,
+		IDM:        h.idm,
+		Exemptions: h.acl,
+		TokenCfg:   h.mode,
+		Pairing:    LocalPairing{Dir: h.dir},
+		Radius:     h.pool,
+	}
+	engine := risk.NewEngine(geoip.Synthetic(), risk.DefaultWeights())
+	seedHistory(engine, "bench", h.sim.Now())
+	run := func(b *testing.B, stack *Stack) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := &Context{User: "bench", RemoteAddr: austinIP, Service: "sshd",
+				Conv: &conv{answers: []any{"pw"}}, Now: h.sim.Now}
+			if err := stack.Authenticate(ctx); err != nil {
+				b.Fatalf("login: %v", err)
+			}
+		}
+	}
+	b.Run("gate-off", func(b *testing.B) { run(b, NewSSHDStack(cfg)) })
+	b.Run("gate-on", func(b *testing.B) { run(b, NewSSHDStackWithRisk(cfg, engine, nil)) })
+}

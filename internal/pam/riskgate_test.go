@@ -2,11 +2,15 @@ package pam
 
 import (
 	"errors"
+	"math"
 	"net"
+	"os"
 	"testing"
 	"time"
 
+	"openmfa/internal/eventstream"
 	"openmfa/internal/geoip"
+	"openmfa/internal/obs"
 	"openmfa/internal/risk"
 )
 
@@ -116,8 +120,8 @@ func TestRiskGateNotifyChannel(t *testing.T) {
 		TokenCfg:   h.mode,
 		Pairing:    LocalPairing{Dir: h.dir},
 		Radius:     h.pool,
-	}, engine, func(user string, a risk.Assessment) {
-		alerts = append(alerts, user+":"+a.Level.String())
+	}, engine, func(user string, d risk.Decision) {
+		alerts = append(alerts, user+":"+d.Level().String())
 	})
 	code := h.pairSoft // silence unused; not needed here
 	_ = code
@@ -128,6 +132,217 @@ func TestRiskGateNotifyChannel(t *testing.T) {
 	}
 }
 
+// adaptiveStack builds a risk-gated stack with the skip tier enabled.
+func adaptiveStack(t *testing.T, h *harness, opts risk.Options) (*risk.Engine, *Stack) {
+	t.Helper()
+	if opts.Geo == nil {
+		opts.Geo = geoip.Synthetic()
+	}
+	if !opts.Policy.AllowSkip {
+		opts.Policy = risk.AdaptivePolicy()
+	}
+	engine := risk.New(opts)
+	stack := NewSSHDStackWithRisk(SSHDStackConfig{
+		AuthLog:    h.authLog,
+		IDM:        h.idm,
+		Exemptions: h.acl,
+		TokenCfg:   h.mode,
+		Pairing:    LocalPairing{Dir: h.dir},
+		Radius:     h.pool,
+	}, engine, nil)
+	return engine, stack
+}
+
+func TestRiskGateAdaptiveSkipSuppressesPrompt(t *testing.T) {
+	// With AllowSkip on, a clean attempt from a well-established account
+	// ends the stack after the first factor: no token prompt.
+	h := newHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	code := h.pairSoft(t, "alice")
+	engine, stack := adaptiveStack(t, h, risk.Options{})
+	seedHistory(engine, "alice", h.sim.Now())
+
+	c := &conv{answers: []any{"pw"}}
+	if err := loginVia(t, h, stack, "alice", austinIP, c); err != nil {
+		t.Fatalf("established login denied: %v", err)
+	}
+	if c.sawPrompt("Token") {
+		t.Fatal("adaptive skip still prompted for the token")
+	}
+
+	// The same account from a novel network does not earn the skip.
+	c2 := &conv{answers: []any{"pw", func() string { return code() }}}
+	if err := loginVia(t, h, stack, "alice", germanIP, c2); err != nil {
+		t.Fatalf("novel-origin login with valid token denied: %v", err)
+	}
+	if !c2.sawPrompt("Token") {
+		t.Fatal("novel origin skipped MFA")
+	}
+}
+
+func TestRiskGateSkipRequiresHistory(t *testing.T) {
+	// A brand-new account scores 0 but must not earn the bypass.
+	h := newHarness(t, "")
+	h.addUser(t, "newbie", "pw")
+	code := h.pairSoft(t, "newbie")
+	_, stack := adaptiveStack(t, h, risk.Options{})
+	c := &conv{answers: []any{"pw", func() string { return code() }}}
+	if err := loginVia(t, h, stack, "newbie", austinIP, c); err != nil {
+		t.Fatalf("new-account login denied: %v", err)
+	}
+	if !c.sawPrompt("Token") {
+		t.Fatal("account without history skipped MFA")
+	}
+}
+
+func TestRiskGateAttachesDecisionToSpans(t *testing.T) {
+	// The gate annotates the per-module span with the decision so the
+	// flight recorder's trace view explains why an attempt was denied.
+	h, engine, stack := riskHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	h.pairSoft(t, "alice")
+	seedHistory(engine, "alice", h.sim.Now())
+	engine.RecordSuccess("alice", austinIP, h.sim.Now())
+	h.sim.Advance(30 * time.Minute)
+
+	spans := obs.NewSpanStore(64)
+	trace := obs.NewTraceID()
+	ctx := &Context{User: "alice", RemoteAddr: chinaIP, Service: "sshd",
+		Conv: &conv{answers: []any{"pw"}}, Now: h.sim.Now,
+		Trace: trace, Spans: spans}
+	if err := stack.Authenticate(ctx); err == nil {
+		t.Fatal("impossible travel admitted")
+	}
+	attrs := map[string]string{}
+	found := false
+	for _, sp := range spans.Trace(trace) {
+		if sp.Name == "pam.pam_risk_gate" {
+			found = true
+			for _, a := range sp.Attrs {
+				attrs[a.Key] = a.Value
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no risk gate span recorded")
+	}
+	if attrs["risk.outcome"] != "deny" {
+		t.Fatalf("span outcome = %q, want deny (attrs %v)", attrs["risk.outcome"], attrs)
+	}
+	if attrs["risk.score"] == "" || attrs["risk.reasons"] == "" {
+		t.Fatalf("span missing score/reasons: %v", attrs)
+	}
+}
+
+func TestRiskGatePublishesOneDecisionPerAttempt(t *testing.T) {
+	// Exactly one TypeRisk event per stack run, even when the stack
+	// continues through exemption and token modules.
+	h := newHarness(t, "")
+	h.addUser(t, "alice", "pw")
+	code := h.pairSoft(t, "alice")
+	bus := eventstream.NewBus(nil)
+	sub := bus.Subscribe(64)
+	engine := risk.New(risk.Options{Geo: geoip.Synthetic(), Events: bus})
+	stack := NewSSHDStackWithRisk(SSHDStackConfig{
+		AuthLog: h.authLog, IDM: h.idm, Exemptions: h.acl,
+		TokenCfg: h.mode, Pairing: LocalPairing{Dir: h.dir}, Radius: h.pool,
+	}, engine, nil)
+	seedHistory(engine, "alice", h.sim.Now())
+
+	for i := 0; i < 3; i++ {
+		c := &conv{answers: []any{"pw", func() string { return code() }}}
+		if err := loginVia(t, h, stack, "alice", austinIP, c); err != nil {
+			t.Fatalf("login %d: %v", i, err)
+		}
+		h.sim.Advance(time.Minute)
+	}
+	sub.Close()
+	got := 0
+	for e := range sub.Events() {
+		if e.Type != eventstream.TypeRisk {
+			t.Fatalf("unexpected event type %q", e.Type)
+		}
+		if e.User != "alice" || e.Result != "allow" {
+			t.Fatalf("decision event = %+v", e)
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("decision events = %d, want 3", got)
+	}
+}
+
+// TestRiskGateOverheadGate enforces a 5% budget for the risk gate on the
+// Figure 1 login hot path (password + exemption, the path every exempt
+// user rides). Same methodology as the otpd observability gates:
+// env-gated, ABBA-interleaved trials, min-of-trials per arm, and an
+// over-budget reading must reproduce on every attempt to fail.
+//
+//	OBS_OVERHEAD_GATE=1 go test ./internal/pam -run TestRiskGateOverheadGate
+func TestRiskGateOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 (make bench-obs) to run the overhead gate")
+	}
+	const (
+		trials   = 5
+		attempts = 3
+		budget   = 0.05
+	)
+	h := newHarness(t, "permit : bench : ALL : ALL")
+	h.addUser(t, "bench", "pw")
+	cfg := SSHDStackConfig{
+		AuthLog:    h.authLog,
+		IDM:        h.idm,
+		Exemptions: h.acl,
+		TokenCfg:   h.mode,
+		Pairing:    LocalPairing{Dir: h.dir},
+		Radius:     h.pool,
+	}
+	engine := risk.NewEngine(geoip.Synthetic(), risk.DefaultWeights())
+	seedHistory(engine, "bench", h.sim.Now())
+	base := NewSSHDStack(cfg)
+	gated := NewSSHDStackWithRisk(cfg, engine, nil)
+	run := func(stack *Stack) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				ctx := &Context{User: "bench", RemoteAddr: austinIP, Service: "sshd",
+					Conv: &conv{answers: []any{"pw"}}, Now: h.sim.Now}
+				if err := stack.Authenticate(ctx); err != nil {
+					b.Fatalf("login: %v", err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	run(base) // warm-up: page in both paths before timing
+	run(gated)
+	measure := func() (off, on float64) {
+		off, on = math.Inf(1), math.Inf(1)
+		for i := 0; i < trials; i++ {
+			if i%2 == 0 {
+				off = math.Min(off, run(base))
+				on = math.Min(on, run(gated))
+			} else {
+				on = math.Min(on, run(gated))
+				off = math.Min(off, run(base))
+			}
+		}
+		return off, on
+	}
+	overhead := 0.0
+	for attempt := 1; attempt <= attempts; attempt++ {
+		off, on := measure()
+		overhead = (on - off) / off
+		t.Logf("attempt %d: gate off %.0f ns/op, gate on %.0f ns/op, overhead %.2f%%",
+			attempt, off, on, 100*overhead)
+		if overhead <= budget {
+			return
+		}
+	}
+	t.Errorf("risk gate stayed more than %.0f%% slower than the ungated stack across %d measurements (last: %.2f%%)",
+		100*budget, attempts, 100*overhead)
+}
+
 func TestRiskGateRunsAfterFirstFactor(t *testing.T) {
 	// The gate must not fire for attempts that fail the password: the
 	// stack is requisite-ordered, password first.
@@ -136,7 +351,7 @@ func TestRiskGateRunsAfterFirstFactor(t *testing.T) {
 	seedHistory(engine, "alice", h.sim.Now())
 	var alerts int
 	stack.Entries[2].Module = &RiskGate{Engine: engine,
-		Notify: func(string, risk.Assessment) { alerts++ }}
+		Notify: func(string, risk.Decision) { alerts++ }}
 	c := &conv{answers: []any{"wrong-password"}}
 	if err := loginVia(t, h, stack, "alice", chinaIP, c); !errors.Is(err, ErrAuthFailed) {
 		t.Fatalf("err = %v", err)

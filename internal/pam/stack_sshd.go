@@ -46,17 +46,18 @@ func NewSSHDStack(cfg SSHDStackConfig) *Stack {
 	}
 }
 
-// NewSSHDStackWithRisk is NewSSHDStack plus the dynamic-risk gate (§6
-// future work): the gate runs right after the first factor, so a critical
-// score denies before the second factor is even attempted, and an
-// elevated score forces MFA past any exemption.
-func NewSSHDStackWithRisk(cfg SSHDStackConfig, engine *risk.Engine, notify func(string, risk.Assessment)) *Stack {
+// NewSSHDStackWithRisk is NewSSHDStack plus the adaptive-MFA gate (§6
+// future work): the gate runs right after the first factor, so a deny
+// refuses before the second factor is even attempted, a step-up forces
+// MFA past any exemption, and a skip (policy opt-in) ends the stack in
+// success without a token prompt.
+func NewSSHDStackWithRisk(cfg SSHDStackConfig, engine *risk.Engine, notify func(string, risk.Decision)) *Stack {
 	return &Stack{
 		Service: "sshd",
 		Entries: []Entry{
 			{SkipOnSuccess(1), &PubkeySuccess{Log: cfg.AuthLog}},
 			{Requisite(), &Password{IDM: cfg.IDM}},
-			{Requisite(), &RiskGate{Engine: engine, Notify: notify}},
+			{RiskGateControl(), &RiskGate{Engine: engine, Notify: notify}},
 			{Sufficient(), &Exempt{List: cfg.Exemptions}},
 			{Required(), &Token{Config: cfg.TokenCfg, Pairing: cfg.Pairing, Radius: cfg.Radius}},
 		},

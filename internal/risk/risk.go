@@ -1,29 +1,42 @@
-// Package risk implements the dynamic risk assessment the paper names as
-// the infrastructure's growth path (§6). Each login attempt is scored
-// from the user's history:
+// Package risk is the adaptive-MFA decision engine the paper names as
+// the infrastructure's growth path (§6), built on the RBA architecture
+// from the OpenStack risk-based-authentication paper (PAPERS.md): a
+// bounded streaming feature store (internal/risk/feature) profiles every
+// account from live auth events, and a declarative policy (weights +
+// thresholds + per-feature explanations) turns each attempt's feature
+// vector into one of four outcomes:
 //
-//   - novel source network (first sighting of the /24),
-//   - novel country,
-//   - impossible travel (geo-velocity between consecutive logins),
-//   - recent failed-attempt pressure on the account,
-//   - off-hours access relative to the user's own activity profile.
+//   - skip    — clean score on a well-established account: the PAM gate
+//     ends the stack successfully before the token module, so
+//     the user is not prompted (policy opt-in, AllowSkip);
+//   - allow   — abstain; the Figure 1 stack (exemptions included) runs
+//     unchanged;
+//   - step_up — force the second factor, cancelling any exemption;
+//   - deny    — refuse the attempt before the second factor.
 //
-// Scores map to levels, and a PAM module (Gate) folds the level into the
-// Figure 1 stack: Elevated cancels any MFA exemption for the attempt
-// (forces the second factor), Critical denies outright. History is kept
-// in memory with bounded per-user state.
+// Scored signals: novel source /24, novel country, impossible travel
+// (geo-velocity), unmappable source addresses (scored conservatively —
+// they can also never earn a skip), off-hours access against the
+// account's own profile, and failed-attempt pressure (sliding-window
+// count extended by a burst EWMA).
+//
+// Every decision increments risk_* metrics and is published back onto
+// the event bus as a TypeRisk event; the feature store ignores those, so
+// the engine never feeds on its own output.
 package risk
 
 import (
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
+	"openmfa/internal/eventstream"
 	"openmfa/internal/geoip"
+	"openmfa/internal/obs"
+	"openmfa/internal/risk/feature"
 )
 
-// Level buckets a score.
+// Level buckets a score (legacy coarse scale; Decision is the full view).
 type Level int
 
 // Risk levels.
@@ -47,215 +60,254 @@ func (l Level) String() string {
 	}
 }
 
-// Weights tune the scoring. The zero value is unusable; use
-// DefaultWeights.
-type Weights struct {
-	NewNetwork      float64 // first login from this /24
-	NewCountry      float64 // first login from this country
-	ImpossibleSpeed float64 // travel faster than MaxKmh
-	FailPressure    float64 // per recent failed attempt (capped)
-	OffHours        float64 // outside the user's usual window
-	MaxKmh          float64 // fastest plausible travel
-	// ElevatedAt / CriticalAt are the level thresholds.
-	ElevatedAt, CriticalAt float64
-}
-
-// DefaultWeights is a conservative profile: a single novelty signal
-// elevates; novelty plus impossible travel (or heavy failure pressure)
-// becomes critical.
-func DefaultWeights() Weights {
-	return Weights{
-		NewNetwork:      0.35,
-		NewCountry:      0.55,
-		ImpossibleSpeed: 0.80,
-		FailPressure:    0.12,
-		OffHours:        0.15,
-		MaxKmh:          950, // commercial flight
-		ElevatedAt:      0.50,
-		CriticalAt:      1.20,
-	}
-}
-
-// Assessment is the scored verdict for one attempt.
+// Assessment is the legacy scored verdict for one attempt (a flattened
+// Decision; Assess keeps the original advisory API).
 type Assessment struct {
 	Score   float64
 	Level   Level
 	Reasons []string
 }
 
-// userState is the bounded per-user history.
-type userState struct {
-	networks   map[string]bool // /24 prefixes seen
-	countries  map[string]bool
-	lastSeen   time.Time
-	lastLoc    geoip.Location
-	hasLastLoc bool
-	// failure ring: timestamps of recent failures.
-	fails []time.Time
-	// hour histogram of successful logins.
-	hours [24]int
-	total int
+const failWindow = feature.FailWindow
+
+// burstFloor is the EWMA value below which decayed failure pressure
+// stops scoring: stale bursts read as zero, like the expired window.
+const burstFloor = 0.25
+
+// Options configures New. Zero values take defaults.
+type Options struct {
+	// Geo resolves source addresses (nil disables geographic signals).
+	// Ignored when Store is set.
+	Geo *geoip.DB
+	// Policy is the decision policy; a zero Weights field is replaced by
+	// DefaultWeights.
+	Policy Policy
+	// Obs, when set, exports risk_decisions_total{decision},
+	// risk_reasons_total{reason}, and risk_assess_duration_seconds (the
+	// feature store adds risk_feature_users and
+	// risk_feature_evictions_total).
+	Obs *obs.Registry
+	// Events, when set, receives one TypeRisk event per Decide call.
+	Events *eventstream.Bus
+	// MaxUsers bounds the feature store (0 = its default). Ignored when
+	// Store is set.
+	MaxUsers int
+	// Store, when set, is an externally built feature store to decide
+	// over (shared with other consumers).
+	Store *feature.Store
 }
 
-// Engine scores attempts. Safe for concurrent use.
+// Engine scores attempts and decides outcomes. Safe for concurrent use.
 type Engine struct {
-	Geo     *geoip.DB
-	Weights Weights
+	store  *feature.Store
+	policy Policy
+	events *eventstream.Bus
 
-	mu    sync.Mutex
-	users map[string]*userState
+	decisions [outcomeCount]*obs.Counter // indexed by Outcome (hot path: no map hash)
+	reasons   map[string]*obs.Counter
+	assessDur *obs.Histogram
+}
+
+// New builds an engine.
+func New(o Options) *Engine {
+	if o.Policy.Weights == (Weights{}) {
+		o.Policy.Weights = DefaultWeights()
+	}
+	st := o.Store
+	if st == nil {
+		st = feature.NewStore(feature.Config{Geo: o.Geo, MaxUsers: o.MaxUsers, Obs: o.Obs})
+	}
+	e := &Engine{
+		store:     st,
+		policy:    o.Policy.withDefaults(),
+		events:    o.Events,
+		reasons:   make(map[string]*obs.Counter, len(FeatureNames)),
+		assessDur: o.Obs.Histogram("risk_assess_duration_seconds", nil),
+	}
+	// Pre-create every label value so the families appear in the
+	// exposition (and pass metrics-lint) before the first decision.
+	for _, out := range Outcomes {
+		e.decisions[out] = o.Obs.Counter("risk_decisions_total", "decision", out.String())
+	}
+	for _, name := range FeatureNames {
+		e.reasons[name] = o.Obs.Counter("risk_reasons_total", "reason", name)
+	}
+	return e
 }
 
 // NewEngine builds an engine over a geolocation DB (nil disables the
-// geographic signals).
+// geographic signals) with the legacy assess-only behaviour: adaptive
+// skip stays off unless the policy enables it.
 func NewEngine(geo *geoip.DB, w Weights) *Engine {
-	return &Engine{Geo: geo, Weights: w, users: make(map[string]*userState)}
+	return New(Options{Geo: geo, Policy: Policy{Weights: w}})
 }
 
-func (e *Engine) state(user string) *userState {
-	s := e.users[user]
-	if s == nil {
-		s = &userState{networks: map[string]bool{}, countries: map[string]bool{}}
-		e.users[user] = s
-	}
-	return s
-}
+// Store exposes the engine's feature store.
+func (e *Engine) Store() *feature.Store { return e.store }
 
-func slash24(ip net.IP) string {
-	v4 := ip.To4()
-	if v4 == nil {
-		return ip.String()
-	}
-	return fmt.Sprintf("%d.%d.%d.0/24", v4[0], v4[1], v4[2])
-}
+// Policy reports the active policy.
+func (e *Engine) Policy() Policy { return e.policy }
 
-const failWindow = 30 * time.Minute
-
-// Assess scores an attempt without mutating history (call RecordSuccess /
-// RecordFailure afterwards with the outcome).
-func (e *Engine) Assess(user string, ip net.IP, at time.Time) Assessment {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.state(user)
-	w := e.Weights
-	var a Assessment
-
-	var loc geoip.Location
-	var haveLoc bool
-	if e.Geo != nil {
-		if l, err := e.Geo.Lookup(ip); err == nil {
-			loc, haveLoc = l, true
-		}
+// evaluate scores one attempt from the feature vector. Pure: no metrics,
+// no events, no mutation.
+func (e *Engine) evaluate(user string, ip net.IP, at time.Time) Decision {
+	f := e.store.Snapshot(user, ip, at)
+	w := e.policy.Weights
+	var d Decision
+	d.History = f.History
+	add := func(name string, weight float64, detail string) {
+		d.Score += weight
+		d.Reasons = append(d.Reasons, Reason{Feature: name, Weight: weight, Detail: detail})
 	}
 
-	if s.total > 0 {
-		if !s.networks[slash24(ip)] {
-			a.Score += w.NewNetwork
-			a.Reasons = append(a.Reasons, "new source network "+slash24(ip))
+	if f.History > 0 {
+		if f.NewNetwork {
+			add(FeatureNewNetwork, w.NewNetwork, "new source network "+f.Network)
 		}
-		if haveLoc && !s.countries[loc.Country] {
-			a.Score += w.NewCountry
-			a.Reasons = append(a.Reasons, "new country "+loc.Country)
+		if f.GeoKnown && f.NewCountry {
+			add(FeatureNewCountry, w.NewCountry, "new country "+f.Country)
 		}
-		if haveLoc && s.hasLastLoc && at.After(s.lastSeen) {
-			km := geoip.KilometersBetween(s.lastLoc, loc)
-			hours := at.Sub(s.lastSeen).Hours()
-			if hours > 0 && km > 50 {
-				speed := km / hours
-				if speed > w.MaxKmh {
-					a.Score += w.ImpossibleSpeed
-					a.Reasons = append(a.Reasons,
-						fmt.Sprintf("impossible travel: %.0f km in %.1f h", km, hours))
-				}
-			}
+		if f.HasLastLoc && f.DistanceKm > 50 && f.SpeedKmh > w.MaxKmh {
+			add(FeatureImpossibleTravel, w.ImpossibleSpeed,
+				fmt.Sprintf("impossible travel: %.0f km in %.1f h", f.DistanceKm, f.Gap.Hours()))
 		}
-		if s.total >= 20 && w.OffHours > 0 {
-			h := at.UTC().Hour()
-			// "Usual" = the hour accounts for at least 2% of history,
-			// counting adjacent hours as usual too.
-			usual := false
-			for _, hh := range []int{(h + 23) % 24, h, (h + 1) % 24} {
-				if float64(s.hours[hh]) >= 0.02*float64(s.total) {
-					usual = true
-				}
-			}
-			if !usual {
-				a.Score += w.OffHours
-				a.Reasons = append(a.Reasons, fmt.Sprintf("unusual hour %02d:00 UTC", h))
-			}
+		if f.GeoConfigured && !f.GeoKnown && w.UnknownGeo > 0 {
+			// IPv6 or unmapped sources: we cannot clear them
+			// geographically, so they score conservatively.
+			add(FeatureUnknownGeo, w.UnknownGeo, "source address in no known range")
+		}
+		if f.OffHours && w.OffHours > 0 {
+			add(FeatureOffHours, w.OffHours, fmt.Sprintf("unusual hour %02d:00 UTC", f.Hour))
 		}
 	}
 
-	// Failure pressure applies to new and old accounts alike.
-	recent := 0
-	for _, f := range s.fails {
-		if at.Sub(f) <= failWindow {
-			recent++
-		}
+	// Failure pressure applies to new and old accounts alike: the
+	// sliding-window count, extended by the burst EWMA so a storm keeps
+	// scoring as it decays.
+	pressure := float64(f.RecentFails)
+	if f.FailBurst > pressure {
+		pressure = f.FailBurst
 	}
-	if recent > 0 {
-		n := recent
-		if n > 10 {
-			n = 10
+	if pressure >= burstFloor || f.RecentFails > 0 {
+		if pressure > 10 {
+			pressure = 10
 		}
-		a.Score += w.FailPressure * float64(n)
-		a.Reasons = append(a.Reasons, fmt.Sprintf("%d recent failed attempts", recent))
+		detail := fmt.Sprintf("%d recent failed attempts", f.RecentFails)
+		if f.RecentFails == 0 {
+			detail = fmt.Sprintf("failure burst (ewma %.1f)", f.FailBurst)
+		}
+		add(FeatureFailPressure, w.FailPressure*pressure, detail)
 	}
 
 	switch {
-	case a.Score >= w.CriticalAt:
-		a.Level = Critical
-	case a.Score >= w.ElevatedAt:
-		a.Level = Elevated
+	case d.Score >= w.CriticalAt:
+		d.Outcome = OutcomeDeny
+	case d.Score >= w.ElevatedAt:
+		d.Outcome = OutcomeStepUp
+	case e.policy.AllowSkip &&
+		f.History >= e.policy.MinHistory &&
+		d.Score < e.policy.SkipBelow &&
+		(!f.GeoConfigured || f.GeoKnown):
+		// Skip only accounts we can fully place: an unmappable source
+		// (IPv6, unknown range) never earns the bypass.
+		d.Outcome = OutcomeSkip
+	default:
+		d.Outcome = OutcomeAllow
 	}
-	return a
+	return d
+}
+
+// Assess scores an attempt without mutating history (call RecordSuccess /
+// RecordFailure afterwards with the outcome). Advisory: unlike Decide it
+// does not count a decision or publish an event.
+func (e *Engine) Assess(user string, ip net.IP, at time.Time) Assessment {
+	var start time.Time
+	if e.assessDur != nil {
+		start = time.Now()
+	}
+	d := e.evaluate(user, ip, at)
+	if e.assessDur != nil {
+		e.assessDur.ObserveSince(start)
+	}
+	return Assessment{Score: d.Score, Level: d.Level(), Reasons: d.ReasonStrings()}
+}
+
+// Decide scores an attempt and commits the decision: exactly one
+// risk_decisions_total increment and exactly one TypeRisk event per call.
+// Like Assess it never mutates history — outcomes feed back through
+// RecordSuccess / RecordFailure (or Ingest).
+func (e *Engine) Decide(user string, ip net.IP, at time.Time) Decision {
+	var start time.Time
+	if e.assessDur != nil {
+		start = time.Now()
+	}
+	d := e.evaluate(user, ip, at)
+	if e.assessDur != nil {
+		e.assessDur.ObserveSince(start)
+	}
+	e.decisions[d.Outcome].Inc()
+	for _, r := range d.Reasons {
+		if c := e.reasons[r.Feature]; c != nil {
+			c.Inc()
+		}
+	}
+	if e.events != nil {
+		addr := ""
+		if ip != nil {
+			addr = ip.String()
+		}
+		e.events.Publish(eventstream.Event{
+			Time: at, Type: eventstream.TypeRisk, Component: "risk",
+			User: user, Addr: addr,
+			Result: d.Outcome.String(), Detail: d.Detail(),
+		})
+	}
+	return d
 }
 
 // RecordSuccess folds a successful login into the user's history.
 func (e *Engine) RecordSuccess(user string, ip net.IP, at time.Time) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.state(user)
-	if len(s.networks) < 512 {
-		s.networks[slash24(ip)] = true
-	}
-	if e.Geo != nil {
-		if loc, err := e.Geo.Lookup(ip); err == nil {
-			s.countries[loc.Country] = true
-			s.lastLoc, s.hasLastLoc = loc, true
-		}
-	}
-	s.lastSeen = at
-	s.hours[at.UTC().Hour()]++
-	s.total++
-	s.fails = pruneFails(s.fails, at)
+	e.store.RecordSuccess(user, ip, at)
 }
 
 // RecordFailure folds a failed attempt into the user's history.
 func (e *Engine) RecordFailure(user string, ip net.IP, at time.Time) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.state(user)
-	s.fails = append(pruneFails(s.fails, at), at)
-}
-
-func pruneFails(fails []time.Time, now time.Time) []time.Time {
-	kept := fails[:0]
-	for _, f := range fails {
-		if now.Sub(f) <= failWindow {
-			kept = append(kept, f)
-		}
-	}
-	// Bound the slice.
-	if len(kept) > 64 {
-		kept = kept[len(kept)-64:]
-	}
-	return kept
+	e.store.RecordFailure(user, ip, at)
 }
 
 // Users reports how many accounts have history.
-func (e *Engine) Users() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.users)
+func (e *Engine) Users() int { return e.store.Users() }
+
+// Observe is the streaming (advisory) mode used by bus attachments and
+// offline JSONL replays: a login event is first decided against the
+// history accumulated so far — exactly as the PAM gate would have seen it
+// — and then folded into the feature store. Other event types only feed
+// the store. Returns the decision and whether one was made.
+func (e *Engine) Observe(ev eventstream.Event) (Decision, bool) {
+	var d Decision
+	decided := false
+	if ev.Type == eventstream.TypeLogin && ev.User != "" {
+		if ip := feature.ParseAddr(ev.Addr); ip != nil {
+			d = e.Decide(ev.User, ip, ev.Time)
+			decided = true
+		}
+	}
+	e.store.Ingest(ev)
+	return d, decided
 }
+
+// Attach subscribes the engine to a bus in advisory mode: every login
+// event is decided (metrics + republished TypeRisk decision) and
+// ingested via Observe, on a background goroutine until Stop. The
+// engine's own decision events are ignored by Observe, so attaching to
+// the bus it publishes on does not loop. Do not combine with the
+// synchronous PAM-gate wiring — the store would double-count.
+func (e *Engine) Attach(bus *eventstream.Bus, buffer int) {
+	e.store.AttachFunc(bus, buffer, func(ev eventstream.Event) { e.Observe(ev) })
+}
+
+// Stop closes an Attach subscription and drains it.
+func (e *Engine) Stop() { e.store.Stop() }
+
+// Dropped reports events an Attach subscription missed.
+func (e *Engine) Dropped() uint64 { return e.store.Dropped() }
